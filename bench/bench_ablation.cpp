@@ -1,0 +1,127 @@
+// Ablation — the design choices behind the detect-restart loop.
+//
+// Two knobs of the randomized semantics are varied to show *why* the
+// construction is built the way it is:
+//
+//   1. Restart distribution. The model requires every composition to be a
+//      possible restart target; the Figure-7 shuffle realises that. The
+//      ablation replaces it with (a) a uniform-composition sampler
+//      (heavier register tails) and (b) a deliberately broken all-in-one-
+//      register policy. Policy (b) can never produce the structured good
+//      configurations (x̄_i = ȳ_i = N_i), so accepting inputs fail to
+//      stabilise within any budget — restart coverage is load-bearing.
+//
+//   2. Detect bias. detect may return true with any probability when the
+//      register is occupied (fairness only forbids probability 0). The
+//      sweep shows convergence degrades smoothly at 1/4 and 3/4 — the
+//      paper's correctness is scheduler-independent, only the constants
+//      move.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/tables.hpp"
+#include "czerner/construction.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/interp.hpp"
+
+namespace {
+
+using namespace ppde;
+using progmodel::RestartPolicy;
+
+const char* policy_name(RestartPolicy policy) {
+  switch (policy) {
+    case RestartPolicy::kMultinomial:
+      return "multinomial";
+    case RestartPolicy::kStarsAndBars:
+      return "uniform composition";
+    case RestartPolicy::kAllInHub:
+      return "all-in-hub (broken)";
+  }
+  return "?";
+}
+
+void print_report() {
+  std::printf("== Ablation: restart distribution and detect bias ==\n\n");
+  const auto c = czerner::build_construction(2);
+  const auto flat = progmodel::FlatProgram::compile(c.program);
+
+  std::printf("restart policy (n = 2, k = 10, accept case m = 10):\n");
+  analysis::TextTable policy_table(
+      {"policy", "verdict", "restarts", "steps"});
+  for (RestartPolicy policy :
+       {RestartPolicy::kMultinomial, RestartPolicy::kStarsAndBars,
+        RestartPolicy::kAllInHub}) {
+    std::vector<std::uint64_t> regs(9, 0);
+    regs[8] = 10;
+    progmodel::Runner runner(flat, regs, 12345 + 10);
+    progmodel::RunOptions options;
+    options.stable_window = 3'000'000;
+    options.max_steps = 400'000'000;
+    options.restart_policy = policy;
+    const auto result = runner.run(options);
+    // m = 10 = k must accept; a "reject" here is the window heuristic
+    // reporting an OF that never became true — i.e. the policy failed.
+    std::string verdict = "BUDGET EXHAUSTED";
+    if (result.stabilised)
+      verdict = result.output ? "ACCEPT"
+                              : "stuck rejecting (WRONG: never accepts)";
+    policy_table.add_row({policy_name(policy), verdict,
+                          std::to_string(result.restarts),
+                          std::to_string(result.steps)});
+  }
+  policy_table.print(std::cout);
+  std::printf("\n(all-in-hub cannot reach any n-proper configuration, so "
+              "the accept case never\naccepts — restart coverage of all "
+              "compositions, which the Figure-7 shuffle\nprovides, is "
+              "load-bearing. Also note uniform-composition restarts reach "
+              "the\nstructured good configurations orders of magnitude "
+              "faster than multinomial\nones, whose mass concentrates "
+              "around m/|Q| per register.)\n\n");
+
+  std::printf("detect bias (n = 2, k = 10, m = 10, multinomial restarts):\n");
+  analysis::TextTable bias_table(
+      {"P(detect true | occupied)", "verdict", "restarts", "steps"});
+  for (const auto& [num, den] :
+       {std::pair{1u, 4u}, {1u, 2u}, {3u, 4u}}) {
+    std::vector<std::uint64_t> regs(9, 0);
+    regs[8] = 10;
+    progmodel::Runner runner(flat, regs, 777);
+    progmodel::RunOptions options;
+    options.stable_window = 3'000'000;
+    options.max_steps = 900'000'000;
+    options.detect_true_num = num;
+    options.detect_true_den = den;
+    const auto result = runner.run(options);
+    bias_table.add_row(
+        {std::to_string(num) + "/" + std::to_string(den),
+         result.stabilised ? (result.output ? "ACCEPT" : "reject")
+                           : "budget exhausted",
+         std::to_string(result.restarts), std::to_string(result.steps)});
+  }
+  bias_table.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_PolicyThroughput(benchmark::State& state) {
+  const auto c = czerner::build_construction(2);
+  const auto flat = progmodel::FlatProgram::compile(c.program);
+  std::vector<std::uint64_t> regs(9, 0);
+  regs[8] = 40;
+  progmodel::Runner runner(flat, regs, 5);
+  runner.set_policies(static_cast<RestartPolicy>(state.range(0)), 1, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(runner.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyThroughput)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 2 — configuration types of the construction.
+//
+// Regenerates the figure's example rows (i-proper / weakly i-proper /
+// i-low / i-high / i-empty) through the classifier, cross-checks the
+// classification matrix, then times classification and good-configuration
+// construction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/tables.hpp"
+#include "czerner/classify.hpp"
+#include "czerner/construction.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ppde::czerner;
+
+void print_report() {
+  const Construction c = build_construction(3);
+  std::printf("== Figure 2: configuration types (n = 3; N = 1, 4, 25) ==\n\n");
+
+  // The paper's five example rows, instantiated at i = 2.
+  struct Row {
+    const char* label;
+    RegValues regs;
+  };
+  const std::vector<Row> rows = {
+      // x1 ~x1 y1 ~y1 | x2 ~x2 y2 ~y2 | x3 ~x3 y3 ~y3 | R
+      {"2-proper", {0, 1, 0, 1, 0, 4, 0, 4, 0, 0, 0, 0, 0}},
+      {"weakly 2-proper", {0, 1, 0, 1, 3, 1, 2, 2, 0, 0, 0, 0, 0}},
+      {"2-low", {0, 1, 0, 1, 0, 3, 0, 4, 0, 0, 0, 0, 0}},
+      {"2-high", {0, 1, 0, 1, 3, 4, 2, 5, 0, 0, 0, 0, 0}},
+      {"3-empty junk", {2, 4, 8, 3, 5, 3, 0, 7, 0, 0, 0, 0, 0}},
+  };
+
+  ppde::analysis::TextTable t({"configuration", "labels (classifier)"});
+  for (const Row& row : rows) {
+    std::string labels;
+    for (const std::string& label : classify(c, row.regs)) {
+      if (!labels.empty()) labels += ", ";
+      labels += label;
+    }
+    t.add_row({row.label, labels});
+  }
+  t.print(std::cout);
+
+  std::printf("\nGood configurations of Theorem 3 (m agents -> C_m):\n");
+  ppde::analysis::TextTable good({"m", "C_m classification", "shape"});
+  const Construction c2 = build_construction(2);
+  for (std::uint64_t m : {0ull, 3ull, 7ull, 9ull, 10ull, 13ull}) {
+    const RegValues regs = good_config(c2, m);
+    std::string labels;
+    for (const std::string& label : classify(c2, regs)) {
+      if (!labels.empty()) labels += ", ";
+      labels += label;
+    }
+    std::string shape;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      if (i) shape += ",";
+      shape += std::to_string(regs[i]);
+    }
+    good.add_row({std::to_string(m), labels, shape});
+  }
+  good.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_Classify(benchmark::State& state) {
+  const Construction c = build_construction(4);
+  ppde::support::Rng rng(5);
+  std::vector<RegValues> samples;
+  for (int i = 0; i < 64; ++i) {
+    RegValues regs(c.num_registers());
+    for (auto& value : regs) value = rng.below(30);
+    samples.push_back(std::move(regs));
+  }
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify(c, samples[index]));
+    index = (index + 1) % samples.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Classify);
+
+void BM_GoodConfig(benchmark::State& state) {
+  const Construction c = build_construction(5);
+  std::uint64_t m = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(good_config(c, m));
+    m = (m * 31 + 7) % 900'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoodConfig);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3 — converting a population program to a population machine.
+//
+// Regenerates the figure: the two-line while/swap program and its
+// machine listing (detect, conditional jump, move, three register-map
+// assignments, loop jump), then times the lowering across construction
+// sizes (Proposition 14: output is linear in program size).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/tables.hpp"
+#include "compile/lower.hpp"
+#include "czerner/construction.hpp"
+#include "progmodel/sample_programs.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace ppde;
+  const progmodel::Program program = progmodel::make_figure3_program();
+  std::printf("== Figure 3: program -> machine conversion ==\n\n");
+  std::printf("source program:\n%s\n", program.to_string().c_str());
+  const compile::LoweredMachine lowered = compile::lower_program(program);
+  std::printf("population machine (instructions are numbered from 1, as in "
+              "the paper; the paper's\nfigure shows Main's body — here it "
+              "sits after the call-Main prologue):\n%s\n",
+              lowered.machine.to_string().c_str());
+
+  std::printf("machine sizes across the construction "
+              "(Proposition 14: linear in program size):\n");
+  analysis::TextTable t({"n", "program size", "machine size", "|F|", "L",
+                         "ratio machine/program"});
+  for (int n = 1; n <= 10; ++n) {
+    const auto c = czerner::build_construction(n);
+    const auto m = compile::lower_program(c.program);
+    const auto ps = c.program.size().total();
+    t.add_row({std::to_string(n), std::to_string(ps),
+               std::to_string(m.machine.size()),
+               std::to_string(m.machine.num_pointers()),
+               std::to_string(m.machine.num_instructions()),
+               analysis::fmt_double(static_cast<double>(m.machine.size()) /
+                                        static_cast<double>(ps),
+                                    2)});
+  }
+  t.print(std::cout);
+  std::printf("\n");
+}
+
+void BM_LowerConstruction(benchmark::State& state) {
+  const auto c =
+      ppde::czerner::build_construction(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ppde::compile::lower_program(c.program));
+}
+BENCHMARK(BM_LowerConstruction)->Arg(1)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_LowerWindowProgram(benchmark::State& state) {
+  const auto program = ppde::progmodel::make_window_program(
+      static_cast<std::uint32_t>(state.range(0)),
+      static_cast<std::uint32_t>(state.range(0) * 2));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ppde::compile::lower_program(program));
+}
+BENCHMARK(BM_LowerWindowProgram)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

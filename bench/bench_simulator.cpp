@@ -1,0 +1,99 @@
+// Substrate benchmarks: simulator and exact-verifier throughput.
+//
+// Not a paper artefact — these measure the infrastructure every other
+// experiment stands on: interactions/second of the random scheduler across
+// protocol shapes and population sizes, and configurations/second of the
+// bottom-SCC verifier.
+#include <benchmark/benchmark.h>
+
+#include "baselines/flock.hpp"
+#include "baselines/majority.hpp"
+#include "baselines/remainder.hpp"
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "pp/simulator.hpp"
+#include "pp/verifier.hpp"
+
+namespace {
+
+using namespace ppde;
+
+void BM_SimulatorMajority(benchmark::State& state) {
+  const pp::Protocol protocol = baselines::make_majority();
+  const auto half = static_cast<std::uint32_t>(state.range(0) / 2);
+  pp::Simulator sim(protocol,
+                    baselines::majority_initial(protocol, half, half), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorMajority)->Arg(100)->Arg(10'000)->Arg(1'000'000);
+
+void BM_SimulatorFlock(benchmark::State& state) {
+  const pp::Protocol protocol =
+      baselines::make_flock_of_birds(state.range(0));
+  pp::Simulator sim(
+      protocol,
+      baselines::flock_initial(protocol,
+                               static_cast<std::uint32_t>(state.range(0))),
+      11);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorFlock)->Arg(64)->Arg(1024);
+
+void BM_SimulatorCzernerProtocol(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  pp::Simulator sim(conv.protocol,
+                    conv.initial_config(conv.num_pointers + state.range(0)),
+                    13);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCzernerProtocol)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_VerifierMajority(benchmark::State& state) {
+  const pp::Protocol protocol = baselines::make_majority();
+  const auto half = static_cast<std::uint32_t>(state.range(0) / 2);
+  const pp::Config initial =
+      baselines::majority_initial(protocol, half, half + 1);
+  for (auto _ : state) {
+    const auto result = pp::Verifier(protocol).verify(initial);
+    benchmark::DoNotOptimize(result);
+    state.counters["configs"] = static_cast<double>(result.explored_configs);
+  }
+}
+BENCHMARK(BM_VerifierMajority)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_VerifierRemainder(benchmark::State& state) {
+  const pp::Protocol protocol = baselines::make_remainder(5, 2);
+  const pp::Config initial = baselines::remainder_initial(
+      protocol, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pp::Verifier(protocol).verify(initial));
+}
+BENCHMARK(BM_VerifierRemainder)->Arg(8)->Arg(16);
+
+void BM_VerifierCzernerPipeline(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+  std::vector<std::uint64_t> regs(5, 0);
+  regs[4] = state.range(0);
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  const pp::Config initial =
+      conv.pi(machine::initial_state(lowered.machine, regs), false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        pp::Verifier(conv.protocol).verify(initial, options));
+}
+BENCHMARK(BM_VerifierCzernerPipeline)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

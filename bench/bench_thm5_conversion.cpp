@@ -1,0 +1,138 @@
+// Theorem 5 / Proposition 16 — converting machines to protocols costs only
+// a constant factor in states and shifts the predicate by i = |F|.
+//
+// Reports |Q'| / machine-size across the construction and the sample
+// programs (the paper's bound: |Q'| = 2|Q*| <= 2(|Q| + 7 sum|F_X| + L)),
+// and demonstrates the input shift: the protocol for czerner n=1 accepts
+// exactly the populations m with m - |F| >= 2, checked by exact
+// verification.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/reachability.hpp"
+#include "analysis/tables.hpp"
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "machine/interp.hpp"
+#include "pp/verifier.hpp"
+#include "progmodel/sample_programs.hpp"
+
+namespace {
+
+using namespace ppde;
+
+void print_report() {
+  std::printf("== Theorem 5: machine -> protocol conversion overhead ==\n\n");
+  analysis::TextTable t({"machine", "size", "|F|", "protocol states",
+                         "states/size", "paper bound 2(|Q|+7*sumF+L)"});
+  auto add = [&t](const std::string& name, const machine::Machine& m) {
+    const std::uint64_t states = compile::conversion_state_count(m);
+    std::uint64_t domain_sum = 0;
+    for (const auto& pointer : m.pointers) domain_sum += pointer.domain.size();
+    const std::uint64_t bound =
+        2 * (m.num_registers() + 7 * domain_sum + m.num_instructions());
+    t.add_row({name, std::to_string(m.size()),
+               std::to_string(m.num_pointers()), std::to_string(states),
+               analysis::fmt_double(static_cast<double>(states) /
+                                        static_cast<double>(m.size()),
+                                    2),
+               std::to_string(bound)});
+  };
+  add("figure 1",
+      compile::lower_program(progmodel::make_figure1_program()).machine);
+  add("threshold(8)",
+      compile::lower_program(progmodel::make_threshold_program(8)).machine);
+  for (int n = 1; n <= 8; ++n)
+    add("czerner n=" + std::to_string(n),
+        compile::lower_program(czerner::build_construction(n).program)
+            .machine);
+  t.print(std::cout);
+
+  {
+    // Effective vs nominal state counts: the conversion allocates every
+    // value x stage combination, but only a subset is occupiable.
+    const auto lowered_n1 =
+        compile::lower_program(czerner::build_construction(1).program);
+    const auto conv_n1 = compile::machine_to_protocol(lowered_n1.machine);
+    const std::uint64_t effective = analysis::reachable_state_count(
+        conv_n1.protocol, conv_n1.initial_config(conv_n1.num_pointers + 4));
+    std::printf("\neffective (occupiable) states for czerner n=1: %llu of "
+                "%zu nominal (%.0f%%)\n",
+                (unsigned long long)effective, conv_n1.protocol.num_states(),
+                100.0 * static_cast<double>(effective) /
+                    static_cast<double>(conv_n1.protocol.num_states()));
+  }
+
+  std::printf("\ninput shift (phi'(x) <=> x >= |F| && phi(x - |F|)), exact "
+              "verdicts for czerner n=1 (k=2):\n");
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  options.max_configs = 2'000'000;
+  for (std::uint64_t m_regs = 0; m_regs <= 3; ++m_regs) {
+    std::vector<std::uint64_t> regs(5, 0);
+    regs[4] = m_regs;
+    const auto verdict = pp::Verifier(conv.protocol)
+                             .verify(conv.pi(machine::initial_state(
+                                                 lowered.machine, regs),
+                                             false),
+                                     options);
+    std::printf("  m = |F| + %llu = %llu: %s   [phi'(m) = %s]\n",
+                (unsigned long long)m_regs,
+                (unsigned long long)(conv.num_pointers + m_regs),
+                to_string(verdict.verdict).c_str(),
+                m_regs >= 2 ? "accept" : "reject");
+  }
+  std::printf("\n");
+}
+
+void BM_StateCountFormula(benchmark::State& state) {
+  const auto lowered = compile::lower_program(
+      czerner::build_construction(static_cast<int>(state.range(0))).program);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        compile::conversion_state_count(lowered.machine));
+}
+BENCHMARK(BM_StateCountFormula)->Arg(4)->Arg(12);
+
+void BM_FullConversionCzernerN1(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compile::machine_to_protocol(lowered.machine));
+}
+BENCHMARK(BM_FullConversionCzernerN1);
+
+void BM_ExactPipelineVerification(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+  std::vector<std::uint64_t> regs(5, 0);
+  regs[4] = state.range(0);
+  const pp::Config initial =
+      conv.pi(machine::initial_state(lowered.machine, regs), false);
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pp::Verifier(conv.protocol)
+                                 .verify(initial, options));
+}
+BENCHMARK(BM_ExactPipelineVerification)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

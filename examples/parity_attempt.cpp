@@ -1,0 +1,79 @@
+// Why remainder predicates elude population programs (paper Section 9).
+//
+// The conclusion remarks that the model "seems impossible" to use for even
+// the parity predicate (is the number of agents even?). This example makes
+// the difficulty concrete with the natural attempt — drain x into y,
+// toggling the output flag per moved unit — which fails in two stacked
+// ways that the exhaustive explorer exposes precisely:
+//
+//   1. detect may fail spuriously, so the drain loop can exit *early* with
+//      agents left in x: from (x, y) = (m, 0) different fair runs freeze
+//      OF at different parities — "does not stabilise". Threshold programs
+//      recover from exactly this with a retry loop (while !Test: Clean),
+//      because a threshold check is *monotone*: retrying can only help.
+//      A parity toggle is not monotone — every extra pass flips the
+//      answer, so retries make it worse, not better.
+//   2. even a magically exact drain would compute x's parity, not the
+//      population's: y's initial content is invisible, and certifying
+//      "y started empty" needs absence detection, which the model lacks.
+//      Thresholds escape through Lipton's complement trick (x = 0 iff
+//      ~x >= N); parity has no bounded complement to certify against.
+#include <cstdio>
+#include <string>
+
+#include "progmodel/builder.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+
+int main() {
+  using namespace ppde::progmodel;
+
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const Reg y = b.reg("y");
+  const ProcRef main = b.proc("Main", false, [&](BlockBuilder& s) {
+    s.set_of(false);
+    // Drain x pairwise, tracking parity in OF (OF := !OF is not a
+    // primitive, so the toggle is unrolled over two moves).
+    s.while_(s.detect(x), [&](BlockBuilder& t) {
+      t.move(x, y);
+      t.set_of(true);
+      t.if_(t.detect(x), [&](BlockBuilder& u) {
+        u.move(x, y);
+        u.set_of(false);
+      });
+    });
+    s.while_(s.constant(true), [](BlockBuilder&) {});
+  });
+  const Program program = std::move(b).build(main);
+  std::printf("the attempt:\n%s\n", program.to_string().c_str());
+
+  const FlatProgram flat = FlatProgram::compile(program);
+  std::printf("exhaustive verdicts per initial distribution "
+              "(predicate: m odd):\n");
+  std::printf("%-4s %-8s %-20s %-8s\n", "m", "(x, y)", "verdict", "m odd?");
+  for (std::uint64_t m = 0; m <= 5; ++m) {
+    for (std::uint64_t in_x = 0; in_x <= m; ++in_x) {
+      const DecisionResult result = decide(flat, {in_x, m - in_x});
+      const std::string verdict =
+          result.verdict == DecisionResult::Verdict::kStabilisesTrue
+              ? "true"
+              : result.verdict == DecisionResult::Verdict::kStabilisesFalse
+                    ? "false"
+                    : "does not stabilise";
+      const std::string truth = m % 2 ? "true" : "false";
+      std::printf("%-4llu (%llu, %llu)   %-20s %-8s%s\n",
+                  (unsigned long long)m, (unsigned long long)in_x,
+                  (unsigned long long)(m - in_x), verdict.c_str(),
+                  truth.c_str(), verdict != truth ? "   <- WRONG" : "");
+    }
+  }
+  std::printf(
+      "\nAlmost every distribution fails: spurious detect-false exits\n"
+      "freeze OF at arbitrary parities (does not stabilise), and the rows\n"
+      "that do stabilise report x's parity contribution, not m's. Retry\n"
+      "loops cannot repair a non-monotone check, and absence detection\n"
+      "(was y empty?) does not exist in the model — the paper's\n"
+      "Section-9 point, observed exactly.\n");
+  return 0;
+}

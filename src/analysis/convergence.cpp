@@ -1,0 +1,56 @@
+#include "analysis/convergence.hpp"
+
+#include <algorithm>
+
+namespace ppde::analysis {
+
+std::vector<ConvergenceSample> sample_convergence(
+    const pp::Protocol& protocol, const pp::Config& initial,
+    std::uint64_t trials, const pp::SimulationOptions& options,
+    std::uint64_t seed) {
+  std::vector<ConvergenceSample> samples;
+  samples.reserve(trials);
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    pp::Simulator simulator(protocol, initial, seed + trial * 1000003);
+    const pp::SimulationResult result = simulator.run_until_stable(options);
+    ConvergenceSample sample;
+    sample.stabilised = result.stabilised;
+    sample.output = result.output;
+    // Count the interactions up to the *start* of the final consensus — the
+    // window afterwards is measurement overhead, not convergence time.
+    sample.interactions =
+        result.stabilised ? result.consensus_since : result.interactions;
+    sample.parallel_time = static_cast<double>(sample.interactions) /
+                           static_cast<double>(initial.total());
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+ConvergenceSummary summarize(const std::vector<ConvergenceSample>& samples) {
+  ConvergenceSummary summary;
+  summary.trials = samples.size();
+  std::vector<std::uint64_t> interactions;
+  double parallel_sum = 0.0;
+  for (const ConvergenceSample& sample : samples) {
+    if (!sample.stabilised) continue;
+    ++summary.stabilised;
+    if (sample.output) ++summary.accepted;
+    interactions.push_back(sample.interactions);
+    parallel_sum += sample.parallel_time;
+  }
+  if (!interactions.empty()) {
+    std::sort(interactions.begin(), interactions.end());
+    double sum = 0.0;
+    for (std::uint64_t value : interactions)
+      sum += static_cast<double>(value);
+    summary.mean_interactions = sum / static_cast<double>(interactions.size());
+    summary.median_interactions =
+        static_cast<double>(interactions[interactions.size() / 2]);
+    summary.mean_parallel_time =
+        parallel_sum / static_cast<double>(interactions.size());
+  }
+  return summary;
+}
+
+}  // namespace ppde::analysis

@@ -1,0 +1,39 @@
+// Convergence measurement: interactions (and parallel time) until stable
+// consensus, sampled over seeds. Used by the benchmark harnesses to compare
+// the construction against the baselines near their thresholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+#include "pp/simulator.hpp"
+
+namespace ppde::analysis {
+
+struct ConvergenceSample {
+  bool stabilised = false;
+  bool output = false;
+  std::uint64_t interactions = 0;
+  double parallel_time = 0.0;
+};
+
+struct ConvergenceSummary {
+  std::uint64_t trials = 0;
+  std::uint64_t stabilised = 0;
+  std::uint64_t accepted = 0;
+  double mean_interactions = 0.0;    ///< over stabilised trials
+  double median_interactions = 0.0;  ///< over stabilised trials
+  double mean_parallel_time = 0.0;
+};
+
+/// Run `trials` independent simulations from `initial`.
+std::vector<ConvergenceSample> sample_convergence(
+    const pp::Protocol& protocol, const pp::Config& initial,
+    std::uint64_t trials, const pp::SimulationOptions& options,
+    std::uint64_t seed);
+
+ConvergenceSummary summarize(const std::vector<ConvergenceSample>& samples);
+
+}  // namespace ppde::analysis

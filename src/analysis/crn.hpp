@@ -1,0 +1,42 @@
+// Chemical reaction network view of a population protocol.
+//
+// The paper's motivation for state-count frugality is chemistry: population
+// protocols are the discrete model of chemical reaction networks, "every
+// state corresponds to a chemical compound" (Section 1). This renders a
+// protocol as its CRN — one species per state, one bimolecular reaction per
+// non-silent transition — in the conventional notation
+//
+//     A + B -> C + D
+//
+// so a converted protocol can be read (and sized) as the reaction system a
+// chemist would have to realise. Identical reactions are merged and the
+// species inventory is split into reachable/unreachable from a given
+// initial configuration when one is supplied.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::analysis {
+
+struct CrnStats {
+  std::uint64_t species = 0;
+  std::uint64_t reactions = 0;         ///< distinct non-silent reactions
+  std::uint64_t reachable_species = 0; ///< 0 if no initial config given
+};
+
+/// Render the protocol as a CRN listing. If `initial` is given, species
+/// unoccupiable from it are marked "(unreachable)". `max_reactions` caps
+/// the listing length for large conversions.
+std::string to_crn(const pp::Protocol& protocol,
+                   const std::optional<pp::Config>& initial = std::nullopt,
+                   std::size_t max_reactions = 200);
+
+/// Counts only (no listing).
+CrnStats crn_stats(const pp::Protocol& protocol,
+                   const std::optional<pp::Config>& initial = std::nullopt);
+
+}  // namespace ppde::analysis

@@ -1,0 +1,68 @@
+#include "analysis/reachability.hpp"
+
+namespace ppde::analysis {
+
+std::vector<bool> reachable_states(const pp::Protocol& protocol,
+                                   const pp::Config& initial) {
+  std::vector<bool> occupiable(protocol.num_states(), false);
+  for (pp::State q = 0; q < initial.num_states(); ++q)
+    if (initial[q] != 0) occupiable[q] = true;
+
+  // Chaotic iteration to fixpoint; the transition list is scanned until no
+  // new state lights up (protocol transition counts are the bottleneck, so
+  // the simple O(rounds * |delta|) loop is fine).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const pp::Transition& t : protocol.transitions()) {
+      if (!occupiable[t.q] || !occupiable[t.r]) continue;
+      if (!occupiable[t.q2]) {
+        occupiable[t.q2] = true;
+        changed = true;
+      }
+      if (!occupiable[t.r2]) {
+        occupiable[t.r2] = true;
+        changed = true;
+      }
+    }
+  }
+  return occupiable;
+}
+
+std::uint64_t reachable_state_count(const pp::Protocol& protocol,
+                                    const pp::Config& initial) {
+  std::uint64_t count = 0;
+  for (bool occupiable : reachable_states(protocol, initial))
+    if (occupiable) ++count;
+  return count;
+}
+
+PrunedProtocol prune_protocol(const pp::Protocol& protocol,
+                              const pp::Config& initial) {
+  const std::vector<bool> occupiable = reachable_states(protocol, initial);
+  PrunedProtocol result;
+  result.remap.assign(protocol.num_states(), 0);
+  for (pp::State q = 0; q < protocol.num_states(); ++q)
+    if (occupiable[q])
+      result.remap[q] = result.protocol.add_state(protocol.name(q));
+  for (pp::State q = 0; q < protocol.num_states(); ++q) {
+    if (!occupiable[q]) continue;
+    if (protocol.is_accepting(q))
+      result.protocol.mark_accepting(result.remap[q]);
+  }
+  for (pp::State q : protocol.input_states())
+    if (occupiable[q]) result.protocol.mark_input(result.remap[q]);
+  for (const pp::Transition& t : protocol.transitions()) {
+    if (!occupiable[t.q] || !occupiable[t.r]) continue;
+    // Occupiable reactants imply occupiable products by the fixpoint.
+    result.protocol.add_transition(result.remap[t.q], result.remap[t.r],
+                                   result.remap[t.q2], result.remap[t.r2]);
+  }
+  result.protocol.finalize();
+  result.initial = pp::Config(result.protocol.num_states());
+  for (pp::State q = 0; q < initial.num_states(); ++q)
+    if (initial[q] != 0) result.initial.add(result.remap[q], initial[q]);
+  return result;
+}
+
+}  // namespace ppde::analysis

@@ -1,0 +1,46 @@
+// State-level reachability: which protocol states can ever be occupied?
+//
+// The Appendix-B.3 conversion creates states wholesale (every value ×
+// stage combination per pointer), many of which no run can occupy — e.g.
+// gadget stages of pointers that are never a move operand, or opinion
+// variants that no broadcast produces. The fixpoint here over-approximates
+// occupiable states from a set of initially occupied ones (a transition
+// fires only if both left-hand states are occupiable), giving the
+// *effective* state count of a conversion, reported alongside the nominal
+// Theorem-5 count in bench_thm5_conversion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::analysis {
+
+/// All states occupiable from `initial` (over-approximation: ignores
+/// multiplicities, so a (q, q) transition is considered enabled whenever q
+/// is occupiable).
+std::vector<bool> reachable_states(const pp::Protocol& protocol,
+                                   const pp::Config& initial);
+
+/// Convenience: number of occupiable states.
+std::uint64_t reachable_state_count(const pp::Protocol& protocol,
+                                    const pp::Config& initial);
+
+/// A materialised pruned protocol plus the config remapped onto it.
+struct PrunedProtocol {
+  pp::Protocol protocol;
+  pp::Config initial;
+  /// old state id -> new state id (only meaningful for occupiable states).
+  std::vector<pp::State> remap;
+};
+
+/// Drop every state unoccupiable from `initial` (and every transition
+/// touching one). The result decides the same predicate on the same
+/// populations — verified in the tests via the exact verifier — with the
+/// *effective* state count.
+PrunedProtocol prune_protocol(const pp::Protocol& protocol,
+                              const pp::Config& initial);
+
+}  // namespace ppde::analysis

@@ -1,0 +1,82 @@
+#include "analysis/robustness.hpp"
+
+namespace ppde::analysis {
+
+pp::Config random_noise(const pp::Protocol& protocol, std::uint32_t agents,
+                        support::Rng& rng,
+                        const std::vector<pp::State>* pool) {
+  pp::Config noise(protocol.num_states());
+  for (std::uint32_t i = 0; i < agents; ++i) {
+    if (pool != nullptr)
+      noise.add((*pool)[rng.below(pool->size())]);
+    else
+      noise.add(static_cast<pp::State>(rng.below(protocol.num_states())));
+  }
+  return noise;
+}
+
+namespace {
+
+pp::Config with_noise(const pp::Config& base, const pp::Config& noise) {
+  pp::Config combined = base;
+  for (pp::State q = 0; q < noise.num_states(); ++q)
+    if (noise[q] != 0) combined.add(q, noise[q]);
+  return combined;
+}
+
+}  // namespace
+
+RobustnessResult sweep_exact(const pp::Protocol& protocol,
+                             const pp::Config& base, std::uint32_t max_noise,
+                             std::uint64_t trials,
+                             const TotalPredicate& predicate,
+                             const pp::VerifierOptions& options,
+                             std::uint64_t seed,
+                             const std::vector<pp::State>* noise_pool) {
+  RobustnessResult result;
+  support::Rng rng(seed);
+  const pp::Verifier verifier(protocol);
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const auto agents =
+        static_cast<std::uint32_t>(rng.below(max_noise + 1));
+    const pp::Config config =
+        with_noise(base, random_noise(protocol, agents, rng, noise_pool));
+    const pp::VerificationResult verdict = verifier.verify(config, options);
+    ++result.trials;
+    if (!verdict.stabilises())
+      ++result.unresolved;
+    else if (verdict.output() == predicate(config.total()))
+      ++result.correct;
+    else
+      ++result.wrong;
+  }
+  return result;
+}
+
+RobustnessResult sweep_simulated(const pp::Protocol& protocol,
+                                 const pp::Config& base,
+                                 std::uint32_t max_noise, std::uint64_t trials,
+                                 const TotalPredicate& predicate,
+                                 const pp::SimulationOptions& options,
+                                 std::uint64_t seed) {
+  RobustnessResult result;
+  support::Rng rng(seed);
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const auto agents =
+        static_cast<std::uint32_t>(rng.below(max_noise + 1));
+    const pp::Config config =
+        with_noise(base, random_noise(protocol, agents, rng));
+    pp::Simulator simulator(protocol, config, seed * 7919 + trial);
+    const pp::SimulationResult sim = simulator.run_until_stable(options);
+    ++result.trials;
+    if (!sim.stabilised)
+      ++result.unresolved;
+    else if (sim.output == predicate(config.total()))
+      ++result.correct;
+    else
+      ++result.wrong;
+  }
+  return result;
+}
+
+}  // namespace ppde::analysis

@@ -1,0 +1,29 @@
+// Fixed-width text tables for the benchmark harnesses' report output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppde::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with columns padded to their widest cell, a rule under the
+  /// header, and two spaces between columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_u64(std::uint64_t value);
+std::string fmt_double(double value, int precision = 2);
+
+}  // namespace ppde::analysis

@@ -1,0 +1,33 @@
+#include "baselines/doubling.hpp"
+
+#include <string>
+#include <vector>
+
+namespace ppde::baselines {
+
+pp::Protocol make_doubling(std::uint32_t j) {
+  pp::Protocol protocol;
+  const pp::State sink = protocol.add_state("sink");
+  std::vector<pp::State> power(j + 1);
+  for (std::uint32_t i = 0; i <= j; ++i)
+    power[i] = protocol.add_state("p" + std::to_string(i));
+  protocol.mark_input(power[0]);
+  protocol.mark_accepting(power[j]);
+
+  // 2^i + 2^i = 2^(i+1); the second agent becomes a zero-value sink.
+  for (std::uint32_t i = 0; i + 1 <= j; ++i)
+    protocol.add_transition(power[i], power[i], power[i + 1], sink);
+  // Acceptance broadcast from the top power.
+  protocol.add_transition(power[j], sink, power[j], power[j]);
+  for (std::uint32_t i = 0; i < j; ++i)
+    protocol.add_transition(power[j], power[i], power[j], power[j]);
+
+  protocol.finalize();
+  return protocol;
+}
+
+pp::Config doubling_initial(const pp::Protocol& protocol, std::uint32_t x) {
+  return pp::Config::single(protocol.num_states(), protocol.state("p0"), x);
+}
+
+}  // namespace ppde::baselines

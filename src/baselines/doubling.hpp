@@ -1,0 +1,27 @@
+// Succinct power-of-two threshold protocol ("doubling" protocol).
+//
+// Decides phi(x) <=> x >= 2^j with j + 2 states: agents hold powers of two,
+// two agents with the same power 2^i merge into one agent with 2^(i+1) and
+// one zero agent; an agent reaching 2^j broadcasts acceptance. This is the
+// textbook O(log k)-state leaderless threshold family — our stand-in for
+// the Blondin–Esparza–Jaax O(|phi|) construction in the Table 1 comparison
+// (see DESIGN.md §4). Like all prior constructions it is 1-aware and fails
+// under a single noise agent placed in the accepting state, which is the
+// robustness contrast drawn by the paper's Section 8.
+#pragma once
+
+#include <cstdint>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::baselines {
+
+/// Build the doubling protocol for threshold 2^j, j >= 0.
+/// States: "sink", "p0", ..., "pj"; input "p0"; accepting {"pj"}.
+pp::Protocol make_doubling(std::uint32_t j);
+
+/// Initial configuration with x agents (all in input state "p0").
+pp::Config doubling_initial(const pp::Protocol& protocol, std::uint32_t x);
+
+}  // namespace ppde::baselines

@@ -1,0 +1,39 @@
+#include "baselines/flock.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppde::baselines {
+
+pp::Protocol make_flock_of_birds(std::uint64_t k) {
+  if (k == 0) throw std::invalid_argument("flock_of_birds: k must be >= 1");
+  pp::Protocol protocol;
+  std::vector<pp::State> level(k + 1);
+  for (std::uint64_t v = 0; v <= k; ++v)
+    level[v] = protocol.add_state(std::to_string(v));
+  protocol.mark_input(level[1]);
+  protocol.mark_accepting(level[k]);
+
+  // Merge partial counts; saturate at k.
+  for (std::uint64_t a = 1; a < k; ++a) {
+    for (std::uint64_t b = 1; b < k; ++b) {
+      if (a + b < k)
+        protocol.add_transition(level[a], level[b], level[a + b], level[0]);
+      else
+        protocol.add_transition(level[a], level[b], level[k], level[k]);
+    }
+  }
+  // An agent at k convinces everyone (1-aware broadcast).
+  for (std::uint64_t v = 0; v < k; ++v)
+    protocol.add_transition(level[k], level[v], level[k], level[k]);
+
+  protocol.finalize();
+  return protocol;
+}
+
+pp::Config flock_initial(const pp::Protocol& protocol, std::uint32_t x) {
+  return pp::Config::single(protocol.num_states(), protocol.state("1"), x);
+}
+
+}  // namespace ppde::baselines

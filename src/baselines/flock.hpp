@@ -1,0 +1,28 @@
+// The classic "flock of birds" threshold protocol (Angluin et al. 2004).
+//
+// Decides phi(x) <=> x >= k with Theta(k) states: each agent carries a
+// partial count in {0, ..., k}; two agents merge their counts (capping at
+// k), and an agent that reaches k broadcasts acceptance. This is the
+// O(2^|phi|)-state baseline of Table 1 ("ordinary" column, 2004 row): the
+// number of states is exponential in the binary encoding length of k.
+//
+// The protocol is 1-aware — the first agent to reach count k *knows* the
+// threshold has been met — which is exactly the property the paper's
+// construction avoids (its conditional lower bound would otherwise apply).
+#pragma once
+
+#include <cstdint>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::baselines {
+
+/// Build the flock-of-birds protocol for threshold k >= 1.
+/// States: "0", "1", ..., "k"; input state "1"; accepting state set {"k"}.
+pp::Protocol make_flock_of_birds(std::uint64_t k);
+
+/// Initial configuration with x agents (all in input state "1").
+pp::Config flock_initial(const pp::Protocol& protocol, std::uint32_t x);
+
+}  // namespace ppde::baselines

@@ -1,0 +1,33 @@
+#include "baselines/majority.hpp"
+
+namespace ppde::baselines {
+
+pp::Protocol make_majority() {
+  pp::Protocol protocol;
+  const pp::State big_a = protocol.add_state("A");
+  const pp::State big_b = protocol.add_state("B");
+  const pp::State small_a = protocol.add_state("a");
+  const pp::State small_b = protocol.add_state("b");
+  protocol.mark_input(big_a);
+  protocol.mark_input(big_b);
+  protocol.mark_accepting(big_a);
+  protocol.mark_accepting(small_a);
+
+  protocol.add_transition(big_a, big_b, small_a, small_b);  // cancellation
+  protocol.add_transition(big_a, small_b, big_a, small_a);  // A converts
+  protocol.add_transition(big_b, small_a, big_b, small_b);  // B converts
+  protocol.add_transition(small_a, small_b, small_b, small_b);  // ties reject
+
+  protocol.finalize();
+  return protocol;
+}
+
+pp::Config majority_initial(const pp::Protocol& protocol, std::uint32_t x,
+                            std::uint32_t y) {
+  pp::Config config(protocol.num_states());
+  config.add(protocol.state("A"), x);
+  config.add(protocol.state("B"), y);
+  return config;
+}
+
+}  // namespace ppde::baselines

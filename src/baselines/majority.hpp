@@ -1,0 +1,23 @@
+// The 4-state majority protocol (Draief–Vojnovic style).
+//
+// Decides phi(x, y) <=> x > y: big agents A/B cancel, survivors convert the
+// small agents' opinions, and ties resolve to reject via (a, b -> b, b).
+// Included as the canonical worked example of the population protocol model
+// (paper Section 1) and as a sanity workload for the simulator/verifier.
+#pragma once
+
+#include <cstdint>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::baselines {
+
+/// States "A", "B", "a", "b"; inputs "A" (x) and "B" (y); accepting {A, a}.
+pp::Protocol make_majority();
+
+/// Initial configuration with x agents in "A" and y agents in "B".
+pp::Config majority_initial(const pp::Protocol& protocol, std::uint32_t x,
+                            std::uint32_t y);
+
+}  // namespace ppde::baselines

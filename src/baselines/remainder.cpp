@@ -1,0 +1,42 @@
+#include "baselines/remainder.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppde::baselines {
+
+pp::Protocol make_remainder(std::uint32_t d, std::uint32_t r) {
+  if (d == 0) throw std::invalid_argument("remainder: d must be >= 1");
+  if (r >= d) throw std::invalid_argument("remainder: r must be < d");
+  pp::Protocol protocol;
+  std::vector<pp::State> active(d);
+  for (std::uint32_t v = 0; v < d; ++v)
+    active[v] = protocol.add_state("v" + std::to_string(v));
+  const pp::State yes = protocol.add_state("yes");
+  const pp::State no = protocol.add_state("no");
+  protocol.mark_input(active[1 % d]);
+  protocol.mark_accepting(active[r]);
+  protocol.mark_accepting(yes);
+
+  for (std::uint32_t u = 0; u < d; ++u) {
+    for (std::uint32_t v = 0; v < d; ++v) {
+      const std::uint32_t sum = (u + v) % d;
+      // Merge; the responder turns passive with the merged verdict.
+      protocol.add_transition(active[u], active[v], active[sum],
+                              sum == r ? yes : no);
+    }
+    // The surviving active agent corrects passive opinions.
+    protocol.add_transition(active[u], u == r ? no : yes, active[u],
+                            u == r ? yes : no);
+  }
+
+  protocol.finalize();
+  return protocol;
+}
+
+pp::Config remainder_initial(const pp::Protocol& protocol, std::uint32_t x) {
+  return pp::Config::single(protocol.num_states(), protocol.state("v1"), x);
+}
+
+}  // namespace ppde::baselines

@@ -1,0 +1,26 @@
+// Remainder protocol: decides phi(x) <=> x ≡ r (mod d).
+//
+// Each agent starts as an active unit; active agents merge their values
+// modulo d (one of them turning passive), so exactly one active agent
+// survives holding x mod d, and passives copy its verdict. d + 2 states.
+// Mentioned in the paper's conclusion as the natural next predicate family;
+// included both as a simulator workload and to exercise remainder
+// predicates in the presburger module.
+#pragma once
+
+#include <cstdint>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+
+namespace ppde::baselines {
+
+/// Build the remainder protocol for modulus d >= 1 and residue r < d.
+/// States "v0"..."v{d-1}" (active), "yes", "no"; input "v1"; accepting
+/// {"v{r}", "yes"}.
+pp::Protocol make_remainder(std::uint32_t d, std::uint32_t r);
+
+/// Initial configuration with x agents (all active units "v1").
+pp::Config remainder_initial(const pp::Protocol& protocol, std::uint32_t x);
+
+}  // namespace ppde::baselines

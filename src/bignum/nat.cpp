@@ -1,0 +1,235 @@
+#include "bignum/nat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "support/hash.hpp"
+
+namespace ppde::bignum {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr int kLimbBits = 64;
+
+int high_bit(u64 x) {
+  assert(x != 0);
+  return 63 - __builtin_clzll(x);
+}
+
+}  // namespace
+
+void Nat::normalise() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Nat Nat::from_decimal(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("Nat: empty decimal string");
+  Nat result;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("Nat: invalid decimal digit");
+    // result = result * 10 + digit, fused into one limb pass.
+    u64 carry = static_cast<u64>(c - '0');
+    for (auto& limb : result.limbs_) {
+      u128 acc = static_cast<u128>(limb) * 10 + carry;
+      limb = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> kLimbBits);
+    }
+    if (carry != 0) result.limbs_.push_back(carry);
+  }
+  return result;
+}
+
+Nat Nat::pow2(u64 exponent) {
+  Nat result;
+  result.limbs_.assign(exponent / kLimbBits, 0);
+  result.limbs_.push_back(u64{1} << (exponent % kLimbBits));
+  return result;
+}
+
+std::uint64_t Nat::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * kLimbBits + high_bit(limbs_.back()) + 1;
+}
+
+std::uint64_t Nat::to_u64() const {
+  if (!fits_u64()) throw std::overflow_error("Nat: does not fit in uint64_t");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+double Nat::to_double() const {
+  double result = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+    result = result * std::ldexp(1.0, kLimbBits) + static_cast<double>(*it);
+  return result;
+}
+
+double Nat::log2() const {
+  if (is_zero()) throw std::domain_error("Nat: log2 of zero");
+  // Use the top two limbs for the mantissa; the rest only shifts.
+  const std::size_t n = limbs_.size();
+  double top = static_cast<double>(limbs_[n - 1]);
+  if (n >= 2)
+    top += static_cast<double>(limbs_[n - 2]) * std::ldexp(1.0, -kLimbBits);
+  return std::log2(top) + static_cast<double>((n - 1)) * kLimbBits;
+}
+
+Nat& Nat::operator+=(const Nat& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u128 acc = static_cast<u128>(limbs_[i]) + carry;
+    if (i < rhs.limbs_.size()) acc += rhs.limbs_[i];
+    limbs_[i] = static_cast<u64>(acc);
+    carry = static_cast<u64>(acc >> kLimbBits);
+    if (carry == 0 && i >= rhs.limbs_.size()) break;
+  }
+  if (carry != 0) limbs_.push_back(carry);
+  return *this;
+}
+
+Nat& Nat::operator-=(const Nat& rhs) {
+  if (*this < rhs) throw std::underflow_error("Nat: subtraction underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u128 sub = borrow;
+    if (i < rhs.limbs_.size()) sub += rhs.limbs_[i];
+    if (static_cast<u128>(limbs_[i]) >= sub) {
+      limbs_[i] -= static_cast<u64>(sub);
+      borrow = 0;
+    } else {
+      limbs_[i] = static_cast<u64>((static_cast<u128>(1) << kLimbBits) +
+                                   limbs_[i] - sub);
+      borrow = 1;
+    }
+    if (borrow == 0 && i >= rhs.limbs_.size()) break;
+  }
+  normalise();
+  return *this;
+}
+
+Nat operator*(const Nat& lhs, const Nat& rhs) {
+  Nat result;
+  if (lhs.is_zero() || rhs.is_zero()) return result;
+  result.limbs_.assign(lhs.limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < lhs.limbs_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      u128 acc = static_cast<u128>(lhs.limbs_[i]) * rhs.limbs_[j] +
+                 result.limbs_[i + j] + carry;
+      result.limbs_[i + j] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> kLimbBits);
+    }
+    result.limbs_[i + rhs.limbs_.size()] += carry;
+  }
+  result.normalise();
+  return result;
+}
+
+Nat& Nat::operator*=(const Nat& rhs) { return *this = *this * rhs; }
+
+Nat Nat::shifted_left(u64 bits) const {
+  if (is_zero()) return {};
+  Nat result;
+  const u64 limb_shift = bits / kLimbBits;
+  const int bit_shift = static_cast<int>(bits % kLimbBits);
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    result.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0)
+      result.limbs_[i + limb_shift + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
+  }
+  result.normalise();
+  return result;
+}
+
+NatDivMod Nat::divmod(const Nat& dividend, const Nat& divisor) {
+  if (divisor.is_zero()) throw std::domain_error("Nat: division by zero");
+  if (dividend < divisor) return {Nat{}, dividend};
+
+  // Fast path: single-limb divisor.
+  if (divisor.limbs_.size() == 1) {
+    const u64 d = divisor.limbs_[0];
+    Nat quotient;
+    quotient.limbs_.assign(dividend.limbs_.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      u128 acc = (static_cast<u128>(rem) << kLimbBits) | dividend.limbs_[i];
+      quotient.limbs_[i] = static_cast<u64>(acc / d);
+      rem = static_cast<u64>(acc % d);
+    }
+    quotient.normalise();
+    return {std::move(quotient), Nat{rem}};
+  }
+
+  // General case: binary long division. O(bits * limbs) — fine for the
+  // magnitudes the library manipulates (thresholds for n <= ~20 levels).
+  const u64 shift = dividend.bit_length() - divisor.bit_length();
+  Nat remainder = dividend;
+  Nat quotient;
+  quotient.limbs_.assign(shift / kLimbBits + 1, 0);
+  for (u64 s = shift + 1; s-- > 0;) {
+    Nat shifted = divisor.shifted_left(s);
+    if (shifted <= remainder) {
+      remainder -= shifted;
+      quotient.limbs_[s / kLimbBits] |= u64{1} << (s % kLimbBits);
+    }
+  }
+  quotient.normalise();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+Nat Nat::pow(u64 exponent) const {
+  Nat base = *this;
+  Nat result{1};
+  while (exponent != 0) {
+    if (exponent & 1) result *= base;
+    exponent >>= 1;
+    if (exponent != 0) base *= base;
+  }
+  return result;
+}
+
+std::strong_ordering operator<=>(const Nat& lhs, const Nat& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size())
+    return lhs.limbs_.size() <=> rhs.limbs_.size();
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;)
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] <=> rhs.limbs_[i];
+  return std::strong_ordering::equal;
+}
+
+std::string Nat::to_decimal() const {
+  if (is_zero()) return "0";
+  // Peel off 19 decimal digits at a time.
+  constexpr u64 kChunk = 10'000'000'000'000'000'000ULL;
+  std::string out;
+  Nat value = *this;
+  while (!value.is_zero()) {
+    auto [q, r] = divmod(value, Nat{kChunk});
+    u64 digits = r.is_zero() ? 0 : r.to_u64();
+    const bool last = q.is_zero();
+    for (int i = 0; i < 19 && (digits != 0 || !last); ++i) {
+      out.push_back(static_cast<char>('0' + digits % 10));
+      digits /= 10;
+    }
+    if (last && digits == 0 && out.empty()) out.push_back('0');
+    value = std::move(q);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Nat& value) {
+  return os << value.to_decimal();
+}
+
+std::uint64_t Nat::hash() const { return support::hash_range(limbs_); }
+
+}  // namespace ppde::bignum

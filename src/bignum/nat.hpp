@@ -1,0 +1,109 @@
+// Arbitrary-precision natural numbers.
+//
+// The thresholds decided by the paper's protocols grow as k >= 2^(2^(n-1)),
+// which overflows 64-bit integers from n = 7 on. Everywhere the *value* of a
+// threshold is computed, reported, or compared we use Nat. (Runtime agent
+// counts stay machine-sized: the experiments only ever simulate populations
+// far below 2^64 agents.)
+//
+// Representation: little-endian vector of 64-bit limbs, normalised so the
+// most significant limb is nonzero; zero is the empty vector. Nat is a
+// regular value type: copyable, movable, totally ordered, hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppde::bignum {
+
+class Nat {
+ public:
+  /// Zero.
+  Nat() = default;
+
+  /// Construct from a machine integer.
+  Nat(std::uint64_t value) {  // NOLINT(google-explicit-constructor): a Nat
+    // is-a natural number; implicit widening mirrors the built-in integers.
+    if (value != 0) limbs_.push_back(value);
+  }
+
+  /// Parse a decimal string. Throws std::invalid_argument on bad input.
+  static Nat from_decimal(std::string_view text);
+
+  /// 2^exponent.
+  static Nat pow2(std::uint64_t exponent);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits; bit_length(0) == 0.
+  std::uint64_t bit_length() const;
+
+  /// True iff the value fits in a std::uint64_t.
+  bool fits_u64() const { return limbs_.size() <= 1; }
+
+  /// Value as uint64_t. Requires fits_u64().
+  std::uint64_t to_u64() const;
+
+  /// Approximate value as double (inf if out of range).
+  double to_double() const;
+
+  /// Approximate log2 of the value; requires *this > 0.
+  double log2() const;
+
+  std::string to_decimal() const;
+
+  Nat& operator+=(const Nat& rhs);
+  Nat& operator-=(const Nat& rhs);  ///< Requires *this >= rhs.
+  Nat& operator*=(const Nat& rhs);
+
+  friend Nat operator+(Nat lhs, const Nat& rhs) { return lhs += rhs; }
+  friend Nat operator-(Nat lhs, const Nat& rhs) { return lhs -= rhs; }
+  friend Nat operator*(const Nat& lhs, const Nat& rhs);
+
+  /// Quotient and remainder; divisor must be nonzero.
+  static struct NatDivMod divmod(const Nat& dividend, const Nat& divisor);
+
+  Nat operator/(const Nat& rhs) const;
+  Nat operator%(const Nat& rhs) const;
+
+  /// Left shift by an arbitrary number of bits.
+  Nat shifted_left(std::uint64_t bits) const;
+
+  /// *this raised to a machine-sized power (0^0 == 1).
+  Nat pow(std::uint64_t exponent) const;
+
+  friend bool operator==(const Nat& lhs, const Nat& rhs) = default;
+  friend std::strong_ordering operator<=>(const Nat& lhs, const Nat& rhs);
+
+  friend std::ostream& operator<<(std::ostream& os, const Nat& value);
+
+  /// Stable hash of the value.
+  std::uint64_t hash() const;
+
+  /// Limb access for tests.
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void normalise();
+
+  std::vector<std::uint64_t> limbs_;
+};
+
+/// Result of Nat::divmod.
+struct NatDivMod {
+  Nat quotient;
+  Nat remainder;
+};
+
+inline Nat Nat::operator/(const Nat& rhs) const {
+  return divmod(*this, rhs).quotient;
+}
+inline Nat Nat::operator%(const Nat& rhs) const {
+  return divmod(*this, rhs).remainder;
+}
+
+}  // namespace ppde::bignum

@@ -1,0 +1,441 @@
+#include "compile/lower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+namespace ppde::compile {
+
+namespace {
+
+using machine::Instr;
+using machine::Machine;
+using machine::Pointer;
+using machine::PtrId;
+using machine::RegId;
+using progmodel::BlockId;
+using progmodel::Cond;
+using progmodel::kNoBlock;
+using progmodel::ProcId;
+using progmodel::Program;
+using progmodel::Reg;
+using progmodel::Stmt;
+using progmodel::StmtId;
+
+constexpr std::uint32_t kPatch = 0xffffffffu;
+
+class Lowering {
+ public:
+  explicit Lowering(const Program& program) : program_(program) {
+    program.validate();
+  }
+
+  LoweredMachine lower() {
+    build_registers_and_map_pointers();
+    build_procedure_pointers();
+
+    // Prologue (Appendix B.2): call Main, then loop forever.
+    emit_call(program_.main_proc);
+    const std::uint32_t loop = emit_jump(kPatch);
+    patch_jump(loop, loop);
+
+    for (ProcId proc = 0; proc < program_.procedures.size(); ++proc) {
+      current_proc_ = proc;
+      out_.proc_entry[proc] = next_ip();
+      lower_block(program_.procedures[proc].body);
+      emit_return(proc, /*value=*/std::nullopt);  // implicit void return
+    }
+    if (needs_restart_helper_) emit_restart_helper();
+
+    apply_fixups();
+    out_.machine.validate();
+    return std::move(out_);
+  }
+
+ private:
+  Machine& m() { return out_.machine; }
+
+  std::uint32_t next_ip() const {
+    return static_cast<std::uint32_t>(out_.machine.instrs.size());
+  }
+
+  std::uint32_t emit(Instr instr) {
+    out_.machine.instrs.push_back(std::move(instr));
+    return next_ip() - 1;
+  }
+
+  // -- pointer setup ----------------------------------------------------------
+
+  void build_registers_and_map_pointers() {
+    Machine& machine = m();
+    machine.registers = program_.registers;
+    out_.proc_entry.assign(program_.procedures.size(), 0);
+    out_.proc_pointer.assign(program_.procedures.size(), 0);
+
+    auto add_pointer = [&machine](std::string name,
+                                  std::vector<std::uint32_t> domain,
+                                  std::uint32_t initial) {
+      machine.pointers.push_back(
+          {std::move(name), std::move(domain), initial});
+      return static_cast<PtrId>(machine.pointers.size() - 1);
+    };
+
+    machine.of = add_pointer("OF", {0, 1}, 0);
+    machine.cf = add_pointer("CF", {0, 1}, 0);
+    // IP's domain {0..L-1} is only known after emission; apply_fixups fills
+    // it in. The placeholder keeps the pointer id stable.
+    machine.ip = add_pointer("IP", {0}, 0);
+    machine.pointers[machine.ip].holds_addresses = true;
+
+    // Swap-closure components determine the register-map domains
+    // (Appendix B.2: F_{V_x} pruned to the necessary elements).
+    std::vector<Reg> component(program_.registers.size());
+    for (Reg r = 0; r < component.size(); ++r) component[r] = r;
+    std::function<Reg(Reg)> find = [&](Reg r) {
+      while (component[r] != r) r = component[r] = component[component[r]];
+      return r;
+    };
+    for (const Stmt& stmt : program_.stmts) {
+      if (stmt.kind == Stmt::Kind::kSwap)
+        component[find(stmt.from)] = find(stmt.to);
+      if (stmt.kind == Stmt::Kind::kRestart) needs_restart_helper_ = true;
+    }
+    std::vector<std::vector<std::uint32_t>> domain_of_component(
+        program_.registers.size());
+    for (Reg r = 0; r < component.size(); ++r)
+      domain_of_component[find(r)].push_back(r);
+
+    machine.v_reg.clear();
+    std::vector<std::uint32_t> square_domain;
+    for (Reg r = 0; r < program_.registers.size(); ++r) {
+      std::vector<std::uint32_t> domain = domain_of_component[find(r)];
+      if (domain.size() > 1) {
+        // Swapped registers share V_square as scratch.
+        for (std::uint32_t value : domain)
+          if (std::find(square_domain.begin(), square_domain.end(), value) ==
+              square_domain.end())
+            square_domain.push_back(value);
+      }
+      machine.v_reg.push_back(add_pointer(
+          "V[" + program_.registers[r] + "]", std::move(domain), r));
+    }
+    if (square_domain.empty())
+      square_domain.push_back(0);  // unused scratch still needs a domain
+    std::sort(square_domain.begin(), square_domain.end());
+    const std::uint32_t square_initial = square_domain.front();
+    machine.v_square =
+        add_pointer("V[#]", std::move(square_domain), square_initial);
+  }
+
+  void build_procedure_pointers() {
+    Machine& machine = m();
+    for (ProcId proc = 0; proc < program_.procedures.size(); ++proc) {
+      Pointer pointer;
+      pointer.name = "P[" + program_.procedures[proc].name + "]";
+      pointer.holds_addresses = true;
+      machine.pointers.push_back(std::move(pointer));
+      out_.proc_pointer[proc] =
+          static_cast<PtrId>(machine.pointers.size() - 1);
+    }
+  }
+
+  // -- instruction emission helpers --------------------------------------------
+
+  /// X := c via a constant map over the source's (final) domain. The mapping
+  /// is materialised in apply_fixups once all domains are known.
+  std::uint32_t emit_const_assign(PtrId target, PtrId source,
+                                  std::uint32_t value) {
+    Instr instr;
+    instr.kind = Instr::Kind::kAssign;
+    instr.target = target;
+    instr.source = source;
+    const std::uint32_t at = emit(std::move(instr));
+    const_assigns_.push_back({at, value});
+    return at;
+  }
+
+  /// IP := target (unconditional jump); CF serves as the dummy source.
+  std::uint32_t emit_jump(std::uint32_t target) {
+    return emit_const_assign(m().ip, m().cf, target);
+  }
+
+  void patch_jump(std::uint32_t at, std::uint32_t target) {
+    for (auto& [index, value] : const_assigns_)
+      if (index == at) value = target;
+  }
+
+  /// IP := f(CF): true -> true_target, false -> false_target.
+  std::uint32_t emit_branch(std::uint32_t true_target,
+                            std::uint32_t false_target) {
+    Instr instr;
+    instr.kind = Instr::Kind::kAssign;
+    instr.target = m().ip;
+    instr.source = m().cf;
+    instr.mapping = {{0, false_target}, {1, true_target}};
+    return emit(std::move(instr));
+  }
+
+  void patch_branch(std::uint32_t at, bool which, std::uint32_t target) {
+    for (auto& [from, to] : m().instrs[at].mapping)
+      if (from == (which ? 1u : 0u)) to = target;
+  }
+
+  void emit_call(ProcId proc) {
+    // P := return address; IP := entry(P). Entry patched in apply_fixups.
+    const std::uint32_t ret = next_ip() + 2;
+    emit_const_assign(out_.proc_pointer[proc], m().cf, ret);
+    return_addresses_[proc].push_back(ret);
+    const std::uint32_t jump = emit_jump(kPatch);
+    call_sites_.push_back({jump, proc});
+  }
+
+  void emit_return(ProcId proc, std::optional<bool> value) {
+    if (value.has_value())
+      emit_const_assign(m().cf, m().cf, *value ? 1 : 0);
+    // IP := f(P), f = identity over the return-address domain.
+    Instr instr;
+    instr.kind = Instr::Kind::kAssign;
+    instr.target = m().ip;
+    instr.source = out_.proc_pointer[proc];
+    const std::uint32_t at = emit(std::move(instr));
+    identity_assigns_.push_back(at);
+  }
+
+  // -- condition lowering (falls through with CF = value) ----------------------
+
+  void lower_cond(progmodel::CondId id) {
+    const Cond& cond = program_.conds[id];
+    switch (cond.kind) {
+      case Cond::Kind::kConst:
+        emit_const_assign(m().cf, m().cf, cond.value ? 1 : 0);
+        break;
+      case Cond::Kind::kDetect: {
+        Instr instr;
+        instr.kind = Instr::Kind::kDetect;
+        instr.x = cond.reg;
+        emit(std::move(instr));
+        break;
+      }
+      case Cond::Kind::kCall:
+        emit_call(cond.proc);
+        break;
+      case Cond::Kind::kNot: {
+        lower_cond(cond.lhs);
+        Instr instr;
+        instr.kind = Instr::Kind::kAssign;
+        instr.target = m().cf;
+        instr.source = m().cf;
+        instr.mapping = {{0, 1}, {1, 0}};
+        emit(std::move(instr));
+        break;
+      }
+      case Cond::Kind::kAnd: {
+        lower_cond(cond.lhs);
+        const std::uint32_t branch = emit_branch(kPatch, kPatch);
+        patch_branch(branch, true, next_ip());
+        lower_cond(cond.rhs);
+        patch_branch(branch, false, next_ip());
+        break;
+      }
+      case Cond::Kind::kOr: {
+        lower_cond(cond.lhs);
+        const std::uint32_t branch = emit_branch(kPatch, kPatch);
+        patch_branch(branch, false, next_ip());
+        lower_cond(cond.rhs);
+        patch_branch(branch, true, next_ip());
+        break;
+      }
+    }
+  }
+
+  // -- statement lowering -------------------------------------------------------
+
+  void lower_block(BlockId block) {
+    if (block == kNoBlock) return;
+    for (StmtId id : program_.blocks[block]) lower_stmt(program_.stmts[id]);
+  }
+
+  void lower_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kMove: {
+        Instr instr;
+        instr.kind = Instr::Kind::kMove;
+        instr.x = stmt.from;
+        instr.y = stmt.to;
+        emit(std::move(instr));
+        break;
+      }
+      case Stmt::Kind::kSwap: {
+        // Figure 3: V_square := V_x; V_x := V_y; V_y := V_square.
+        emit_identity_assign(m().v_square, m().v_reg[stmt.from]);
+        emit_identity_assign(m().v_reg[stmt.from], m().v_reg[stmt.to]);
+        emit_identity_assign(m().v_reg[stmt.to], m().v_square);
+        break;
+      }
+      case Stmt::Kind::kSetOF:
+        emit_const_assign(m().of, m().of, stmt.value ? 1 : 0);
+        break;
+      case Stmt::Kind::kRestart:
+        restart_jumps_.push_back(emit_jump(kPatch));
+        break;
+      case Stmt::Kind::kCall:
+        emit_call(stmt.proc);
+        break;
+      case Stmt::Kind::kIf: {
+        lower_cond(stmt.cond);
+        const std::uint32_t branch = emit_branch(kPatch, kPatch);
+        patch_branch(branch, true, next_ip());
+        lower_block(stmt.then_block);
+        if (stmt.else_block == kNoBlock) {
+          patch_branch(branch, false, next_ip());
+        } else {
+          const std::uint32_t jump_end = emit_jump(kPatch);
+          patch_branch(branch, false, next_ip());
+          lower_block(stmt.else_block);
+          patch_jump(jump_end, next_ip());
+        }
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        const std::uint32_t head = next_ip();
+        lower_cond(stmt.cond);
+        const std::uint32_t branch = emit_branch(kPatch, kPatch);
+        patch_branch(branch, true, next_ip());
+        lower_block(stmt.then_block);
+        patch_jump(emit_jump(kPatch), head);
+        patch_branch(branch, false, next_ip());
+        break;
+      }
+      case Stmt::Kind::kReturn: {
+        const ProcId proc = current_proc_;
+        if (!stmt.has_cond) {
+          emit_return(proc, std::nullopt);
+        } else if (program_.conds[stmt.cond].kind == Cond::Kind::kConst) {
+          emit_return(proc, program_.conds[stmt.cond].value);
+        } else {
+          lower_cond(stmt.cond);
+          emit_return(proc, std::nullopt);  // CF already holds the value
+        }
+        break;
+      }
+    }
+  }
+
+  void emit_identity_assign(PtrId target, PtrId source) {
+    Instr instr;
+    instr.kind = Instr::Kind::kAssign;
+    instr.target = target;
+    instr.source = source;
+    const std::uint32_t at = emit(std::move(instr));
+    identity_assigns_.push_back(at);
+  }
+
+  // -- restart helper (Figure 7) -------------------------------------------------
+
+  void emit_restart_helper() {
+    out_.restart_helper_entry = next_ip();
+    const Reg hub = 0;
+    auto shuffle = [this](Reg from, Reg to) {
+      if (from == to) return;
+      // while detect from > 0 do from -> to
+      const std::uint32_t head = next_ip();
+      Instr detect;
+      detect.kind = Instr::Kind::kDetect;
+      detect.x = from;
+      emit(std::move(detect));
+      const std::uint32_t branch = emit_branch(kPatch, kPatch);
+      patch_branch(branch, true, next_ip());
+      Instr move;
+      move.kind = Instr::Kind::kMove;
+      move.x = from;
+      move.y = to;
+      emit(std::move(move));
+      patch_jump(emit_jump(kPatch), head);
+      patch_branch(branch, false, next_ip());
+    };
+    for (Reg from = 0; from < program_.registers.size(); ++from)
+      shuffle(from, hub);  // gather into the hub
+    for (Reg to = 0; to < program_.registers.size(); ++to)
+      shuffle(hub, to);  // redistribute
+    patch_jump(emit_jump(kPatch), 0);  // restart: IP := 1 (index 0)
+  }
+
+  // -- fixups ----------------------------------------------------------------------
+
+  void apply_fixups() {
+    Machine& machine = m();
+    const std::uint32_t length = next_ip();
+
+    // IP pointer: domain {0..L-1}, created last so ip id is stable.
+    std::vector<std::uint32_t> ip_domain(length);
+    for (std::uint32_t i = 0; i < length; ++i) ip_domain[i] = i;
+    machine.pointers[machine.ip].domain = std::move(ip_domain);
+    machine.pointers[machine.ip].initial = 0;
+
+    // Procedure pointer domains: the recorded return addresses.
+    for (ProcId proc = 0; proc < program_.procedures.size(); ++proc) {
+      Pointer& pointer = machine.pointers[out_.proc_pointer[proc]];
+      std::vector<std::uint32_t> domain = return_addresses_[proc];
+      if (domain.empty()) domain.push_back(1);  // uncalled: dummy address
+      std::sort(domain.begin(), domain.end());
+      domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+      pointer.domain = std::move(domain);
+      pointer.initial = pointer.domain.front();
+    }
+
+    // Call-site jumps to procedure entries.
+    for (const auto& [at, proc] : call_sites_)
+      patch_jump(at, out_.proc_entry[proc]);
+
+    // Restart statements jump to the shuffle helper.
+    for (std::uint32_t at : restart_jumps_) {
+      if (!out_.restart_helper_entry)
+        throw std::logic_error("lower: restart without helper");
+      patch_jump(at, *out_.restart_helper_entry);
+    }
+
+    // Materialise constant assignments over the (now final) source domains.
+    for (const auto& [at, value] : const_assigns_) {
+      Instr& instr = machine.instrs[at];
+      instr.mapping.clear();
+      for (std::uint32_t v : machine.pointers[instr.source].domain)
+        instr.mapping.emplace_back(v, value);
+    }
+    // Materialise identity assignments. Definition 6 requires f to be total
+    // on the *source* domain with image inside the *target* domain. The
+    // scratch pointer V_square is shared across swap components, so its
+    // domain can exceed a target V_x's; values outside the target's
+    // component are never present at runtime (V_square is always written
+    // from the same component immediately before), and are mapped to the
+    // target's default to keep f well-typed.
+    for (std::uint32_t at : identity_assigns_) {
+      Instr& instr = machine.instrs[at];
+      const Pointer& target = machine.pointers[instr.target];
+      instr.mapping.clear();
+      for (std::uint32_t v : machine.pointers[instr.source].domain)
+        instr.mapping.emplace_back(
+            v, target.in_domain(v) ? v : target.domain.front());
+    }
+  }
+
+  const Program& program_;
+  LoweredMachine out_;
+  bool needs_restart_helper_ = false;
+  ProcId current_proc_ = 0;
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> const_assigns_;
+  std::vector<std::uint32_t> identity_assigns_;
+  std::vector<std::pair<std::uint32_t, ProcId>> call_sites_;
+  std::vector<std::uint32_t> restart_jumps_;
+  std::unordered_map<ProcId, std::vector<std::uint32_t>> return_addresses_;
+};
+
+}  // namespace
+
+LoweredMachine lower_program(const Program& program) {
+  return Lowering(program).lower();
+}
+
+}  // namespace ppde::compile

@@ -1,0 +1,48 @@
+// Lowering population programs to population machines (paper Section 7.2 /
+// Appendix B.2, Proposition 14).
+//
+// The translation is the paper's, construct by construct:
+//   * while / if: evaluate the condition into CF (detects write CF directly,
+//     boolean operators become short-circuit control flow), then a
+//     conditional jump IP := f(CF) — Figure 5,
+//   * procedure calls: a return pointer P per procedure whose domain holds
+//     exactly the return addresses of its call sites; calling sets P and
+//     jumps, returning stores the value in CF and jumps to IP := f(P) —
+//     Figure 6,
+//   * swap x, y: rotate the register map through the scratch pointer:
+//     V_□ := V_x; V_x := V_y; V_y := V_□ — Figure 3. Register-map domains
+//     are the swap-closure components, so sum |F_{V_x}| equals the
+//     program's swap-size,
+//   * restart: replaced by a call to a synthesized shuffle helper that
+//     nondeterministically redistributes all agents through a hub register
+//     and then jumps to instruction 1 — Figure 7,
+//   * prologue: instruction 1 calls Main; a self-loop follows in case Main
+//     returns — Appendix B.2.
+//
+// The resulting machine size is O(program size) (Proposition 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "progmodel/ast.hpp"
+
+namespace ppde::compile {
+
+struct LoweredMachine {
+  machine::Machine machine;
+
+  /// Entry instruction (0-based) of each source procedure.
+  std::vector<std::uint32_t> proc_entry;
+  /// Return pointer of each source procedure.
+  std::vector<machine::PtrId> proc_pointer;
+  /// Entry of the synthesized restart helper, if the program restarts.
+  std::optional<std::uint32_t> restart_helper_entry;
+};
+
+/// Lower a validated population program. Throws std::logic_error on
+/// malformed input (via Program::validate).
+LoweredMachine lower_program(const progmodel::Program& program);
+
+}  // namespace ppde::compile

@@ -1,0 +1,117 @@
+#include "czerner/classify.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ppde::czerner {
+
+namespace {
+
+void check(const Construction& c, const RegValues& regs) {
+  if (regs.size() != c.num_registers())
+    throw std::invalid_argument("classify: wrong number of registers");
+}
+
+}  // namespace
+
+bool is_i_proper(const Construction& c, const RegValues& regs, int i) {
+  check(c, regs);
+  for (int j = 1; j <= i; ++j) {
+    const std::uint64_t nj = Construction::level_constant_u64(j);
+    if (regs[c.x(j)] != 0 || regs[c.y(j)] != 0) return false;
+    if (regs[c.xb(j)] != nj || regs[c.yb(j)] != nj) return false;
+  }
+  return true;
+}
+
+bool is_weakly_i_proper(const Construction& c, const RegValues& regs, int i) {
+  check(c, regs);
+  if (!is_i_proper(c, regs, i - 1)) return false;
+  const std::uint64_t ni = Construction::level_constant_u64(i);
+  return regs[c.x(i)] + regs[c.xb(i)] == ni &&
+         regs[c.y(i)] + regs[c.yb(i)] == ni;
+}
+
+bool is_i_low(const Construction& c, const RegValues& regs, int i) {
+  check(c, regs);
+  if (!is_i_proper(c, regs, i - 1) || is_i_proper(c, regs, i)) return false;
+  const std::uint64_t ni = Construction::level_constant_u64(i);
+  return regs[c.x(i)] == 0 && regs[c.xb(i)] <= ni && regs[c.y(i)] == 0 &&
+         regs[c.yb(i)] <= ni;
+}
+
+bool is_i_high(const Construction& c, const RegValues& regs, int i) {
+  check(c, regs);
+  if (!is_i_proper(c, regs, i - 1) || is_i_proper(c, regs, i)) return false;
+  const std::uint64_t ni = Construction::level_constant_u64(i);
+  return regs[c.x(i)] + regs[c.xb(i)] >= ni &&
+         regs[c.y(i)] + regs[c.yb(i)] >= ni;
+}
+
+bool is_i_empty(const Construction& c, const RegValues& regs, int i) {
+  check(c, regs);
+  for (int j = i; j <= c.n; ++j)
+    if (regs[c.x(j)] != 0 || regs[c.xb(j)] != 0 || regs[c.y(j)] != 0 ||
+        regs[c.yb(j)] != 0)
+      return false;
+  return i <= c.n + 1 ? regs[c.R()] == 0 : true;
+}
+
+std::vector<std::string> classify(const Construction& c,
+                                  const RegValues& regs) {
+  std::vector<std::string> labels;
+  for (int i = 1; i <= c.n; ++i) {
+    const std::string level = std::to_string(i);
+    if (is_i_proper(c, regs, i)) labels.push_back(level + "-proper");
+    if (is_weakly_i_proper(c, regs, i))
+      labels.push_back("weakly " + level + "-proper");
+    if (is_i_low(c, regs, i)) labels.push_back(level + "-low");
+    if (is_i_high(c, regs, i)) labels.push_back(level + "-high");
+  }
+  for (int i = 1; i <= c.n + 1; ++i)
+    if (is_i_empty(c, regs, i))
+      labels.push_back(std::to_string(i) + "-empty");
+  return labels;
+}
+
+RegValues proper_config(const Construction& c, std::uint64_t extra_in_r) {
+  RegValues regs(c.num_registers(), 0);
+  for (int i = 1; i <= c.n; ++i) {
+    const std::uint64_t ni = Construction::level_constant_u64(i);
+    regs[c.xb(i)] = ni;
+    regs[c.yb(i)] = ni;
+  }
+  regs[c.R()] = extra_in_r;
+  return regs;
+}
+
+RegValues good_config(const Construction& c, std::uint64_t m) {
+  const std::uint64_t k = Construction::threshold_u64(c.n);
+  if (m >= k) return proper_config(c, m - k);
+
+  // Maximal j with 2 * sum_{i<j} N_i <= m; fill levels < j properly and
+  // spread the remainder over ~x_j, ~y_j (each gets at most N_j, so the
+  // result is j-low and (j+1)-empty).
+  RegValues regs(c.num_registers(), 0);
+  std::uint64_t used = 0;
+  int j = 1;
+  while (j < c.n) {
+    const std::uint64_t nj = Construction::level_constant_u64(j);
+    if (used + 2 * nj > m) break;
+    regs[c.xb(j)] = nj;
+    regs[c.yb(j)] = nj;
+    used += 2 * nj;
+    ++j;
+  }
+  const std::uint64_t rest = m - used;
+  const std::uint64_t nj = Construction::level_constant_u64(j);
+  regs[c.xb(j)] = std::min(rest, nj);
+  regs[c.yb(j)] = rest - regs[c.xb(j)];
+  return regs;
+}
+
+std::uint64_t total_agents(const RegValues& regs) {
+  return std::accumulate(regs.begin(), regs.end(), std::uint64_t{0});
+}
+
+}  // namespace ppde::czerner

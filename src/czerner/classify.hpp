@@ -1,0 +1,48 @@
+// Configuration types of the construction (paper Figure 2 / Appendix A).
+//
+// For C ∈ N^Q and i ∈ {1..n}:
+//   i-proper:        C(x_j) = C(y_j) = 0 and C(~x_j) = C(~y_j) = N_j for j <= i
+//   weakly i-proper: (i-1)-proper and C(x) + C(~x) = N_i for x ∈ {x_i, y_i}
+//   i-low:  (i-1)-proper, not i-proper, C(x) = 0 and C(~x) <= N_i for both x
+//   i-high: (i-1)-proper, not i-proper, C(x) + C(~x) >= N_i for both x
+//   i-empty: C(z) = 0 for all z of level >= i
+//
+// These drive the lemma tests (post-set checks per configuration type), the
+// Figure-2 bench, and the good-configuration builders used by Theorem 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "czerner/construction.hpp"
+
+namespace ppde::czerner {
+
+using RegValues = std::vector<std::uint64_t>;
+
+/// All classifications below require n <= 6 (constants must fit u64).
+
+bool is_i_proper(const Construction& c, const RegValues& regs, int i);
+bool is_weakly_i_proper(const Construction& c, const RegValues& regs, int i);
+bool is_i_low(const Construction& c, const RegValues& regs, int i);
+bool is_i_high(const Construction& c, const RegValues& regs, int i);
+bool is_i_empty(const Construction& c, const RegValues& regs, int i);
+
+/// Full classification for reporting: returns labels like "2-proper",
+/// "1-low", "3-high", "4-empty" that apply to `regs`.
+std::vector<std::string> classify(const Construction& c, const RegValues& regs);
+
+/// The canonical n-proper configuration with `extra` agents in R.
+RegValues proper_config(const Construction& c, std::uint64_t extra_in_r);
+
+/// The "good" configuration C_m from the proof of Theorem 3: n-proper with
+/// surplus in R if m >= k; otherwise j-low and (j+1)-empty for the maximal
+/// j with 2 * sum_{i<j} N_i <= m. Total of the result is exactly m.
+RegValues good_config(const Construction& c, std::uint64_t m);
+
+/// Sum of all registers.
+std::uint64_t total_agents(const RegValues& regs);
+
+}  // namespace ppde::czerner

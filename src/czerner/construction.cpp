@@ -1,0 +1,291 @@
+#include "czerner/construction.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "progmodel/builder.hpp"
+
+namespace ppde::czerner {
+
+using progmodel::BlockBuilder;
+using progmodel::ProcRef;
+using progmodel::ProgramBuilder;
+using progmodel::Reg;
+
+namespace {
+
+/// Generates the construction's procedures on demand (memoised by name), so
+/// exactly the instantiations reachable from Main exist — a constant number
+/// per level, keeping the program size Theta(n).
+class Generator {
+ public:
+  Generator(int n, bool equality) : n_(n), equality_(equality) {
+    if (n < 1) throw std::invalid_argument("construction: n must be >= 1");
+    for (int i = 1; i <= n; ++i) {
+      const std::string level = std::to_string(i);
+      regs_.push_back(builder_.reg("x" + level));
+      regs_.push_back(builder_.reg("~x" + level));
+      regs_.push_back(builder_.reg("y" + level));
+      regs_.push_back(builder_.reg("~y" + level));
+    }
+    regs_.push_back(builder_.reg("R"));
+  }
+
+  progmodel::Program generate() && {
+    const ProcRef main = main_proc();
+    return std::move(builder_).build(main);
+  }
+
+ private:
+  Reg x(int i) const { return regs_[4 * (i - 1) + 0]; }
+  Reg xb(int i) const { return regs_[4 * (i - 1) + 1]; }
+  Reg y(int i) const { return regs_[4 * (i - 1) + 2]; }
+  Reg yb(int i) const { return regs_[4 * (i - 1) + 3]; }
+  Reg R() const { return regs_[4 * n_]; }
+
+  Reg bar(Reg reg) const {
+    return (reg % 2 == 0) ? reg + 1 : reg - 1;  // x<->~x, y<->~y pairing
+  }
+  int level_of(Reg reg) const { return static_cast<int>(reg / 4) + 1; }
+
+  /// Memoised declare-then-define, tolerant of recursive instantiation
+  /// requests (the call graph is acyclic, but generation interleaves).
+  ProcRef memoised(const std::string& name, bool returns_value,
+                   const std::function<void(BlockBuilder&)>& body) {
+    auto it = procs_.find(name);
+    if (it != procs_.end()) return it->second;
+    const ProcRef ref = builder_.declare_proc(name, returns_value);
+    procs_.emplace(name, ref);
+    builder_.define(ref, body);
+    return ref;
+  }
+
+  std::string name_of(Reg reg) const {
+    static const char* kSuffix[4] = {"x", "~x", "y", "~y"};
+    if (reg == regs_[4 * n_]) return "R";
+    const int i = static_cast<int>(reg / 4) + 1;
+    return std::string(kSuffix[reg % 4]) + std::to_string(i);
+  }
+
+  // -- AssertEmpty(i): restart unless levels i..n+1 are empty ---------------
+  ProcRef assert_empty(int i) {
+    const std::string name = "AssertEmpty(" + std::to_string(i) + ")";
+    return memoised(name, /*returns_value=*/false, [this, i](BlockBuilder& s) {
+      if (i == n_ + 1) {
+        s.if_(s.detect(R()), [](BlockBuilder& t) { t.restart(); });
+        return;
+      }
+      s.call(assert_empty(i + 1));
+      for (Reg reg : {x(i), xb(i), y(i), yb(i)})
+        s.if_(s.detect(reg), [](BlockBuilder& t) { t.restart(); });
+    });
+  }
+
+  // -- AssertProper(i): restart unless 1..i proper or i-low ----------------
+  // AssertProper(0) has no effect and is omitted at call sites.
+  ProcRef assert_proper(int i) {
+    const std::string name = "AssertProper(" + std::to_string(i) + ")";
+    return memoised(name, /*returns_value=*/false, [this, i](BlockBuilder& s) {
+      if (i >= 2) s.call(assert_proper(i - 1));
+      for (Reg reg : {x(i), y(i)}) {
+        s.if_(s.detect(reg), [](BlockBuilder& t) { t.restart(); });
+        s.call(large(bar(reg)));  // swaps any surplus of ~reg into reg
+        s.if_(s.detect(reg), [](BlockBuilder& t) { t.restart(); });
+      }
+    });
+  }
+
+  // -- Zero(x): deterministic zero-check (needs weak i-properness) ----------
+  ProcRef zero(Reg reg) {
+    const std::string name = "Zero(" + name_of(reg) + ")";
+    const int i = level_of(reg);
+    return memoised(name, /*returns_value=*/true,
+                    [this, reg, i](BlockBuilder& s) {
+      s.while_(s.constant(true), [&](BlockBuilder& loop) {
+        if (i >= 2) loop.call(assert_proper(i - 1));
+        loop.if_(loop.detect(reg),
+                 [](BlockBuilder& t) { t.return_(false); });
+        loop.if_(loop.call_cond(large(bar(reg))),
+                 [](BlockBuilder& t) { t.return_(true); });
+      });
+    });
+  }
+
+  // -- IncrPair(x, y): ctr_{x,y} += 1 (mod N_{i+1}) --------------------------
+  ProcRef incr_pair(Reg reg_x, Reg reg_y) {
+    const std::string name =
+        "IncrPair(" + name_of(reg_x) + "," + name_of(reg_y) + ")";
+    return memoised(name, /*returns_value=*/false,
+                    [this, reg_x, reg_y](BlockBuilder& s) {
+      const Reg bx = bar(reg_x);
+      const Reg by = bar(reg_y);
+      // Increment the low digit y; on overflow wrap it and carry into x.
+      s.if_(
+          s.call_cond(zero(by)),
+          [&](BlockBuilder& t) {
+            t.swap(reg_y, by);  // y was N_i: wrap to 0
+            t.if_(
+                t.call_cond(zero(bx)),
+                [&](BlockBuilder& u) { u.swap(reg_x, bx); },  // carry wraps
+                [&](BlockBuilder& u) { u.move(bx, reg_x); }); // carry
+          },
+          [&](BlockBuilder& t) { t.move(by, reg_y); });  // y += 1
+    });
+  }
+
+  // -- Large(x): nondeterministically certify x >= N_i ----------------------
+  ProcRef large(Reg reg) {
+    const std::string name = "Large(" + name_of(reg) + ")";
+    const int i = level_of(reg);
+    return memoised(name, /*returns_value=*/true,
+                    [this, reg, i](BlockBuilder& s) {
+      const Reg rb = bar(reg);
+      if (i == 1) {
+        // N_1 = 1: x >= 1 is a plain detect; the move+swap realises the
+        // specified effect x' = ~x + N_1, ~x' = x - N_1.
+        s.if_(
+            s.detect(reg),
+            [&](BlockBuilder& t) {
+              t.move(reg, rb);
+              t.swap(reg, rb);
+              t.return_(true);
+            },
+            [&](BlockBuilder& t) { t.return_(false); });
+        return;
+      }
+      // Level-(i-1) registers must simulate a zeroed counter.
+      s.if_(s.or_(s.not_(s.call_cond(zero(x(i - 1)))),
+                  s.not_(s.call_cond(zero(y(i - 1))))),
+            [](BlockBuilder& t) { t.restart(); });
+      s.while_(s.constant(true), [&](BlockBuilder& loop) {
+        if (i >= 3) loop.call(assert_proper(i - 2));
+        loop.if_(
+            loop.detect(reg),
+            [&](BlockBuilder& t) {
+              // Walk up: move a unit and increment the counter.
+              t.move(reg, rb);
+              t.call(incr_pair(x(i - 1), y(i - 1)));
+              t.if_(t.and_(t.call_cond(zero(x(i - 1))),
+                           t.call_cond(zero(y(i - 1)))),
+                    [&](BlockBuilder& u) {
+                      // Counter overflowed: N_i units moved. Success.
+                      u.swap(reg, rb);
+                      u.return_(true);
+                    });
+            },
+            [&](BlockBuilder& t) {
+              t.if_(t.and_(t.call_cond(zero(x(i - 1))),
+                           t.call_cond(zero(y(i - 1)))),
+                    [&](BlockBuilder& u) { u.return_(false); });
+              t.if_(t.detect(rb), [&](BlockBuilder& u) {
+                // Walk down: undo one step.
+                u.move(rb, reg);
+                u.call(incr_pair(xb(i - 1), yb(i - 1)));
+              });
+            });
+      });
+    });
+  }
+
+  // -- Main ------------------------------------------------------------------
+  ProcRef main_proc() {
+    return memoised("Main", /*returns_value=*/false, [this](BlockBuilder& s) {
+      s.set_of(false);
+      for (int i = 1; i <= n_; ++i) {
+        s.while_(s.or_(s.not_(s.call_cond(large(xb(i)))),
+                       s.not_(s.call_cond(large(yb(i))))),
+                 [&](BlockBuilder& loop) {
+                   loop.call(assert_proper(i));
+                   loop.call(assert_empty(i + 1));
+                 });
+      }
+      s.set_of(true);
+      s.while_(s.constant(true), [&](BlockBuilder& loop) {
+        loop.call(assert_proper(n_));
+        if (equality_) {
+          // Equality variant: a surplus agent in R proves m > k. Once
+          // detected the output flips to false for good — R is never
+          // touched between restarts, so on the m = k good configuration
+          // the branch can never fire.
+          loop.if_(loop.detect(R()),
+                   [](BlockBuilder& t) { t.set_of(false); });
+        }
+      });
+    });
+  }
+
+  int n_;
+  bool equality_;
+  ProgramBuilder builder_;
+  std::vector<Reg> regs_;
+  std::map<std::string, ProcRef> procs_;
+};
+
+}  // namespace
+
+Construction build_construction(int n) {
+  Construction result;
+  result.n = n;
+  result.program = Generator(n, /*equality=*/false).generate();
+  return result;
+}
+
+Construction build_equality_construction(int n) {
+  Construction result;
+  result.n = n;
+  result.program = Generator(n, /*equality=*/true).generate();
+  return result;
+}
+
+progmodel::Reg Construction::reg_index(int i, int offset) const {
+  if (i < 1 || i > n) throw std::out_of_range("construction: bad level");
+  return static_cast<progmodel::Reg>(4 * (i - 1) + offset);
+}
+
+progmodel::Reg Construction::bar(progmodel::Reg reg) const {
+  if (reg >= 4 * static_cast<progmodel::Reg>(n))
+    throw std::out_of_range("construction: R has no bar");
+  return (reg % 2 == 0) ? reg + 1 : reg - 1;
+}
+
+int Construction::level(progmodel::Reg reg) const {
+  if (reg == R()) return n + 1;
+  return static_cast<int>(reg / 4) + 1;
+}
+
+progmodel::ProcId Construction::proc(const std::string& name) const {
+  for (progmodel::ProcId id = 0; id < program.procedures.size(); ++id)
+    if (program.procedures[id].name == name) return id;
+  throw std::out_of_range("construction: no procedure named " + name);
+}
+
+bignum::Nat Construction::level_constant(int i) {
+  if (i < 1) throw std::invalid_argument("level_constant: i must be >= 1");
+  bignum::Nat value{1};  // N_1
+  for (int j = 1; j < i; ++j) {
+    const bignum::Nat step = value + bignum::Nat{1};
+    value = step * step;  // N_{j+1} = (N_j + 1)^2
+  }
+  return value;
+}
+
+bignum::Nat Construction::threshold(int n) {
+  bignum::Nat sum;
+  bignum::Nat value{1};
+  for (int i = 1; i <= n; ++i) {
+    sum += value;
+    const bignum::Nat step = value + bignum::Nat{1};
+    value = step * step;
+  }
+  return sum + sum;  // k = 2 * sum N_i
+}
+
+std::uint64_t Construction::level_constant_u64(int i) {
+  return level_constant(i).to_u64();
+}
+
+std::uint64_t Construction::threshold_u64(int n) {
+  return threshold(n).to_u64();
+}
+
+}  // namespace ppde::czerner

@@ -1,0 +1,81 @@
+// The succinct population program of Section 6.
+//
+// For a level count n >= 1 the construction uses registers
+//   Q = Q_1 ∪ ... ∪ Q_n ∪ {R},  Q_i = {x_i, ~x_i, y_i, ~y_i},
+// and per-level constants N_1 = 1, N_{i+1} = (N_i + 1)^2. The intended
+// invariant is x_i + ~x_i = y_i + ~y_i = N_i; a pair (x, ~x) satisfying it
+// simulates an N_i-bounded register with a deterministic zero-check
+// (Lipton's trick: x = 0 iff ~x >= N_i, and the latter is certifiable).
+//
+// Procedures (paper Section 6):
+//   Main             — decides phi(m) <=> m >= k with k = 2 * sum_i N_i,
+//   AssertEmpty(i)   — restart unless levels i..n+1 are all empty,
+//   AssertProper(i)  — restart unless levels 1..i are proper or i-low,
+//   Zero(x)          — deterministic zero-check of a level-i register,
+//   IncrPair(x, y)   — increment the simulated two-digit base-(N_i + 1)
+//                      counter ctr = x * (N_i+1) + y (mod N_{i+1}),
+//   Large(x)         — nondeterministically certify x >= N_i via a random
+//                      walk on the level-(i-1) counter.
+//
+// Only the instantiations actually reachable from Main are generated, so
+// the program size is Theta(n) (Theorem 3: size O(n), k >= 2^(2^(n-1))).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/nat.hpp"
+#include "progmodel/ast.hpp"
+
+namespace ppde::czerner {
+
+/// The construction's registers and program for a given n.
+struct Construction {
+  int n = 1;
+  progmodel::Program program;
+
+  // -- register handles (levels are 1-based, as in the paper) --------------
+  progmodel::Reg x(int i) const { return reg_index(i, 0); }
+  progmodel::Reg xb(int i) const { return reg_index(i, 1); }  ///< ~x_i
+  progmodel::Reg y(int i) const { return reg_index(i, 2); }
+  progmodel::Reg yb(int i) const { return reg_index(i, 3); }  ///< ~y_i
+  progmodel::Reg R() const { return static_cast<progmodel::Reg>(4 * n); }
+  std::size_t num_registers() const { return 4 * n + 1; }
+
+  /// The register paired with `reg` by the bar involution (x <-> ~x).
+  progmodel::Reg bar(progmodel::Reg reg) const;
+
+  /// Level of a register: 1..n for Q_i members, n+1 for R.
+  int level(progmodel::Reg reg) const;
+
+  /// Look up a generated procedure by display name, e.g. "Zero(~x2)",
+  /// "Large(~y1)", "AssertProper(2)", "Main". Throws if not generated.
+  progmodel::ProcId proc(const std::string& name) const;
+
+  // -- constants ------------------------------------------------------------
+  /// N_i (exact).
+  static bignum::Nat level_constant(int i);
+  /// k(n) = 2 * sum_{i=1..n} N_i — the threshold Main decides (exact).
+  static bignum::Nat threshold(int n);
+  /// Convenience u64 variants; throw std::overflow_error if too large
+  /// (N_i fits u64 up to i = 6).
+  static std::uint64_t level_constant_u64(int i);
+  static std::uint64_t threshold_u64(int n);
+
+ private:
+  progmodel::Reg reg_index(int i, int offset) const;
+};
+
+/// Build the construction for n >= 1 levels.
+Construction build_construction(int n);
+
+/// The equality variant mentioned in the paper's conclusion: the same
+/// machinery decides phi(x) <=> x = k with O(n) states. Main additionally
+/// watches the surplus register R after reaching the accepting loop: any
+/// agent in R proves m > k and flips the output to false (for m > k the
+/// good configuration is n-proper with the surplus in R; detecting R is
+/// then guaranteed by fairness, while for m = k it is impossible).
+Construction build_equality_construction(int n);
+
+}  // namespace ppde::czerner

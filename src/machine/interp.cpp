@@ -1,0 +1,260 @@
+#include "machine/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/scc.hpp"
+
+namespace ppde::machine {
+
+MachineState initial_state(const Machine& machine,
+                           std::vector<std::uint64_t> regs) {
+  if (regs.size() != machine.num_registers())
+    throw std::invalid_argument("initial_state: wrong register count");
+  MachineState state;
+  state.regs = std::move(regs);
+  state.ptrs.reserve(machine.num_pointers());
+  for (const Pointer& pointer : machine.pointers)
+    state.ptrs.push_back(pointer.initial);
+  return state;
+}
+
+MachineRunner::MachineRunner(const Machine& machine, MachineState state,
+                             std::uint64_t seed)
+    : machine_(machine), state_(std::move(state)), rng_(seed) {
+  if (state_.regs.size() != machine.num_registers() ||
+      state_.ptrs.size() != machine.num_pointers())
+    throw std::invalid_argument("MachineRunner: malformed state");
+}
+
+MachineRunner::StepStatus MachineRunner::step() {
+  const std::uint32_t ip = state_.ptrs[machine_.ip];
+  const Instr& instr = machine_.instrs[ip];
+  const bool last = ip + 1 == machine_.num_instructions();
+
+  switch (instr.kind) {
+    case Instr::Kind::kMove: {
+      const RegId src = state_.ptrs[machine_.v_reg[instr.x]];
+      const RegId dst = state_.ptrs[machine_.v_reg[instr.y]];
+      if (state_.regs[src] == 0 || last) return StepStatus::kHung;
+      --state_.regs[src];
+      ++state_.regs[dst];
+      ++state_.ptrs[machine_.ip];
+      break;
+    }
+    case Instr::Kind::kDetect: {
+      if (last) return StepStatus::kHung;
+      const RegId src = state_.ptrs[machine_.v_reg[instr.x]];
+      state_.ptrs[machine_.cf] =
+          (state_.regs[src] > 0 && rng_.coin()) ? 1 : 0;
+      ++state_.ptrs[machine_.ip];
+      break;
+    }
+    case Instr::Kind::kAssign: {
+      const auto mapped = instr.map(state_.ptrs[instr.source]);
+      if (!mapped)
+        throw std::logic_error("MachineRunner: assign map not covering");
+      if (instr.target == machine_.ip) {
+        state_.ptrs[machine_.ip] = *mapped;
+      } else {
+        if (last) return StepStatus::kHung;
+        state_.ptrs[instr.target] = *mapped;
+        ++state_.ptrs[machine_.ip];
+      }
+      break;
+    }
+  }
+  return StepStatus::kOk;
+}
+
+MachineRunResult MachineRunner::run(const MachineRunOptions& options) {
+  MachineRunResult result;
+  bool held_of = output_flag();
+  std::uint64_t held_since = 0;
+  for (std::uint64_t steps = 0; steps < options.max_steps; ++steps) {
+    if (step() == StepStatus::kHung) {
+      result.hung = true;
+      result.stabilised = true;
+      result.output = output_flag();
+      result.steps = steps;
+      return result;
+    }
+    if (output_flag() != held_of) {
+      held_of = output_flag();
+      held_since = steps;
+    }
+    if (steps - held_since >= options.stable_window) {
+      result.stabilised = true;
+      result.output = held_of;
+      result.steps = steps;
+      return result;
+    }
+  }
+  result.steps = options.max_steps;
+  return result;
+}
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+// Node encoding: [regs..., ptrs...] as u64s.
+struct VecHash {
+  u64 operator()(const std::vector<u64>& v) const {
+    return support::hash_range(v);
+  }
+};
+
+}  // namespace
+
+MachineDecision decide_machine(const Machine& machine,
+                               const std::vector<std::uint64_t>& initial_regs,
+                               const MachineExploreLimits& limits) {
+  const std::size_t regs_n = machine.num_registers();
+  const std::size_t ptrs_n = machine.num_pointers();
+  const MachineState start = initial_state(machine, initial_regs);
+
+  std::unordered_map<std::vector<u64>, u32, VecHash> ids;
+  std::vector<const std::vector<u64>*> nodes;
+  std::vector<std::vector<u32>> successors;
+
+  auto encode = [&](const MachineState& state) {
+    std::vector<u64> node;
+    node.reserve(regs_n + ptrs_n);
+    node.insert(node.end(), state.regs.begin(), state.regs.end());
+    for (u32 p : state.ptrs) node.push_back(p);
+    return node;
+  };
+  auto intern = [&](std::vector<u64> node) {
+    auto [it, inserted] =
+        ids.try_emplace(std::move(node), static_cast<u32>(nodes.size()));
+    if (inserted) {
+      nodes.push_back(&it->first);
+      successors.emplace_back();
+    }
+    return it->second;
+  };
+
+  intern(encode(start));
+
+  MachineDecision result;
+  for (u32 id = 0; id < nodes.size(); ++id) {
+    if (nodes.size() > limits.max_nodes) {
+      result.verdict = MachineDecision::Verdict::kLimit;
+      result.explored_nodes = nodes.size();
+      return result;
+    }
+    // Decode (copy: intern may rehash).
+    const std::vector<u64> node = *nodes[id];
+    auto reg_of = [&](RegId r) { return node[r]; };
+    auto ptr_of = [&](PtrId p) { return static_cast<u32>(node[regs_n + p]); };
+
+    const u32 ip = ptr_of(machine.ip);
+    const Instr& instr = machine.instrs[ip];
+    const bool last = ip + 1 == machine.num_instructions();
+
+    // NB: intern() may reallocate `successors`; never hold a reference to
+    // successors[id] across it. Collect locally, then assign.
+    std::vector<u32> succs;
+    auto push_succ = [&](std::vector<u64> next) {
+      succs.push_back(intern(std::move(next)));
+    };
+    auto hang = [&] { succs.push_back(id); };
+
+    switch (instr.kind) {
+      case Instr::Kind::kMove: {
+        const RegId src = ptr_of(machine.v_reg[instr.x]);
+        const RegId dst = ptr_of(machine.v_reg[instr.y]);
+        if (reg_of(src) == 0 || last) {
+          hang();
+          break;
+        }
+        std::vector<u64> next = node;
+        --next[src];
+        ++next[dst];
+        ++next[regs_n + machine.ip];
+        push_succ(std::move(next));
+        break;
+      }
+      case Instr::Kind::kDetect: {
+        if (last) {
+          hang();
+          break;
+        }
+        const RegId src = ptr_of(machine.v_reg[instr.x]);
+        {
+          std::vector<u64> next = node;
+          next[regs_n + machine.cf] = 0;
+          ++next[regs_n + machine.ip];
+          push_succ(std::move(next));
+        }
+        if (reg_of(src) > 0) {
+          std::vector<u64> next = node;
+          next[regs_n + machine.cf] = 1;
+          ++next[regs_n + machine.ip];
+          push_succ(std::move(next));
+        }
+        break;
+      }
+      case Instr::Kind::kAssign: {
+        const auto mapped = instr.map(ptr_of(instr.source));
+        if (!mapped)
+          throw std::logic_error("decide_machine: assign map not covering");
+        if (instr.target == machine.ip) {
+          std::vector<u64> next = node;
+          next[regs_n + machine.ip] = *mapped;
+          push_succ(std::move(next));
+        } else if (last) {
+          hang();
+        } else {
+          std::vector<u64> next = node;
+          next[regs_n + instr.target] = *mapped;
+          ++next[regs_n + machine.ip];
+          push_succ(std::move(next));
+        }
+        break;
+      }
+    }
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    successors[id] = std::move(succs);
+  }
+
+  const support::SccResult scc = support::tarjan_scc(successors);
+  const std::vector<std::uint8_t> is_bottom = scc.bottom(successors);
+  std::vector<std::uint8_t> saw_true(scc.scc_count, 0);
+  std::vector<std::uint8_t> saw_false(scc.scc_count, 0);
+  for (u32 id = 0; id < nodes.size(); ++id) {
+    const u32 component = scc.scc_of[id];
+    if (!is_bottom[component]) continue;
+    const bool of = (*nodes[id])[regs_n + machine.of] != 0;
+    (of ? saw_true : saw_false)[component] = 1;
+  }
+  bool any_true = false, any_false = false, any_mixed = false;
+  for (u32 component = 0; component < scc.scc_count; ++component) {
+    if (!is_bottom[component]) continue;
+    const bool t = saw_true[component];
+    const bool f = saw_false[component];
+    if (t && f)
+      any_mixed = true;
+    else if (t)
+      any_true = true;
+    else if (f)
+      any_false = true;
+  }
+
+  result.explored_nodes = nodes.size();
+  using Verdict = MachineDecision::Verdict;
+  if (any_mixed || (any_true && any_false))
+    result.verdict = Verdict::kDoesNotStabilise;
+  else if (any_true)
+    result.verdict = Verdict::kStabilisesTrue;
+  else
+    result.verdict = Verdict::kStabilisesFalse;
+  return result;
+}
+
+}  // namespace ppde::machine

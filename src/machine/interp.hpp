@@ -1,0 +1,91 @@
+// Execution of population machines: a randomized runner (fair with
+// probability 1) and an exhaustive bottom-SCC decision procedure mirroring
+// Definition 13 exactly.
+//
+// Note the machine needs no special restart handling: restarts were
+// compiled into the Figure-7 shuffle helper plus IP := 1, so the explorer
+// reaches every post-restart configuration through ordinary detect
+// branching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::machine {
+
+/// Full machine configuration (Definition 13): register values + pointer
+/// values (raw).
+struct MachineState {
+  std::vector<std::uint64_t> regs;
+  std::vector<std::uint32_t> ptrs;
+};
+
+/// The initial configuration: IP = first instruction, V_x = x, all other
+/// pointers at their declared initial values; registers as given.
+MachineState initial_state(const Machine& machine,
+                           std::vector<std::uint64_t> regs);
+
+struct MachineRunOptions {
+  std::uint64_t max_steps = 50'000'000;
+  std::uint64_t stable_window = 1'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct MachineRunResult {
+  bool stabilised = false;
+  bool output = false;
+  bool hung = false;
+  std::uint64_t steps = 0;
+};
+
+class MachineRunner {
+ public:
+  MachineRunner(const Machine& machine, MachineState state,
+                std::uint64_t seed = 1);
+
+  enum class StepStatus { kOk, kHung };
+  StepStatus step();
+
+  MachineRunResult run(const MachineRunOptions& options);
+
+  const MachineState& state() const { return state_; }
+  bool output_flag() const { return state_.ptrs[machine_.of] != 0; }
+
+ private:
+  const Machine& machine_;
+  MachineState state_;
+  support::Rng rng_;
+};
+
+/// Exhaustive decision: every fair run from the initial configuration with
+/// the given register values stabilises to b iff every reachable bottom SCC
+/// is OF-constant with value b.
+struct MachineDecision {
+  enum class Verdict {
+    kStabilisesTrue,
+    kStabilisesFalse,
+    kDoesNotStabilise,
+    kLimit,
+  };
+  Verdict verdict = Verdict::kLimit;
+  std::uint64_t explored_nodes = 0;
+
+  bool stabilises() const {
+    return verdict == Verdict::kStabilisesTrue ||
+           verdict == Verdict::kStabilisesFalse;
+  }
+  bool output() const { return verdict == Verdict::kStabilisesTrue; }
+};
+
+struct MachineExploreLimits {
+  std::uint64_t max_nodes = 2'000'000;
+};
+
+MachineDecision decide_machine(const Machine& machine,
+                               const std::vector<std::uint64_t>& initial_regs,
+                               const MachineExploreLimits& limits = {});
+
+}  // namespace ppde::machine

@@ -1,0 +1,129 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppde::machine {
+
+bool Pointer::in_domain(std::uint32_t value) const {
+  return std::find(domain.begin(), domain.end(), value) != domain.end();
+}
+
+std::optional<std::uint32_t> Instr::map(std::uint32_t value) const {
+  for (const auto& [from, to] : mapping)
+    if (from == value) return to;
+  return std::nullopt;
+}
+
+std::uint64_t Machine::size() const {
+  std::uint64_t domains = 0;
+  for (const Pointer& pointer : pointers) domains += pointer.domain.size();
+  return registers.size() + pointers.size() + domains + instrs.size();
+}
+
+void Machine::validate() const {
+  auto fail = [](const std::string& message) {
+    throw std::logic_error("Machine: " + message);
+  };
+
+  if (pointers.empty()) fail("no pointers");
+  for (PtrId special : {of, cf, ip, v_square})
+    if (special >= pointers.size()) fail("special pointer out of range");
+  if (v_reg.size() != registers.size()) fail("v_reg size mismatch");
+  for (PtrId v : v_reg)
+    if (v >= pointers.size()) fail("register-map pointer out of range");
+
+  // Definition 6 domain requirements.
+  const std::vector<std::uint32_t> boolean = {0, 1};
+  if (pointers[of].domain != boolean) fail("OF domain must be {false,true}");
+  if (pointers[cf].domain != boolean) fail("CF domain must be {false,true}");
+  if (pointers[ip].domain.size() != instrs.size())
+    fail("IP domain must be {1..L}");
+  for (std::uint32_t i = 0; i < instrs.size(); ++i)
+    if (pointers[ip].domain[i] != i) fail("IP domain must be {1..L}");
+  for (RegId x = 0; x < registers.size(); ++x) {
+    const Pointer& vx = pointers[v_reg[x]];
+    if (!vx.in_domain(x)) fail("x must be in the domain of V_x");
+    for (std::uint32_t value : vx.domain)
+      if (value >= registers.size()) fail("V_x domain must be within Q");
+    if (vx.initial != x) fail("V_x must initially point to x");
+  }
+  if (pointers[ip].initial != 0) fail("IP must initially be 1 (index 0)");
+
+  for (const Pointer& pointer : pointers) {
+    if (pointer.domain.empty()) fail("empty pointer domain");
+    if (!pointer.in_domain(pointer.initial))
+      fail("initial value outside domain for " + pointer.name);
+  }
+
+  for (const Instr& instr : instrs) {
+    switch (instr.kind) {
+      case Instr::Kind::kMove:
+        if (instr.x >= registers.size() || instr.y >= registers.size())
+          fail("move register out of range");
+        if (instr.x == instr.y) fail("move with x == y");
+        break;
+      case Instr::Kind::kDetect:
+        if (instr.x >= registers.size()) fail("detect register out of range");
+        break;
+      case Instr::Kind::kAssign: {
+        if (instr.target >= pointers.size() || instr.source >= pointers.size())
+          fail("assign pointer out of range");
+        const Pointer& target = pointers[instr.target];
+        const Pointer& source = pointers[instr.source];
+        for (std::uint32_t value : source.domain) {
+          const auto mapped = instr.map(value);
+          if (!mapped) fail("assign map does not cover source domain");
+          if (!target.in_domain(*mapped))
+            fail("assign map leaves target domain of " + target.name);
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::string Machine::to_string() const {
+  std::ostringstream os;
+  os << "registers:";
+  for (const std::string& name : registers) os << " " << name;
+  os << "\npointers:";
+  for (const Pointer& pointer : pointers)
+    os << " " << pointer.name << "[" << pointer.domain.size() << "]";
+  os << "\n";
+  for (std::uint32_t i = 0; i < instrs.size(); ++i) {
+    const Instr& instr = instrs[i];
+    os << "  " << (i + 1) << ": ";  // paper numbers instructions from 1
+    switch (instr.kind) {
+      case Instr::Kind::kMove:
+        os << registers[instr.x] << " -> " << registers[instr.y];
+        break;
+      case Instr::Kind::kDetect:
+        os << "detect " << registers[instr.x] << " > 0";
+        break;
+      case Instr::Kind::kAssign: {
+        os << pointers[instr.target].name << " := f("
+           << pointers[instr.source].name << ")  {";
+        // Address-valued pointers (IP, return pointers) display 1-based,
+        // like the instruction numbers on the left.
+        const std::uint32_t from_shift =
+            pointers[instr.source].holds_addresses ? 1 : 0;
+        const std::uint32_t to_shift =
+            pointers[instr.target].holds_addresses ? 1 : 0;
+        bool first = true;
+        for (const auto& [from, to] : instr.mapping) {
+          if (!first) os << ", ";
+          first = false;
+          os << (from + from_shift) << "->" << (to + to_shift);
+        }
+        os << "}";
+        break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppde::machine

@@ -1,0 +1,86 @@
+// Population machines (paper Section 7.1 / Definition 6).
+//
+// A population machine A = (Q, F, F_domains, I) is the assembly-like
+// intermediate form between population programs and population protocols:
+//   * registers Q with values in N (as in population programs),
+//   * pointers F, each with a finite domain; three are special: the output
+//     flag OF, the condition flag CF, and the instruction pointer IP; and
+//     for every register x there is a register-map pointer V_x (plus the
+//     scratch pointer V_square) used to implement swaps,
+//   * instructions I: (x -> y), (detect x > 0), and (X := f(Y)).
+//
+// Semantics (Definition 13): move and detect operate on the registers
+// *pointed to* by V_x / V_y; (X := f(Y)) assigns pointer X from pointer Y
+// through an explicit finite map f; non-jump instructions increment IP and
+// the machine hangs (no successor) when IP would leave the program or a
+// move's source register is empty.
+//
+// The size of A is |Q| + |F| + sum_X |F_X| + |I| — the quantity Theorem 5
+// preserves up to a constant factor when converting to protocols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppde::machine {
+
+using RegId = std::uint32_t;
+using PtrId = std::uint32_t;
+
+/// A pointer with its finite domain of raw values. Raw values are plain
+/// uint32: booleans 0/1 for OF/CF, instruction indices for IP and procedure
+/// return pointers, register ids for the register map.
+struct Pointer {
+  std::string name;
+  std::vector<std::uint32_t> domain;
+  std::uint32_t initial = 0;
+  /// Values are instruction indices (IP, procedure return pointers);
+  /// renderers display them 1-based like instruction numbers.
+  bool holds_addresses = false;
+
+  bool in_domain(std::uint32_t value) const;
+};
+
+struct Instr {
+  enum class Kind {
+    kMove,    ///< regs[*V_x] -> regs[*V_y]
+    kDetect,  ///< CF := nondet in {false, regs[*V_x] > 0}
+    kAssign,  ///< X := f(Y)
+  };
+  Kind kind = Kind::kMove;
+  RegId x = 0, y = 0;  ///< kMove: x -> y; kDetect: x
+  PtrId target = 0;    ///< kAssign: X
+  PtrId source = 0;    ///< kAssign: Y
+  /// kAssign: f as explicit (value of Y -> value of X) pairs. Must cover the
+  /// whole domain of Y.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mapping;
+
+  std::optional<std::uint32_t> map(std::uint32_t value) const;
+};
+
+struct Machine {
+  std::vector<std::string> registers;
+  std::vector<Pointer> pointers;
+  std::vector<Instr> instrs;
+
+  // Special pointers.
+  PtrId of = 0, cf = 0, ip = 0, v_square = 0;
+  std::vector<PtrId> v_reg;  ///< V_x per register x
+
+  std::size_t num_registers() const { return registers.size(); }
+  std::size_t num_pointers() const { return pointers.size(); }
+  std::size_t num_instructions() const { return instrs.size(); }
+
+  /// Definition 6 size: |Q| + |F| + sum |F_X| + |I|.
+  std::uint64_t size() const;
+
+  /// Structural validation per Definition 6; throws std::logic_error.
+  void validate() const;
+
+  /// Assembly listing for goldens and debugging.
+  std::string to_string() const;
+};
+
+}  // namespace ppde::machine

@@ -1,0 +1,60 @@
+#include "pp/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/hash.hpp"
+
+namespace ppde::pp {
+
+Config Config::single(std::size_t num_states, State q, std::uint32_t count) {
+  Config config(num_states);
+  config.add(q, count);
+  return config;
+}
+
+void Config::remove(State q, std::uint32_t count) {
+  if (counts_[q] < count)
+    throw std::underflow_error("Config: removing more agents than present");
+  counts_[q] -= count;
+  total_ -= count;
+}
+
+std::uint64_t Config::accepting_count(const Protocol& protocol) const {
+  std::uint64_t count = 0;
+  for (State q = 0; q < counts_.size(); ++q)
+    if (protocol.is_accepting(q)) count += counts_[q];
+  return count;
+}
+
+Config::Output Config::output(const Protocol& protocol) const {
+  const std::uint64_t accepting = accepting_count(protocol);
+  if (accepting == total_) return Output::kTrue;
+  if (accepting == 0) return Output::kFalse;
+  return Output::kUndefined;
+}
+
+void Config::apply(const Transition& t) {
+  remove(t.q);
+  remove(t.r);
+  add(t.q2);
+  add(t.r2);
+}
+
+std::uint64_t Config::hash() const { return support::hash_range(counts_); }
+
+std::string Config::to_string(const Protocol& protocol) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (State q = 0; q < counts_.size(); ++q) {
+    if (counts_[q] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << counts_[q] << "*" << protocol.name(q);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ppde::pp

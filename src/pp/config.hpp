@@ -1,0 +1,67 @@
+// Configurations: multisets of agents over the protocol's states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pp/protocol.hpp"
+
+namespace ppde::pp {
+
+/// A configuration C ∈ N^Q, stored densely. Counts are uint32 — the
+/// experiments never simulate more than 2^32 agents.
+class Config {
+ public:
+  Config() = default;
+  explicit Config(std::size_t num_states) : counts_(num_states, 0) {}
+
+  /// All `count` agents in a single state.
+  static Config single(std::size_t num_states, State q, std::uint32_t count);
+
+  std::size_t num_states() const { return counts_.size(); }
+
+  std::uint32_t operator[](State q) const { return counts_[q]; }
+
+  void add(State q, std::uint32_t count = 1) {
+    counts_[q] += count;
+    total_ += count;
+  }
+
+  void remove(State q, std::uint32_t count = 1);
+
+  /// Total number of agents |C|.
+  std::uint64_t total() const { return total_; }
+
+  /// Number of agents currently in accepting states of `protocol`.
+  std::uint64_t accepting_count(const Protocol& protocol) const;
+
+  /// Output per Section 3: true iff every agent is accepting, false iff no
+  /// agent is accepting, undefined otherwise.
+  enum class Output { kTrue, kFalse, kUndefined };
+  Output output(const Protocol& protocol) const;
+
+  /// Apply transition t (requires enough agents in t.q / t.r).
+  void apply(const Transition& t);
+
+  /// True if transition t is enabled (t.q==t.r needs two agents).
+  bool enabled(const Transition& t) const {
+    if (t.q == t.r) return counts_[t.q] >= 2;
+    return counts_[t.q] >= 1 && counts_[t.r] >= 1;
+  }
+
+  std::uint64_t hash() const;
+
+  friend bool operator==(const Config&, const Config&) = default;
+
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+
+  /// Render as {2*a, 1*b} using names from `protocol`; omits zero states.
+  std::string to_string(const Protocol& protocol) const;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppde::pp

@@ -1,0 +1,102 @@
+#include "pp/simulator.hpp"
+
+#include <stdexcept>
+
+namespace ppde::pp {
+
+Simulator::Simulator(const Protocol& protocol, const Config& initial,
+                     std::uint64_t seed)
+    : protocol_(protocol), rng_(seed) {
+  if (!protocol.finalized())
+    throw std::logic_error("Simulator: protocol not finalized");
+  if (initial.total() < 2)
+    throw std::invalid_argument("Simulator: need at least two agents");
+  agents_.reserve(initial.total());
+  for (State q = 0; q < initial.num_states(); ++q)
+    for (std::uint32_t i = 0; i < initial[q]; ++i) agents_.push_back(q);
+  for (State q : agents_)
+    if (protocol.is_accepting(q)) ++accepting_agents_;
+}
+
+bool Simulator::step() {
+  ++interactions_;
+  const std::uint64_t m = agents_.size();
+  const std::uint64_t i = rng_.below(m);
+  std::uint64_t j = rng_.below(m - 1);
+  if (j >= i) ++j;  // ordered pair of *distinct* agents, uniform
+
+  const State q = agents_[i];
+  const State r = agents_[j];
+  const auto candidates = protocol_.transitions_for(q, r);
+  if (candidates.empty()) return false;
+  const std::uint32_t pick =
+      candidates.size() == 1
+          ? candidates[0]
+          : candidates[rng_.below(candidates.size())];
+  const Transition& t = protocol_.transitions()[pick];
+
+  auto retag = [&](std::uint64_t index, State to) {
+    const State from = agents_[index];
+    if (protocol_.is_accepting(from)) --accepting_agents_;
+    if (protocol_.is_accepting(to)) ++accepting_agents_;
+    agents_[index] = to;
+  };
+  retag(i, t.q2);
+  retag(j, t.r2);
+  return true;
+}
+
+std::optional<bool> Simulator::consensus() const {
+  if (accepting_agents_ == agents_.size()) return true;
+  if (accepting_agents_ == 0) return false;
+  return std::nullopt;
+}
+
+SimulationResult Simulator::run_until_stable(const SimulationOptions& options) {
+  SimulationResult result;
+  std::uint64_t consensus_start = 0;
+  std::optional<bool> held = consensus();
+
+  while (interactions_ < options.max_interactions) {
+    step();
+    const std::optional<bool> now = consensus();
+    if (now != held) {
+      held = now;
+      consensus_start = interactions_;
+    }
+    if (held.has_value() &&
+        interactions_ - consensus_start >= options.stable_window) {
+      result.stabilised = true;
+      result.output = *held;
+      result.consensus_since = consensus_start;
+      break;
+    }
+  }
+  result.interactions = interactions_;
+  result.parallel_time =
+      static_cast<double>(interactions_) / static_cast<double>(population());
+  return result;
+}
+
+std::optional<State> Simulator::remove_random_agent(
+    const std::function<bool(State)>& eligible) {
+  if (agents_.size() <= 2) return std::nullopt;
+  std::vector<std::uint64_t> candidates;
+  for (std::uint64_t i = 0; i < agents_.size(); ++i)
+    if (!eligible || eligible(agents_[i])) candidates.push_back(i);
+  if (candidates.empty()) return std::nullopt;
+  const std::uint64_t index = candidates[rng_.below(candidates.size())];
+  const State removed = agents_[index];
+  if (protocol_.is_accepting(removed)) --accepting_agents_;
+  agents_[index] = agents_.back();
+  agents_.pop_back();
+  return removed;
+}
+
+Config Simulator::config() const {
+  Config config(protocol_.num_states());
+  for (State q : agents_) config.add(q);
+  return config;
+}
+
+}  // namespace ppde::pp

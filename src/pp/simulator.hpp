@@ -1,0 +1,84 @@
+// Random-scheduler simulation of population protocols.
+//
+// The scheduler picks an ordered pair of distinct agents uniformly at random
+// each step and applies an enabled transition for their states (chosen
+// uniformly if several apply), or does nothing — exactly the stochastic
+// scheduler of the paper's introduction, which produces a fair run with
+// probability 1.
+//
+// Stabilisation cannot be *observed* with certainty from a finite prefix, so
+// run_until_stable uses the standard heuristic: stop once the population has
+// held a consensus opinion for a configurable window of interactions. The
+// exact verifier (pp/verifier.hpp) provides ground truth for small systems.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::pp {
+
+struct SimulationOptions {
+  std::uint64_t max_interactions = 100'000'000;
+  /// Consensus must persist this many interactions to be declared stable.
+  std::uint64_t stable_window = 1'000'000;
+  std::uint64_t seed = 1;
+};
+
+struct SimulationResult {
+  bool stabilised = false;
+  bool output = false;  ///< Valid only if stabilised.
+  std::uint64_t interactions = 0;
+  /// Interaction index after which the final consensus held (0 if never).
+  std::uint64_t consensus_since = 0;
+  /// interactions / population size — "parallel time" in the literature.
+  double parallel_time = 0.0;
+};
+
+class Simulator {
+ public:
+  /// `protocol` must be finalized and outlive the simulator; `initial` must
+  /// contain at least two agents.
+  Simulator(const Protocol& protocol, const Config& initial,
+            std::uint64_t seed = 1);
+
+  /// Perform one scheduler step. Returns true if a transition fired.
+  bool step();
+
+  /// Run until consensus holds for options.stable_window interactions or
+  /// options.max_interactions elapse.
+  SimulationResult run_until_stable(const SimulationOptions& options);
+
+  /// Number of agents currently in accepting states.
+  std::uint64_t accepting_agents() const { return accepting_agents_; }
+  std::uint64_t population() const { return agents_.size(); }
+  std::uint64_t interactions() const { return interactions_; }
+
+  /// True iff all agents agree on an output right now.
+  std::optional<bool> consensus() const;
+
+  /// Snapshot of the current configuration.
+  Config config() const;
+
+  /// Remove one uniformly random agent among those whose state satisfies
+  /// `eligible` (default: any agent). Returns the removed agent's state, or
+  /// nullopt if no agent qualifies or only two agents remain. Used by the
+  /// agent-removal experiments (the paper's closing open question: what
+  /// guarantees survive the *disappearance* of agents mid-run?).
+  std::optional<State> remove_random_agent(
+      const std::function<bool(State)>& eligible = nullptr);
+
+ private:
+  const Protocol& protocol_;
+  std::vector<State> agents_;
+  std::uint64_t accepting_agents_ = 0;
+  std::uint64_t interactions_ = 0;
+  support::Rng rng_;
+};
+
+}  // namespace ppde::pp

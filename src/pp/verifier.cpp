@@ -1,0 +1,219 @@
+#include "pp/verifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/scc.hpp"
+
+namespace ppde::pp {
+
+namespace {
+
+/// Sparse configuration: sorted (state, count) pairs. Much smaller than the
+/// dense vector for compiler-produced protocols, where only ~|F| + a few
+/// register states are occupied out of hundreds.
+using Sparse = std::vector<std::pair<State, std::uint32_t>>;
+
+Sparse to_sparse(const Config& config) {
+  Sparse sparse;
+  for (State q = 0; q < config.num_states(); ++q)
+    if (config[q] != 0) sparse.emplace_back(q, config[q]);
+  return sparse;
+}
+
+Config to_dense(const Sparse& sparse, std::size_t num_states) {
+  Config config(num_states);
+  for (const auto& [q, count] : sparse) config.add(q, count);
+  return config;
+}
+
+struct SparseHash {
+  std::uint64_t operator()(const Sparse& sparse) const {
+    std::uint64_t h = 0x51ed270b4d2f9c11ULL;
+    for (const auto& [q, count] : sparse) {
+      h = support::hash_combine(h, q);
+      h = support::hash_combine(h, count);
+    }
+    return h;
+  }
+};
+
+/// Outputs of a sparse configuration, mirroring Config::output; in witness
+/// mode the output is simply "some accepting agent present".
+Config::Output sparse_output(const Protocol& protocol, const Sparse& sparse,
+                             bool witness_mode) {
+  bool any_accepting = false;
+  bool any_rejecting = false;
+  for (const auto& [q, count] : sparse) {
+    (void)count;
+    (protocol.is_accepting(q) ? any_accepting : any_rejecting) = true;
+    if (!witness_mode && any_accepting && any_rejecting)
+      return Config::Output::kUndefined;
+  }
+  return any_accepting ? Config::Output::kTrue : Config::Output::kFalse;
+}
+
+class Exploration {
+ public:
+  Exploration(const Protocol& protocol, const VerifierOptions& options)
+      : protocol_(protocol), options_(options) {}
+
+  /// Enumerate all configurations reachable from `initial`; returns false if
+  /// the resource limit was hit.
+  bool explore(const Config& initial) {
+    intern(to_sparse(initial));
+    for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+      if (nodes_.size() > options_.max_configs) return false;
+      expand(id);
+    }
+    return true;
+  }
+
+  VerificationResult analyse() {
+    VerificationResult result;
+    result.explored_configs = nodes_.size();
+    result.explored_edges = edge_count_;
+    const support::SccResult scc = support::tarjan_scc(successors_);
+    const std::vector<std::uint32_t>& scc_of_ = scc.scc_of;
+    const std::uint32_t scc_count_ = scc.scc_count;
+    result.num_sccs = scc_count_;
+    const std::vector<std::uint8_t> is_bottom = scc.bottom(successors_);
+
+    // Verdict: all bottom SCCs must be output-constant and agree.
+    bool seen_true = false;
+    bool seen_false = false;
+    std::optional<std::uint32_t> offending;
+    std::vector<std::uint8_t> scc_seen(scc_count_, 0);
+    for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+      const std::uint32_t scc = scc_of_[id];
+      if (!is_bottom[scc]) continue;
+      if (!scc_seen[scc]) {
+        scc_seen[scc] = 1;
+        ++result.num_bottom_sccs;
+      }
+      switch (sparse_output(protocol_, *nodes_[id], options_.witness_mode)) {
+        case Config::Output::kTrue:
+          seen_true = true;
+          break;
+        case Config::Output::kFalse:
+          seen_false = true;
+          break;
+        case Config::Output::kUndefined:
+          seen_true = seen_false = true;  // BSCC not output-constant
+          break;
+      }
+      if (seen_true && seen_false && !offending) offending = id;
+    }
+
+    using Verdict = VerificationResult::Verdict;
+    if (seen_true && seen_false) {
+      result.verdict = Verdict::kDoesNotStabilise;
+      result.counterexample =
+          to_dense(*nodes_[*offending], protocol_.num_states());
+    } else if (seen_true) {
+      result.verdict = Verdict::kStabilisesTrue;
+    } else {
+      result.verdict = Verdict::kStabilisesFalse;
+    }
+    return result;
+  }
+
+ private:
+  std::uint32_t intern(Sparse sparse) {
+    auto [it, inserted] =
+        ids_.try_emplace(std::move(sparse), static_cast<std::uint32_t>(
+                                                nodes_.size()));
+    if (inserted) {
+      nodes_.push_back(&it->first);
+      successors_.emplace_back();
+    }
+    return it->second;
+  }
+
+  void expand(std::uint32_t id) {
+    // Iterate over ordered pairs of *present* states; apply each enabled
+    // transition. The pair (q, q) needs at least two agents in q.
+    const Sparse& sparse = *nodes_[id];
+    std::vector<std::uint32_t> succs;
+    for (const auto& [q, count_q] : sparse) {
+      for (const auto& [r, count_r] : sparse) {
+        if (q == r && count_q < 2) continue;
+        (void)count_r;
+        for (std::uint32_t index : protocol_.transitions_for(q, r)) {
+          const Transition& t = protocol_.transitions()[index];
+          succs.push_back(intern(apply_sparse(sparse, t)));
+        }
+      }
+    }
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    edge_count_ += succs.size();
+    successors_[id] = std::move(succs);
+  }
+
+  static Sparse apply_sparse(const Sparse& sparse, const Transition& t) {
+    // Small fixed-size delta over a sorted sparse vector.
+    Sparse result = sparse;
+    auto adjust = [&result](State q, std::int32_t delta) {
+      auto it = std::lower_bound(
+          result.begin(), result.end(), q,
+          [](const auto& entry, State state) { return entry.first < state; });
+      if (it != result.end() && it->first == q) {
+        it->second = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(it->second) + delta);
+        if (it->second == 0) result.erase(it);
+      } else {
+        result.insert(it, {q, static_cast<std::uint32_t>(delta)});
+      }
+    };
+    adjust(t.q, -1);
+    adjust(t.r, -1);
+    adjust(t.q2, +1);
+    adjust(t.r2, +1);
+    return result;
+  }
+
+  const Protocol& protocol_;
+  const VerifierOptions& options_;
+  std::unordered_map<Sparse, std::uint32_t, SparseHash> ids_;
+  std::vector<const Sparse*> nodes_;
+  std::vector<std::vector<std::uint32_t>> successors_;
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace
+
+Verifier::Verifier(const Protocol& protocol) : protocol_(protocol) {
+  if (!protocol.finalized())
+    throw std::logic_error("Verifier: protocol not finalized");
+}
+
+VerificationResult Verifier::verify(const Config& initial,
+                                    const VerifierOptions& options) const {
+  Exploration exploration(protocol_, options);
+  if (!exploration.explore(initial)) {
+    VerificationResult result;
+    result.verdict = VerificationResult::Verdict::kResourceLimit;
+    return result;
+  }
+  return exploration.analyse();
+}
+
+std::string to_string(VerificationResult::Verdict verdict) {
+  using Verdict = VerificationResult::Verdict;
+  switch (verdict) {
+    case Verdict::kStabilisesTrue:
+      return "stabilises to true";
+    case Verdict::kStabilisesFalse:
+      return "stabilises to false";
+    case Verdict::kDoesNotStabilise:
+      return "does not stabilise";
+    case Verdict::kResourceLimit:
+      return "resource limit reached";
+  }
+  return "?";
+}
+
+}  // namespace ppde::pp

@@ -1,0 +1,238 @@
+#include "presburger/parser.hpp"
+
+#include <cctype>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "bignum/nat.hpp"
+
+namespace ppde::presburger {
+
+namespace {
+
+using bignum::Nat;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  PredicatePtr parse() {
+    PredicatePtr result = parse_or();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing input");
+    return result;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("parse_predicate: " + message +
+                                " at position " + std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool eat(std::string_view token) {
+    skip_space();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Keywords must not swallow identifier prefixes ("true" vs "truex").
+    if (std::isalpha(static_cast<unsigned char>(token.front()))) {
+      const std::size_t end = pos_ + token.size();
+      if (end < text_.size() &&
+          std::isalnum(static_cast<unsigned char>(text_[end])))
+        return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  PredicatePtr parse_or() {
+    PredicatePtr lhs = parse_and();
+    while (eat("||")) lhs = Predicate::disjunction(lhs, parse_and());
+    return lhs;
+  }
+
+  PredicatePtr parse_and() {
+    PredicatePtr lhs = parse_unary();
+    while (eat("&&")) lhs = Predicate::conjunction(lhs, parse_unary());
+    return lhs;
+  }
+
+  PredicatePtr parse_unary() {
+    if (eat("!")) return Predicate::negation(parse_unary());
+    if (eat("true")) return Predicate::constant(true);
+    if (eat("false")) return Predicate::constant(false);
+    if (eat("(")) {
+      PredicatePtr inner = parse_or();
+      if (!eat(")")) fail("expected ')'");
+      return inner;
+    }
+    return parse_atom();
+  }
+
+  std::string parse_digits() {
+    skip_space();
+    std::string digits;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      digits.push_back(text_[pos_++]);
+    if (digits.empty()) fail("expected a number");
+    return digits;
+  }
+
+  std::uint64_t parse_u64() {
+    const Nat value = Nat::from_decimal(parse_digits());
+    if (!value.fits_u64()) fail("number too large here");
+    return value.to_u64();
+  }
+
+  /// term ::= [number '*'] var | number; returns true if a variable term
+  /// was appended, false if a constant (added into *constant).
+  bool parse_term(LinearSum* sum, std::int64_t sign, Nat* positive_constant,
+                  Nat* negative_constant) {
+    skip_space();
+    std::int64_t coefficient = 1;
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      const std::uint64_t magnitude = parse_u64();
+      if (eat("*")) {
+        if (magnitude >
+            static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max()))
+          fail("coefficient too large");
+        coefficient = static_cast<std::int64_t>(magnitude);
+      } else {
+        // Pure constant term: fold it into the comparison constant.
+        Nat value{magnitude};
+        (sign > 0 ? *positive_constant : *negative_constant) += value;
+        return false;
+      }
+    }
+    // Variables are 'x' immediately followed by digits; parsed directly
+    // because eat()'s keyword guard would refuse the alnum continuation.
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != 'x')
+      fail("expected a variable like x0");
+    ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("expected a variable index");
+    const std::uint64_t index = parse_u64();
+    sum->terms.push_back({.variable = static_cast<std::size_t>(index),
+                          .coefficient = sign * coefficient});
+    return true;
+  }
+
+  /// sum ::= term (('+'|'-') term)*. Constant terms accumulate separately.
+  void parse_sum(LinearSum* sum, Nat* positive_constant,
+                 Nat* negative_constant) {
+    std::int64_t sign = 1;
+    if (eat("-")) sign = -1;
+    parse_term(sum, sign, positive_constant, negative_constant);
+    while (true) {
+      if (eat("+"))
+        sign = 1;
+      else if (eat("-"))
+        sign = -1;
+      else
+        break;
+      parse_term(sum, sign, positive_constant, negative_constant);
+    }
+  }
+
+  /// Builds `sum + lhs_pos - lhs_neg >= c` normalised to threshold atoms:
+  /// with b = c + lhs_neg - lhs_pos, either `sum >= b` (b >= 0) or, for a
+  /// negative bound -d, the equivalent `!(-sum >= d + 1)`.
+  static PredicatePtr threshold_atom(LinearSum sum, const Nat& c,
+                                     const Nat& lhs_pos, const Nat& lhs_neg) {
+    const Nat rhs = c + lhs_neg;
+    if (rhs >= lhs_pos)
+      return Predicate::threshold(std::move(sum), rhs - lhs_pos);
+    // Negative bound: sum >= -(d) <=> !(−sum >= d + 1).
+    const Nat d = lhs_pos - rhs;
+    LinearSum negated = sum;
+    for (auto& term : negated.terms) term.coefficient = -term.coefficient;
+    return Predicate::negation(
+        Predicate::threshold(std::move(negated), d + Nat{1}));
+  }
+
+  PredicatePtr parse_atom() {
+    LinearSum sum;
+    Nat lhs_pos, lhs_neg;
+    parse_sum(&sum, &lhs_pos, &lhs_neg);
+
+    if (eat("%")) {
+      const std::uint64_t modulus = parse_u64();
+      if (modulus == 0) fail("modulus must be positive");
+      if (!eat("==")) fail("expected '==' after modulus");
+      const std::uint64_t residue = parse_u64();
+      if (!lhs_pos.is_zero() || !lhs_neg.is_zero())
+        fail("constant terms are not supported in remainder atoms");
+      return Predicate::remainder(std::move(sum), modulus, residue);
+    }
+
+    enum class Cmp { kGe, kLe, kGt, kLt, kEq, kNe };
+    Cmp cmp;
+    if (eat(">="))
+      cmp = Cmp::kGe;
+    else if (eat("<="))
+      cmp = Cmp::kLe;
+    else if (eat("=="))
+      cmp = Cmp::kEq;
+    else if (eat("!="))
+      cmp = Cmp::kNe;
+    else if (eat(">"))
+      cmp = Cmp::kGt;
+    else if (eat("<"))
+      cmp = Cmp::kLt;
+    else
+      fail("expected a comparison operator");
+
+    const Nat c = Nat::from_decimal(parse_digits());
+
+    // Normalise to >= atoms. For sum s and constant c:
+    //   s >= c : direct           s > c : s >= c+1
+    //   s <  c : !(s >= c)        s <= c : !(s >= c+1)
+    //   s == c : s >= c && !(s >= c+1)
+    //   s != c : !(==)
+    auto ge = [&](const Nat& bound) {
+      return threshold_atom(sum, bound, lhs_pos, lhs_neg);
+    };
+    switch (cmp) {
+      case Cmp::kGe:
+        return ge(c);
+      case Cmp::kGt:
+        return ge(c + Nat{1});
+      case Cmp::kLt:
+        return Predicate::negation(ge(c));
+      case Cmp::kLe:
+        return Predicate::negation(ge(c + Nat{1}));
+      case Cmp::kEq:
+        return Predicate::conjunction(ge(c),
+                                      Predicate::negation(ge(c + Nat{1})));
+      case Cmp::kNe:
+        return Predicate::negation(Predicate::conjunction(
+            ge(c), Predicate::negation(ge(c + Nat{1}))));
+    }
+    fail("unreachable");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PredicatePtr parse_predicate(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace ppde::presburger

@@ -1,0 +1,34 @@
+// Parser for quantifier-free Presburger predicates.
+//
+// Grammar (whitespace-insensitive, C-style precedence ! > && > ||):
+//
+//   phi    ::= or
+//   or     ::= and ('||' and)*
+//   and    ::= unary ('&&' unary)*
+//   unary  ::= '!' unary | '(' phi ')' | atom | 'true' | 'false'
+//   atom   ::= sum cmp number
+//            | sum '%' number '==' number        (remainder)
+//   cmp    ::= '>=' | '<=' | '>' | '<' | '==' | '!='
+//   sum    ::= term (('+'|'-') term)*
+//   term   ::= [number '*'] var | number
+//   var    ::= 'x' digits                         (x0, x1, ...)
+//
+// All comparisons normalise to the library's >= / remainder atoms, e.g.
+// "x0 < 7" becomes !(x0 >= 7) and "x0 == 5" becomes x0 >= 5 && !(x0 >= 6).
+// Threshold constants may be arbitrarily large (bignum); coefficients and
+// moduli are machine integers.
+//
+// Example: parse_predicate("x0 >= 4 && !(x0 >= 7)") — the Figure-1 window.
+#pragma once
+
+#include <string_view>
+
+#include "presburger/predicate.hpp"
+
+namespace ppde::presburger {
+
+/// Parse a predicate; throws std::invalid_argument with a position-tagged
+/// message on malformed input.
+PredicatePtr parse_predicate(std::string_view text);
+
+}  // namespace ppde::presburger

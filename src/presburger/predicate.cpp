@@ -1,0 +1,213 @@
+#include "presburger/predicate.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppde::presburger {
+
+namespace {
+
+using bignum::Nat;
+
+std::uint64_t bits(std::uint64_t v) {
+  std::uint64_t n = 1;  // even 0 takes one digit
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+LinearSum::Split LinearSum::evaluate(
+    const std::vector<Nat>& assignment) const {
+  Split split;
+  for (const Term& term : terms) {
+    if (term.variable >= assignment.size())
+      throw std::out_of_range("LinearSum: variable index out of range");
+    const Nat magnitude =
+        assignment[term.variable] *
+        Nat{static_cast<std::uint64_t>(std::llabs(term.coefficient))};
+    if (term.coefficient >= 0)
+      split.positive += magnitude;
+    else
+      split.negative += magnitude;
+  }
+  return split;
+}
+
+std::uint64_t LinearSum::encoding_size() const {
+  std::uint64_t size = 0;
+  for (const Term& term : terms)
+    size += bits(static_cast<std::uint64_t>(std::llabs(term.coefficient))) + 1;
+  return size;
+}
+
+std::string LinearSum::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Term& term : terms) {
+    if (!first) os << (term.coefficient >= 0 ? " + " : " - ");
+    if (first && term.coefficient < 0) os << "-";
+    first = false;
+    const auto magnitude =
+        static_cast<std::uint64_t>(std::llabs(term.coefficient));
+    if (magnitude != 1) os << magnitude << "*";
+    os << "x" << term.variable;
+  }
+  if (first) os << "0";
+  return os.str();
+}
+
+bool Predicate::evaluate(const std::vector<Nat>& assignment) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kThreshold: {
+      // Σ a_i x_i >= c  <=>  positive >= negative + c.
+      const auto split = sum_.evaluate(assignment);
+      return split.positive >= split.negative + constant_;
+    }
+    case Kind::kRemainder: {
+      const auto split = sum_.evaluate(assignment);
+      const Nat mod{modulus_};
+      const std::uint64_t pos = (split.positive % mod).to_u64();
+      const std::uint64_t neg = (split.negative % mod).to_u64();
+      return (pos + modulus_ - neg) % modulus_ == residue_ % modulus_;
+    }
+    case Kind::kNot:
+      return !lhs_->evaluate(assignment);
+    case Kind::kAnd:
+      return lhs_->evaluate(assignment) && rhs_->evaluate(assignment);
+    case Kind::kOr:
+      return lhs_->evaluate(assignment) || rhs_->evaluate(assignment);
+  }
+  return false;  // unreachable
+}
+
+std::uint64_t Predicate::size() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return 1;
+    case Kind::kThreshold:
+      return sum_.encoding_size() + constant_.bit_length() + 1;
+    case Kind::kRemainder:
+      return sum_.encoding_size() + bits(modulus_) + bits(residue_) + 1;
+    case Kind::kNot:
+      return lhs_->size() + 1;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return lhs_->size() + rhs_->size() + 1;
+  }
+  return 0;  // unreachable
+}
+
+std::string Predicate::to_string() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kThreshold:
+      return sum_.to_string() + " >= " + constant_.to_decimal();
+    case Kind::kRemainder: {
+      std::ostringstream os;
+      os << sum_.to_string() << " == " << residue_ << " (mod " << modulus_
+         << ")";
+      return os.str();
+    }
+    case Kind::kNot:
+      return "!(" + lhs_->to_string() + ")";
+    case Kind::kAnd:
+      return "(" + lhs_->to_string() + " && " + rhs_->to_string() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->to_string() + " || " + rhs_->to_string() + ")";
+  }
+  return {};  // unreachable
+}
+
+PredicatePtr Predicate::constant(bool value) {
+  return PredicatePtr{
+      new Predicate{value ? Kind::kTrue : Kind::kFalse}};
+}
+
+PredicatePtr Predicate::threshold(LinearSum sum, Nat threshold) {
+  auto node = new Predicate{Kind::kThreshold};
+  node->sum_ = std::move(sum);
+  node->constant_ = std::move(threshold);
+  return PredicatePtr{node};
+}
+
+PredicatePtr Predicate::unary_threshold(Nat k) {
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  return threshold(std::move(sum), std::move(k));
+}
+
+PredicatePtr Predicate::remainder(LinearSum sum, std::uint64_t modulus,
+                                  std::uint64_t residue) {
+  if (modulus == 0) throw std::invalid_argument("Predicate: modulus == 0");
+  auto node = new Predicate{Kind::kRemainder};
+  node->sum_ = std::move(sum);
+  node->modulus_ = modulus;
+  node->residue_ = residue;
+  return PredicatePtr{node};
+}
+
+PredicatePtr Predicate::negation(PredicatePtr operand) {
+  auto node = new Predicate{Kind::kNot};
+  node->lhs_ = std::move(operand);
+  return PredicatePtr{node};
+}
+
+PredicatePtr Predicate::conjunction(PredicatePtr lhs, PredicatePtr rhs) {
+  auto node = new Predicate{Kind::kAnd};
+  node->lhs_ = std::move(lhs);
+  node->rhs_ = std::move(rhs);
+  return PredicatePtr{node};
+}
+
+PredicatePtr Predicate::disjunction(PredicatePtr lhs, PredicatePtr rhs) {
+  auto node = new Predicate{Kind::kOr};
+  node->lhs_ = std::move(lhs);
+  node->rhs_ = std::move(rhs);
+  return PredicatePtr{node};
+}
+
+const LinearSum& Predicate::sum() const {
+  assert(kind_ == Kind::kThreshold || kind_ == Kind::kRemainder);
+  return sum_;
+}
+
+const bignum::Nat& Predicate::threshold_constant() const {
+  assert(kind_ == Kind::kThreshold);
+  return constant_;
+}
+
+std::uint64_t Predicate::modulus() const {
+  assert(kind_ == Kind::kRemainder);
+  return modulus_;
+}
+
+std::uint64_t Predicate::residue() const {
+  assert(kind_ == Kind::kRemainder);
+  return residue_;
+}
+
+const PredicatePtr& Predicate::lhs() const {
+  assert(lhs_ != nullptr);
+  return lhs_;
+}
+
+const PredicatePtr& Predicate::rhs() const {
+  assert(rhs_ != nullptr);
+  return rhs_;
+}
+
+}  // namespace ppde::presburger

@@ -1,0 +1,105 @@
+// Quantifier-free Presburger predicates.
+//
+// Population protocols decide exactly the Presburger-definable predicates
+// (Angluin et al. 2007). The paper measures *space complexity* against the
+// length |phi| of the predicate written as a quantifier-free Presburger
+// formula with coefficients in binary; e.g. phi_n(x) <=> x >= 2^n has
+// |phi_n| in Theta(n). This module provides the predicate representation,
+// evaluation, and that size measure, so the state-complexity experiments
+// (Table 1, Theorem 1) can report states as a function of |phi|.
+//
+// Grammar:
+//   phi ::= true | false | atom | !phi | phi && phi | phi || phi
+//   atom ::= sum >= c | sum ≡ r (mod m)        (sum = Σ a_i · x_i, a_i ∈ Z)
+//
+// Values are arbitrary-precision naturals (inputs to population protocols
+// are multisets, i.e. vectors of naturals); coefficients are machine
+// integers, constants are Nat so thresholds like 2^(2^n) are exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bignum/nat.hpp"
+
+namespace ppde::presburger {
+
+/// A linear combination Σ a_i · x_i over input variables.
+struct LinearSum {
+  struct Term {
+    std::size_t variable = 0;
+    std::int64_t coefficient = 1;
+  };
+  std::vector<Term> terms;
+
+  /// Evaluate; returns (positive part, negative part) so callers can
+  /// compare without signed big integers.
+  struct Split {
+    bignum::Nat positive;
+    bignum::Nat negative;
+  };
+  Split evaluate(const std::vector<bignum::Nat>& assignment) const;
+
+  /// Encoding length of the coefficients in binary (paper's |phi| measure).
+  std::uint64_t encoding_size() const;
+
+  std::string to_string() const;
+};
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Immutable predicate AST node. Build via the factory functions below.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kFalse, kThreshold, kRemainder, kNot, kAnd, kOr };
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluate on an assignment of the input variables.
+  bool evaluate(const std::vector<bignum::Nat>& assignment) const;
+
+  /// Convenience for unary predicates phi(x).
+  bool evaluate_unary(const bignum::Nat& x) const { return evaluate({x}); }
+
+  /// The paper's size measure |phi|: formula length with binary coefficients.
+  std::uint64_t size() const;
+
+  std::string to_string() const;
+
+  // -- Factories ------------------------------------------------------------
+  static PredicatePtr constant(bool value);
+  /// sum >= threshold
+  static PredicatePtr threshold(LinearSum sum, bignum::Nat threshold);
+  /// Unary x >= k.
+  static PredicatePtr unary_threshold(bignum::Nat k);
+  /// sum ≡ residue (mod modulus); modulus > 0.
+  static PredicatePtr remainder(LinearSum sum, std::uint64_t modulus,
+                                std::uint64_t residue);
+  static PredicatePtr negation(PredicatePtr operand);
+  static PredicatePtr conjunction(PredicatePtr lhs, PredicatePtr rhs);
+  static PredicatePtr disjunction(PredicatePtr lhs, PredicatePtr rhs);
+
+  // Accessors (valid only for the matching kind; checked).
+  const LinearSum& sum() const;
+  const bignum::Nat& threshold_constant() const;
+  std::uint64_t modulus() const;
+  std::uint64_t residue() const;
+  const PredicatePtr& lhs() const;
+  const PredicatePtr& rhs() const;
+
+ private:
+  explicit Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  LinearSum sum_;
+  bignum::Nat constant_;
+  std::uint64_t modulus_ = 0;
+  std::uint64_t residue_ = 0;
+  PredicatePtr lhs_;
+  PredicatePtr rhs_;
+};
+
+}  // namespace ppde::presburger

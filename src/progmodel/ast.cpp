@@ -1,0 +1,268 @@
+#include "progmodel/ast.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppde::progmodel {
+
+namespace {
+
+/// Collect every condition reachable from `cond` (post-order irrelevant).
+void visit_conds(const Program& program, CondId cond,
+                 const std::function<void(const Cond&)>& fn) {
+  const Cond& node = program.conds.at(cond);
+  fn(node);
+  switch (node.kind) {
+    case Cond::Kind::kNot:
+      visit_conds(program, node.lhs, fn);
+      break;
+    case Cond::Kind::kAnd:
+    case Cond::Kind::kOr:
+      visit_conds(program, node.lhs, fn);
+      visit_conds(program, node.rhs, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Walk every statement of a block tree.
+void visit_stmts(const Program& program, BlockId block,
+                 const std::function<void(const Stmt&)>& fn) {
+  if (block == kNoBlock) return;
+  for (StmtId id : program.blocks.at(block)) {
+    const Stmt& stmt = program.stmts.at(id);
+    fn(stmt);
+    if (stmt.kind == Stmt::Kind::kIf || stmt.kind == Stmt::Kind::kWhile) {
+      visit_stmts(program, stmt.then_block, fn);
+      visit_stmts(program, stmt.else_block, fn);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ProcId> Program::callees(ProcId proc) const {
+  std::vector<ProcId> result;
+  auto add = [&result](ProcId id) {
+    for (ProcId existing : result)
+      if (existing == id) return;
+    result.push_back(id);
+  };
+  visit_stmts(*this, procedures.at(proc).body, [&](const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kCall) add(stmt.proc);
+    if (stmt.kind == Stmt::Kind::kIf || stmt.kind == Stmt::Kind::kWhile ||
+        (stmt.kind == Stmt::Kind::kReturn && stmt.has_cond)) {
+      visit_conds(*this, stmt.cond, [&](const Cond& cond) {
+        if (cond.kind == Cond::Kind::kCall) add(cond.proc);
+      });
+    }
+  });
+  return result;
+}
+
+void Program::validate() const {
+  if (main_proc >= procedures.size())
+    throw std::logic_error("Program: main procedure out of range");
+
+  auto check_reg = [this](Reg reg) {
+    if (reg >= registers.size())
+      throw std::logic_error("Program: register index out of range");
+  };
+
+  for (const Procedure& proc : procedures) {
+    if (proc.body == kNoBlock)
+      throw std::logic_error("Program: procedure " + proc.name +
+                             " has no body");
+    visit_stmts(*this, proc.body, [&](const Stmt& stmt) {
+      switch (stmt.kind) {
+        case Stmt::Kind::kMove:
+        case Stmt::Kind::kSwap:
+          check_reg(stmt.from);
+          check_reg(stmt.to);
+          if (stmt.kind == Stmt::Kind::kSwap && stmt.from == stmt.to)
+            throw std::logic_error("Program: swap of a register with itself");
+          break;
+        case Stmt::Kind::kCall:
+          if (stmt.proc >= procedures.size())
+            throw std::logic_error("Program: call target out of range");
+          break;
+        case Stmt::Kind::kIf:
+        case Stmt::Kind::kWhile:
+        case Stmt::Kind::kReturn:
+          if (stmt.kind != Stmt::Kind::kReturn || stmt.has_cond) {
+            visit_conds(*this, stmt.cond, [&](const Cond& cond) {
+              if (cond.kind == Cond::Kind::kDetect) check_reg(cond.reg);
+              if (cond.kind == Cond::Kind::kCall) {
+                if (cond.proc >= procedures.size())
+                  throw std::logic_error("Program: call target out of range");
+                if (!procedures[cond.proc].returns_value)
+                  throw std::logic_error(
+                      "Program: void procedure used as condition");
+              }
+            });
+          }
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  // Procedure calls must be acyclic (Section 4: no recursion, bounded
+  // stack). Colour-DFS over the call graph.
+  enum class Colour : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Colour> colour(procedures.size(), Colour::kWhite);
+  std::function<void(ProcId)> dfs = [&](ProcId proc) {
+    colour[proc] = Colour::kGrey;
+    for (ProcId callee : callees(proc)) {
+      if (colour[callee] == Colour::kGrey)
+        throw std::logic_error("Program: cyclic procedure calls involving " +
+                               procedures[proc].name);
+      if (colour[callee] == Colour::kWhite) dfs(callee);
+    }
+    colour[proc] = Colour::kBlack;
+  };
+  for (ProcId proc = 0; proc < procedures.size(); ++proc)
+    if (colour[proc] == Colour::kWhite) dfs(proc);
+}
+
+Program::SizeInfo Program::size() const {
+  SizeInfo info;
+  info.num_registers = registers.size();
+
+  // L: count primitive instructions — statements plus detect/call
+  // occurrences inside conditions (each evaluates as one instruction).
+  for (const Procedure& proc : procedures) {
+    visit_stmts(*this, proc.body, [&](const Stmt& stmt) {
+      ++info.num_instructions;
+      if (stmt.kind == Stmt::Kind::kIf || stmt.kind == Stmt::Kind::kWhile ||
+          (stmt.kind == Stmt::Kind::kReturn && stmt.has_cond)) {
+        visit_conds(*this, stmt.cond, [&](const Cond& cond) {
+          if (cond.kind == Cond::Kind::kDetect ||
+              cond.kind == Cond::Kind::kCall)
+            ++info.num_instructions;
+        });
+      }
+    });
+  }
+
+  // S: union-find over swap statements, then sum |component| * (|component|-1)
+  // over components with >= 2 members.
+  std::vector<Reg> parent(registers.size());
+  for (Reg r = 0; r < parent.size(); ++r) parent[r] = r;
+  std::function<Reg(Reg)> find = [&](Reg r) {
+    while (parent[r] != r) r = parent[r] = parent[parent[r]];
+    return r;
+  };
+  for (const Procedure& proc : procedures) {
+    visit_stmts(*this, proc.body, [&](const Stmt& stmt) {
+      if (stmt.kind == Stmt::Kind::kSwap)
+        parent[find(stmt.from)] = find(stmt.to);
+    });
+  }
+  std::vector<std::uint64_t> component_size(registers.size(), 0);
+  for (Reg r = 0; r < registers.size(); ++r) ++component_size[find(r)];
+  for (std::uint64_t size : component_size)
+    if (size >= 2) info.swap_size += size * (size - 1);
+
+  return info;
+}
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const Program& program) : program_(program) {}
+
+  std::string print() {
+    for (ProcId id = 0; id < program_.procedures.size(); ++id) {
+      const Procedure& proc = program_.procedures[id];
+      os_ << "procedure " << proc.name;
+      if (id == program_.main_proc) os_ << "  // Main";
+      os_ << "\n";
+      print_block(proc.body, 1);
+      os_ << "\n";
+    }
+    return os_.str();
+  }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i) os_ << "  ";
+  }
+
+  std::string cond_str(CondId id) {
+    const Cond& cond = program_.conds[id];
+    switch (cond.kind) {
+      case Cond::Kind::kConst:
+        return cond.value ? "true" : "false";
+      case Cond::Kind::kDetect:
+        return "detect " + program_.registers[cond.reg] + " > 0";
+      case Cond::Kind::kCall:
+        return program_.procedures[cond.proc].name + "()";
+      case Cond::Kind::kNot:
+        return "!(" + cond_str(cond.lhs) + ")";
+      case Cond::Kind::kAnd:
+        return "(" + cond_str(cond.lhs) + " && " + cond_str(cond.rhs) + ")";
+      case Cond::Kind::kOr:
+        return "(" + cond_str(cond.lhs) + " || " + cond_str(cond.rhs) + ")";
+    }
+    return "?";
+  }
+
+  void print_block(BlockId block, int depth) {
+    if (block == kNoBlock) return;
+    for (StmtId id : program_.blocks[block]) {
+      const Stmt& stmt = program_.stmts[id];
+      indent(depth);
+      switch (stmt.kind) {
+        case Stmt::Kind::kMove:
+          os_ << program_.registers[stmt.from] << " -> "
+              << program_.registers[stmt.to] << "\n";
+          break;
+        case Stmt::Kind::kSwap:
+          os_ << "swap " << program_.registers[stmt.from] << ", "
+              << program_.registers[stmt.to] << "\n";
+          break;
+        case Stmt::Kind::kSetOF:
+          os_ << "OF := " << (stmt.value ? "true" : "false") << "\n";
+          break;
+        case Stmt::Kind::kRestart:
+          os_ << "restart\n";
+          break;
+        case Stmt::Kind::kCall:
+          os_ << program_.procedures[stmt.proc].name << "()\n";
+          break;
+        case Stmt::Kind::kIf:
+          os_ << "if " << cond_str(stmt.cond) << " then\n";
+          print_block(stmt.then_block, depth + 1);
+          if (stmt.else_block != kNoBlock) {
+            indent(depth);
+            os_ << "else\n";
+            print_block(stmt.else_block, depth + 1);
+          }
+          break;
+        case Stmt::Kind::kWhile:
+          os_ << "while " << cond_str(stmt.cond) << " do\n";
+          print_block(stmt.then_block, depth + 1);
+          break;
+        case Stmt::Kind::kReturn:
+          os_ << "return";
+          if (stmt.has_cond) os_ << " " << cond_str(stmt.cond);
+          os_ << "\n";
+          break;
+      }
+    }
+  }
+
+  const Program& program_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string Program::to_string() const { return Printer(*this).print(); }
+
+}  // namespace ppde::progmodel

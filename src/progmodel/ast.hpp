@@ -1,0 +1,117 @@
+// Population programs (paper Section 4).
+//
+// A population program P = (Q, Proc) is a structured program over registers
+// with values in N. Three primitives exist:
+//   * move (x -> y): decrement x, increment y; *hangs* if x is empty,
+//   * detect x > 0: nondeterministically returns false or whether x > 0
+//     (fairness forbids returning false forever while x > 0),
+//   * swap x, y: exchange two registers' values.
+// plus OF := true/false (the output flag), restart (jump to a fresh,
+// nondeterministically chosen initial configuration with the same agent
+// total), while/if with boolean conditions over detects and procedure
+// calls, and acyclic, argumentless procedures that may return a boolean.
+//
+// The AST lives in index-based arenas inside Program, so programs are plain
+// values (copyable, hashable by content if needed) and the interpreters can
+// address nodes by dense ids. Programs are assembled with
+// progmodel/builder.hpp and consumed by the interpreters and by the
+// Section-7.2 lowering in compile/lower.hpp.
+//
+// The paper's size measure (Section 4): size = |Q| + L + S where L is the
+// number of instructions and S the swap-size — the number of ordered
+// register pairs that can be exchanged through some sequence of swaps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ppde::progmodel {
+
+using Reg = std::uint32_t;
+using ProcId = std::uint32_t;
+using StmtId = std::uint32_t;
+using CondId = std::uint32_t;
+using BlockId = std::uint32_t;
+
+constexpr std::uint32_t kNoBlock = 0xffffffffu;
+
+/// Boolean condition node.
+struct Cond {
+  enum class Kind { kConst, kDetect, kCall, kNot, kAnd, kOr };
+  Kind kind = Kind::kConst;
+  bool value = false;  ///< kConst
+  Reg reg = 0;         ///< kDetect
+  ProcId proc = 0;     ///< kCall (procedure must return a value)
+  CondId lhs = 0;      ///< kNot / kAnd / kOr
+  CondId rhs = 0;      ///< kAnd / kOr
+};
+
+/// Statement node.
+struct Stmt {
+  enum class Kind {
+    kMove,     ///< from -> to
+    kSwap,     ///< swap a, b
+    kSetOF,    ///< OF := value
+    kRestart,  ///< restart with a fresh initial configuration
+    kCall,     ///< call procedure, discarding any return value
+    kIf,       ///< if cond then then_block [else else_block]
+    kWhile,    ///< while cond do body
+    kReturn,   ///< return [cond]; void return if !cond
+  };
+  Kind kind = Kind::kMove;
+  Reg from = 0, to = 0;          ///< kMove / kSwap (a = from, b = to)
+  bool value = false;            ///< kSetOF
+  ProcId proc = 0;               ///< kCall
+  CondId cond = 0;               ///< kIf / kWhile / kReturn (if has_cond)
+  bool has_cond = false;         ///< kReturn: returns a value?
+  BlockId then_block = kNoBlock; ///< kIf then / kWhile body
+  BlockId else_block = kNoBlock; ///< kIf else (kNoBlock if absent)
+};
+
+struct Procedure {
+  std::string name;
+  bool returns_value = false;
+  BlockId body = kNoBlock;
+};
+
+/// A complete population program. Construct via ProgramBuilder.
+struct Program {
+  std::vector<std::string> registers;
+  std::vector<Procedure> procedures;
+  ProcId main_proc = 0;
+
+  // Arenas.
+  std::vector<Stmt> stmts;
+  std::vector<Cond> conds;
+  std::vector<std::vector<StmtId>> blocks;
+
+  std::size_t num_registers() const { return registers.size(); }
+
+  /// Throws std::logic_error on malformed programs: out-of-range indices,
+  /// cyclic procedure calls, value-returning calls of void procedures, or a
+  /// missing return value on some path of a value-returning procedure (the
+  /// last is not checked — the interpreters treat it as a runtime error).
+  void validate() const;
+
+  /// Paper size metrics.
+  struct SizeInfo {
+    std::uint64_t num_registers = 0;   ///< |Q|
+    std::uint64_t num_instructions = 0;///< L: moves, swaps, OF writes,
+                                       ///< restarts, returns, detects, calls
+    std::uint64_t swap_size = 0;       ///< S: transitively swappable pairs
+    std::uint64_t total() const {
+      return num_registers + num_instructions + swap_size;
+    }
+  };
+  SizeInfo size() const;
+
+  /// Pretty-print as pseudocode (used by goldens and the examples).
+  std::string to_string() const;
+
+  /// Procedures called (directly) by `proc`, deduplicated.
+  std::vector<ProcId> callees(ProcId proc) const;
+};
+
+}  // namespace ppde::progmodel

@@ -1,0 +1,201 @@
+#include "progmodel/builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ppde::progmodel {
+
+// -- BlockBuilder ------------------------------------------------------------
+
+CondExpr BlockBuilder::detect(Reg reg) {
+  Cond cond;
+  cond.kind = Cond::Kind::kDetect;
+  cond.reg = reg;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+CondExpr BlockBuilder::call_cond(ProcRef proc) {
+  Cond cond;
+  cond.kind = Cond::Kind::kCall;
+  cond.proc = proc.id;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+CondExpr BlockBuilder::constant(bool value) {
+  Cond cond;
+  cond.kind = Cond::Kind::kConst;
+  cond.value = value;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+CondExpr BlockBuilder::not_(CondExpr operand) {
+  Cond cond;
+  cond.kind = Cond::Kind::kNot;
+  cond.lhs = operand.id;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+CondExpr BlockBuilder::and_(CondExpr lhs, CondExpr rhs) {
+  Cond cond;
+  cond.kind = Cond::Kind::kAnd;
+  cond.lhs = lhs.id;
+  cond.rhs = rhs.id;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+CondExpr BlockBuilder::or_(CondExpr lhs, CondExpr rhs) {
+  Cond cond;
+  cond.kind = Cond::Kind::kOr;
+  cond.lhs = lhs.id;
+  cond.rhs = rhs.id;
+  builder_.program_.conds.push_back(cond);
+  return {static_cast<CondId>(builder_.program_.conds.size() - 1)};
+}
+
+void BlockBuilder::append(Stmt stmt) {
+  builder_.program_.stmts.push_back(stmt);
+  builder_.program_.blocks[block_].push_back(
+      static_cast<StmtId>(builder_.program_.stmts.size() - 1));
+}
+
+void BlockBuilder::move(Reg from, Reg to) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kMove;
+  stmt.from = from;
+  stmt.to = to;
+  append(stmt);
+}
+
+void BlockBuilder::swap(Reg a, Reg b) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kSwap;
+  stmt.from = a;
+  stmt.to = b;
+  append(stmt);
+}
+
+void BlockBuilder::set_of(bool value) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kSetOF;
+  stmt.value = value;
+  append(stmt);
+}
+
+void BlockBuilder::restart() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kRestart;
+  append(stmt);
+}
+
+void BlockBuilder::call(ProcRef proc) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kCall;
+  stmt.proc = proc.id;
+  append(stmt);
+}
+
+void BlockBuilder::if_(CondExpr cond,
+                       const std::function<void(BlockBuilder&)>& then_fn,
+                       const std::function<void(BlockBuilder&)>& else_fn) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kIf;
+  stmt.cond = cond.id;
+  stmt.then_block = builder_.new_block();
+  {
+    BlockBuilder then_builder(builder_, stmt.then_block);
+    then_fn(then_builder);
+  }
+  if (else_fn) {
+    stmt.else_block = builder_.new_block();
+    BlockBuilder else_builder(builder_, stmt.else_block);
+    else_fn(else_builder);
+  }
+  append(stmt);
+}
+
+void BlockBuilder::while_(CondExpr cond,
+                          const std::function<void(BlockBuilder&)>& body) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kWhile;
+  stmt.cond = cond.id;
+  stmt.then_block = builder_.new_block();
+  {
+    BlockBuilder body_builder(builder_, stmt.then_block);
+    body(body_builder);
+  }
+  append(stmt);
+}
+
+void BlockBuilder::return_(CondExpr value) {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kReturn;
+  stmt.has_cond = true;
+  stmt.cond = value.id;
+  append(stmt);
+}
+
+void BlockBuilder::return_(bool value) { return_(constant(value)); }
+
+void BlockBuilder::return_void() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kReturn;
+  stmt.has_cond = false;
+  append(stmt);
+}
+
+// -- ProgramBuilder ----------------------------------------------------------
+
+Reg ProgramBuilder::reg(std::string name) {
+  for (const std::string& existing : program_.registers)
+    if (existing == name)
+      throw std::invalid_argument("ProgramBuilder: duplicate register " +
+                                  name);
+  program_.registers.push_back(std::move(name));
+  return static_cast<Reg>(program_.registers.size() - 1);
+}
+
+ProcRef ProgramBuilder::declare_proc(std::string name, bool returns_value) {
+  Procedure proc;
+  proc.name = std::move(name);
+  proc.returns_value = returns_value;
+  program_.procedures.push_back(std::move(proc));
+  return {static_cast<ProcId>(program_.procedures.size() - 1)};
+}
+
+void ProgramBuilder::define(ProcRef proc,
+                            const std::function<void(BlockBuilder&)>& body) {
+  Procedure& decl = program_.procedures.at(proc.id);
+  if (decl.body != kNoBlock)
+    throw std::logic_error("ProgramBuilder: procedure " + decl.name +
+                           " defined twice");
+  const BlockId block = new_block();
+  BlockBuilder block_builder(*this, block);
+  body(block_builder);
+  // Re-fetch: `program_.procedures` may have grown during body().
+  program_.procedures.at(proc.id).body = block;
+}
+
+ProcRef ProgramBuilder::proc(std::string name, bool returns_value,
+                             const std::function<void(BlockBuilder&)>& body) {
+  const ProcRef ref = declare_proc(std::move(name), returns_value);
+  define(ref, body);
+  return ref;
+}
+
+BlockId ProgramBuilder::new_block() {
+  program_.blocks.emplace_back();
+  return static_cast<BlockId>(program_.blocks.size() - 1);
+}
+
+Program ProgramBuilder::build(ProcRef main) && {
+  program_.main_proc = main.id;
+  program_.validate();
+  return std::move(program_);
+}
+
+}  // namespace ppde::progmodel

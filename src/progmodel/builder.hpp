@@ -1,0 +1,102 @@
+// Fluent construction of population programs.
+//
+// Usage (the Figure-1 program, abbreviated):
+//
+//   ProgramBuilder b;
+//   Reg x = b.reg("x"), y = b.reg("y"), z = b.reg("z");
+//   ProcRef test4 = b.declare_proc("Test(4)", /*returns_value=*/true);
+//   ProcRef main = b.declare_proc("Main", false);
+//   b.define(test4, [&](BlockBuilder& s) {
+//     for (int j = 0; j < 4; ++j)
+//       s.if_(s.detect(x), [&](BlockBuilder& t) { t.move(x, y); },
+//             [&](BlockBuilder& e) { e.return_(false); });
+//     s.return_(true);
+//   });
+//   ...
+//   Program p = b.build(main);
+//
+// for-loops of the paper are macros: express them as C++ loops that emit
+// the body repeatedly (exactly the paper's expansion).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "progmodel/ast.hpp"
+
+namespace ppde::progmodel {
+
+/// Opaque handle for a declared procedure.
+struct ProcRef {
+  ProcId id = 0;
+};
+
+/// Handle for a condition being built (arena index).
+struct CondExpr {
+  CondId id = 0;
+};
+
+class ProgramBuilder;
+
+/// Builds one block of statements. Only valid during the define() callback
+/// that produced it.
+class BlockBuilder {
+ public:
+  // -- conditions (usable in if_/while_/return_) ---------------------------
+  CondExpr detect(Reg reg);
+  CondExpr call_cond(ProcRef proc);
+  CondExpr constant(bool value);
+  CondExpr not_(CondExpr operand);
+  CondExpr and_(CondExpr lhs, CondExpr rhs);
+  CondExpr or_(CondExpr lhs, CondExpr rhs);
+
+  // -- statements -----------------------------------------------------------
+  void move(Reg from, Reg to);
+  void swap(Reg a, Reg b);
+  void set_of(bool value);
+  void restart();
+  void call(ProcRef proc);
+  void if_(CondExpr cond, const std::function<void(BlockBuilder&)>& then_fn,
+           const std::function<void(BlockBuilder&)>& else_fn = nullptr);
+  void while_(CondExpr cond, const std::function<void(BlockBuilder&)>& body);
+  void return_(CondExpr value);
+  void return_(bool value);
+  void return_void();
+
+ private:
+  friend class ProgramBuilder;
+  BlockBuilder(ProgramBuilder& builder, BlockId block)
+      : builder_(builder), block_(block) {}
+
+  void append(Stmt stmt);
+
+  ProgramBuilder& builder_;
+  BlockId block_;
+};
+
+class ProgramBuilder {
+ public:
+  /// Create a register; names must be unique.
+  Reg reg(std::string name);
+
+  /// Declare a procedure (so it can be referenced before its definition).
+  ProcRef declare_proc(std::string name, bool returns_value);
+
+  /// Define the body of a previously declared procedure.
+  void define(ProcRef proc, const std::function<void(BlockBuilder&)>& body);
+
+  /// Declare + define in one go.
+  ProcRef proc(std::string name, bool returns_value,
+               const std::function<void(BlockBuilder&)>& body);
+
+  /// Finish; validates the program. `main` is the entry procedure.
+  Program build(ProcRef main) &&;
+
+ private:
+  friend class BlockBuilder;
+  BlockId new_block();
+
+  Program program_;
+};
+
+}  // namespace ppde::progmodel

@@ -1,0 +1,386 @@
+#include "progmodel/explore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/scc.hpp"
+
+namespace ppde::progmodel {
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+// Node encoding: [regs (R entries), meta, stack...] with
+// meta = pc | cf << 32 | of << 33.
+struct VecHash {
+  u64 operator()(const std::vector<u64>& v) const {
+    return support::hash_range(v);
+  }
+};
+
+constexpr u64 kCfBit = u64{1} << 32;
+constexpr u64 kOfBit = u64{1} << 33;
+
+enum class Terminal : std::uint8_t { kNone, kReturn, kRestart };
+
+class Engine {
+ public:
+  enum class Mode { kPost, kMain, kDecide };
+
+  Engine(const FlatProgram& flat, Mode mode, const ExploreLimits& limits)
+      : flat_(flat), mode_(mode), limits_(limits) {}
+
+  /// Returns false if the node limit was hit.
+  bool explore(const std::vector<u64>& regs, u32 entry_pc) {
+    if (regs.size() != flat_.num_registers)
+      throw std::invalid_argument("explore: wrong number of registers");
+    total_ = 0;
+    for (u64 r : regs) total_ += r;
+    if (mode_ == Mode::kDecide)
+      compositions_ = all_compositions(total_, flat_.num_registers);
+
+    std::vector<u64> start = regs;
+    start.push_back(entry_pc);  // meta: cf = of = false
+    intern(std::move(start));
+
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      if (nodes_.size() > limits_.max_nodes) return false;
+      expand(id);
+    }
+    return true;
+  }
+
+  PostResult finish_post() {
+    PostResult result;
+    result.explored_nodes = nodes_.size();
+    result.can_hang = can_hang_;
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      if (terminal_[id] == Terminal::kRestart) result.can_restart = true;
+      if (terminal_[id] == Terminal::kReturn) {
+        PostResult::Outcome outcome;
+        const std::vector<u64>& node = *nodes_[id];
+        outcome.regs.assign(node.begin(), node.begin() + flat_.num_registers);
+        outcome.ret = return_value_[id];
+        if (std::find(result.outcomes.begin(), result.outcomes.end(),
+                      outcome) == result.outcomes.end())
+          result.outcomes.push_back(std::move(outcome));
+      }
+    }
+    compute_scc();
+    result.can_diverge = has_nonterminal_bscc();
+    return result;
+  }
+
+  MainAnalysis finish_main() {
+    MainAnalysis result;
+    result.explored_nodes = nodes_.size();
+    for (u32 id = 0; id < nodes_.size(); ++id)
+      if (terminal_[id] == Terminal::kRestart) result.can_restart = true;
+    compute_scc();
+    classify_bsccs([&](bool saw_true, bool saw_false) {
+      if (saw_true && saw_false)
+        result.has_mixed_bscc = true;
+      else if (saw_true)
+        result.may_stabilise_true = true;
+      else
+        result.may_stabilise_false = true;
+    });
+    return result;
+  }
+
+  DecisionResult finish_decide() {
+    DecisionResult result;
+    result.explored_nodes = nodes_.size();
+    compute_scc();
+    bool any_true = false, any_false = false, any_mixed = false;
+    classify_bsccs([&](bool saw_true, bool saw_false) {
+      if (saw_true && saw_false)
+        any_mixed = true;
+      else if (saw_true)
+        any_true = true;
+      else
+        any_false = true;
+    });
+    using Verdict = DecisionResult::Verdict;
+    if (any_mixed || (any_true && any_false))
+      result.verdict = Verdict::kDoesNotStabilise;
+    else if (any_true)
+      result.verdict = Verdict::kStabilisesTrue;
+    else if (any_false)
+      result.verdict = Verdict::kStabilisesFalse;
+    else
+      result.verdict = Verdict::kDoesNotStabilise;  // no BSCC: impossible
+    return result;
+  }
+
+ private:
+  u32 intern(std::vector<u64> node) {
+    auto [it, inserted] =
+        ids_.try_emplace(std::move(node), static_cast<u32>(nodes_.size()));
+    if (inserted) {
+      nodes_.push_back(&it->first);
+      successors_.emplace_back();
+      terminal_.push_back(Terminal::kNone);
+      return_value_.push_back(-1);
+    }
+    return it->second;
+  }
+
+  void expand(u32 id) {
+    // Decode. Copy the node: intern() may rehash the map while we hold it.
+    const std::vector<u64> node = *nodes_[id];
+    const u32 regs_n = flat_.num_registers;
+    const u64 meta = node[regs_n];
+    const u32 pc = static_cast<u32>(meta & 0xffffffffu);
+    const bool cf = (meta & kCfBit) != 0;
+    const bool of = (meta & kOfBit) != 0;
+
+    auto make = [&](u32 new_pc, bool new_cf, bool new_of,
+                    const std::vector<u64>* new_regs,
+                    int stack_delta /* -1 pop, 0, +1 push */,
+                    u32 push_value) {
+      std::vector<u64> next;
+      next.reserve(node.size() + 1);
+      if (new_regs != nullptr)
+        next.insert(next.end(), new_regs->begin(), new_regs->end());
+      else
+        next.insert(next.end(), node.begin(), node.begin() + regs_n);
+      next.push_back(u64{new_pc} | (new_cf ? kCfBit : 0) |
+                     (new_of ? kOfBit : 0));
+      const std::size_t stack_begin = regs_n + 1;
+      const std::size_t stack_end = node.size();
+      std::size_t copy_end = stack_end;
+      if (stack_delta < 0) --copy_end;
+      next.insert(next.end(), node.begin() + stack_begin,
+                  node.begin() + copy_end);
+      if (stack_delta > 0) next.push_back(push_value);
+      return intern(std::move(next));
+    };
+
+    std::vector<u32> succs;
+    const FlatOp& op = flat_.ops[pc];
+    switch (op.kind) {
+      case FlatOp::Kind::kMove: {
+        if (node[op.a] == 0) {
+          can_hang_ = true;
+          succs.push_back(id);  // blocked: self-loop
+          break;
+        }
+        std::vector<u64> regs(node.begin(), node.begin() + regs_n);
+        --regs[op.a];
+        ++regs[op.b];
+        succs.push_back(make(pc + 1, cf, of, &regs, 0, 0));
+        break;
+      }
+      case FlatOp::Kind::kSwap: {
+        std::vector<u64> regs(node.begin(), node.begin() + regs_n);
+        std::swap(regs[op.a], regs[op.b]);
+        succs.push_back(make(pc + 1, cf, of, &regs, 0, 0));
+        break;
+      }
+      case FlatOp::Kind::kSetOF:
+        succs.push_back(make(pc + 1, cf, op.a != 0, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kRestart:
+        if (mode_ == Mode::kDecide) {
+          // Expand to every fresh initial configuration with the same total.
+          for (const std::vector<u64>& regs : compositions_) {
+            std::vector<u64> next = regs;
+            next.push_back(u64{0} | (of ? kOfBit : 0));  // pc=0, cf=false
+            succs.push_back(intern(std::move(next)));
+          }
+        } else {
+          terminal_[id] = Terminal::kRestart;
+        }
+        break;
+      case FlatOp::Kind::kDetect:
+        succs.push_back(make(pc + 1, false, of, nullptr, 0, 0));
+        if (node[op.a] > 0)
+          succs.push_back(make(pc + 1, true, of, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kSetCF:
+        succs.push_back(make(pc + 1, op.a != 0, of, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kNotCF:
+        succs.push_back(make(pc + 1, !cf, of, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kJump:
+        succs.push_back(make(op.a, cf, of, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kBranch:
+        succs.push_back(make(cf ? op.a : op.b, cf, of, nullptr, 0, 0));
+        break;
+      case FlatOp::Kind::kCall:
+        succs.push_back(
+            make(flat_.proc_entry[op.a], cf, of, nullptr, +1, pc + 1));
+        break;
+      case FlatOp::Kind::kReturn: {
+        const bool new_cf = op.a == 2 ? cf : op.a != 0;
+        const bool stack_empty = node.size() == regs_n + 1;
+        if (stack_empty) {
+          if (mode_ == Mode::kPost) {
+            terminal_[id] = Terminal::kReturn;
+            return_value_[id] = op.a == 2 ? -1 : static_cast<int>(op.a);
+          } else {
+            succs.push_back(make(1 /* halt */, new_cf, of, nullptr, 0, 0));
+          }
+        } else {
+          const u32 return_pc = static_cast<u32>(node.back());
+          succs.push_back(make(return_pc, new_cf, of, nullptr, -1, 0));
+        }
+        break;
+      }
+      case FlatOp::Kind::kHalt:
+        succs.push_back(id);
+        break;
+    }
+
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    successors_[id] = std::move(succs);
+  }
+
+  void compute_scc() {
+    const support::SccResult scc = support::tarjan_scc(successors_);
+    scc_of_ = scc.scc_of;
+    scc_count_ = scc.scc_count;
+  }
+
+  /// Invoke fn(saw_true, saw_false) once per bottom SCC made of
+  /// non-terminal nodes, with the OF values present in that SCC.
+  template <typename Fn>
+  void classify_bsccs(const Fn& fn) {
+    std::vector<std::uint8_t> is_bottom(scc_count_, 1);
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      if (terminal_[id] != Terminal::kNone) {
+        is_bottom[scc_of_[id]] = 0;  // terminal events are not stabilisation
+        continue;
+      }
+      for (u32 succ : successors_[id])
+        if (scc_of_[succ] != scc_of_[id]) is_bottom[scc_of_[id]] = 0;
+    }
+    std::vector<std::uint8_t> saw_true(scc_count_, 0);
+    std::vector<std::uint8_t> saw_false(scc_count_, 0);
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      const u32 scc = scc_of_[id];
+      if (!is_bottom[scc]) continue;
+      const bool of = (((*nodes_[id])[flat_.num_registers]) & kOfBit) != 0;
+      (of ? saw_true : saw_false)[scc] = 1;
+    }
+    for (u32 scc = 0; scc < scc_count_; ++scc)
+      if (is_bottom[scc] && (saw_true[scc] || saw_false[scc]))
+        fn(saw_true[scc] != 0, saw_false[scc] != 0);
+  }
+
+  bool has_nonterminal_bscc() {
+    std::vector<std::uint8_t> is_bottom(scc_count_, 1);
+    std::vector<std::uint8_t> has_nonterminal(scc_count_, 0);
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      if (terminal_[id] != Terminal::kNone) {
+        is_bottom[scc_of_[id]] = 0;
+        continue;
+      }
+      has_nonterminal[scc_of_[id]] = 1;
+      for (u32 succ : successors_[id])
+        if (scc_of_[succ] != scc_of_[id]) is_bottom[scc_of_[id]] = 0;
+    }
+    for (u32 scc = 0; scc < scc_count_; ++scc)
+      if (is_bottom[scc] && has_nonterminal[scc]) return true;
+    return false;
+  }
+
+  const FlatProgram& flat_;
+  Mode mode_;
+  ExploreLimits limits_;
+  u64 total_ = 0;
+  std::vector<std::vector<u64>> compositions_;
+
+  std::unordered_map<std::vector<u64>, u32, VecHash> ids_;
+  std::vector<const std::vector<u64>*> nodes_;
+  std::vector<std::vector<u32>> successors_;
+  std::vector<Terminal> terminal_;
+  std::vector<int> return_value_;
+  std::vector<u32> scc_of_;
+  u32 scc_count_ = 0;
+  bool can_hang_ = false;
+};
+
+}  // namespace
+
+bool PostResult::contains(const std::vector<std::uint64_t>& regs,
+                          int ret) const {
+  for (const Outcome& outcome : outcomes)
+    if (outcome.regs == regs && outcome.ret == ret) return true;
+  return false;
+}
+
+PostResult explore_post(const FlatProgram& flat, ProcId proc,
+                        const std::vector<std::uint64_t>& regs,
+                        const ExploreLimits& limits) {
+  Engine engine(flat, Engine::Mode::kPost, limits);
+  if (!engine.explore(regs, flat.proc_entry[proc])) {
+    PostResult result;
+    result.limit_hit = true;
+    return result;
+  }
+  return engine.finish_post();
+}
+
+MainAnalysis analyse_main(const FlatProgram& flat,
+                          const std::vector<std::uint64_t>& regs,
+                          const ExploreLimits& limits) {
+  Engine engine(flat, Engine::Mode::kMain, limits);
+  if (!engine.explore(regs, 0)) {
+    MainAnalysis result;
+    result.limit_hit = true;
+    return result;
+  }
+  return engine.finish_main();
+}
+
+DecisionResult decide(const FlatProgram& flat,
+                      const std::vector<std::uint64_t>& initial_regs,
+                      const ExploreLimits& limits) {
+  Engine engine(flat, Engine::Mode::kDecide, limits);
+  if (!engine.explore(initial_regs, 0)) {
+    DecisionResult result;
+    result.verdict = DecisionResult::Verdict::kLimit;
+    return result;
+  }
+  return engine.finish_decide();
+}
+
+std::vector<std::vector<std::uint64_t>> all_compositions(
+    std::uint64_t total, std::uint32_t registers) {
+  std::vector<std::vector<std::uint64_t>> result;
+  std::vector<std::uint64_t> current(registers, 0);
+  // Lexicographic recursive enumeration (iterative would obscure it).
+  struct Rec {
+    std::vector<std::vector<std::uint64_t>>& out;
+    std::vector<std::uint64_t>& current;
+    std::uint32_t registers;
+    void go(std::uint32_t index, std::uint64_t remaining) {
+      if (index + 1 == registers) {
+        current[index] = remaining;
+        out.push_back(current);
+        return;
+      }
+      for (std::uint64_t v = 0; v <= remaining; ++v) {
+        current[index] = v;
+        go(index + 1, remaining - v);
+      }
+    }
+  };
+  if (registers == 0) {
+    if (total == 0) result.push_back({});
+    return result;
+  }
+  Rec{result, current, registers}.go(0, total);
+  return result;
+}
+
+}  // namespace ppde::progmodel

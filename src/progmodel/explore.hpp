@@ -1,0 +1,119 @@
+// Exhaustive exploration of population programs under the paper's exact
+// nondeterministic + fair semantics.
+//
+// The state of a flattened program — (registers, CF, OF, pc, call stack) —
+// ranges over a finite set once the conserved agent total is fixed, so we
+// can enumerate the full reachability graph and decide the fair-run
+// properties the paper's lemmas assert:
+//
+//   * post(C, f)   (Appendix A notation): all outcomes of running procedure
+//     f from register configuration C — returned configurations/values,
+//     whether a restart is possible, and whether ⊥ (hang/divergence) is
+//     possible. A fair run diverges iff it can reach a *non-terminal bottom
+//     SCC* of the graph (fairness forces runs out of any SCC with an exit
+//     edge), so ⊥ detection is a Tarjan pass.
+//
+//   * decision analysis for the whole program (Theorem 3): with restart
+//     edges expanded to *all* compositions of the agent total, the program
+//     stabilises to b iff every reachable bottom SCC is OF-constant with
+//     value b.
+//
+//   * per-configuration Main analysis (Lemma 4): with restarts treated as
+//     terminals, report which outputs Main may stabilise to from one
+//     configuration and whether it otherwise always restarts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "progmodel/flat.hpp"
+
+namespace ppde::progmodel {
+
+struct ExploreLimits {
+  std::uint64_t max_nodes = 2'000'000;
+};
+
+/// Result of exhaustively running one procedure (paper: post(C, f)).
+struct PostResult {
+  struct Outcome {
+    std::vector<std::uint64_t> regs;
+    /// -1: void return, 0: returned false, 1: returned true.
+    int ret = -1;
+
+    friend bool operator==(const Outcome&, const Outcome&) = default;
+  };
+
+  std::vector<Outcome> outcomes;  ///< deduplicated
+  bool can_restart = false;
+  bool can_hang = false;     ///< a blocked move is reachable
+  bool can_diverge = false;  ///< ⊥: non-terminal bottom SCC reachable
+  bool limit_hit = false;
+  std::uint64_t explored_nodes = 0;
+
+  /// True iff (regs, ret) is among the outcomes.
+  bool contains(const std::vector<std::uint64_t>& regs, int ret) const;
+
+  /// True iff the only possible behaviour is returning (no restart/⊥).
+  bool returns_only() const {
+    return !can_restart && !can_diverge && !limit_hit;
+  }
+};
+
+/// Run procedure `proc` from register configuration `regs` (CF/OF start
+/// false; they are always written before being read by lowered code).
+PostResult explore_post(const FlatProgram& flat, ProcId proc,
+                        const std::vector<std::uint64_t>& regs,
+                        const ExploreLimits& limits = {});
+
+/// Lemma-4-style analysis of a full program from ONE initial configuration,
+/// with restart as a terminal event.
+struct MainAnalysis {
+  bool may_stabilise_true = false;   ///< an OF≡true bottom SCC is reachable
+  bool may_stabilise_false = false;  ///< an OF≡false bottom SCC is reachable
+  bool has_mixed_bscc = false;       ///< a bottom SCC with both OF values
+  bool can_restart = false;
+  bool limit_hit = false;
+  std::uint64_t explored_nodes = 0;
+
+  /// "It always restarts": no stabilisation possible at all.
+  bool always_restarts() const {
+    return !may_stabilise_true && !may_stabilise_false && !has_mixed_bscc &&
+           can_restart && !limit_hit;
+  }
+};
+MainAnalysis analyse_main(const FlatProgram& flat,
+                          const std::vector<std::uint64_t>& regs,
+                          const ExploreLimits& limits = {});
+
+/// Full decision analysis (Theorem 3): explore from every composition? No —
+/// from the given initial configuration, with restart edges expanded to all
+/// compositions of the conserved total. Every fair run stabilises to b iff
+/// every reachable bottom SCC is OF-constant with value b.
+struct DecisionResult {
+  enum class Verdict {
+    kStabilisesTrue,
+    kStabilisesFalse,
+    kDoesNotStabilise,
+    kLimit,
+  };
+  Verdict verdict = Verdict::kLimit;
+  std::uint64_t explored_nodes = 0;
+
+  bool stabilises() const {
+    return verdict == Verdict::kStabilisesTrue ||
+           verdict == Verdict::kStabilisesFalse;
+  }
+  bool output() const { return verdict == Verdict::kStabilisesTrue; }
+};
+DecisionResult decide(const FlatProgram& flat,
+                      const std::vector<std::uint64_t>& initial_regs,
+                      const ExploreLimits& limits = {});
+
+/// All compositions of `total` agents over `registers` registers
+/// (helper shared by decide() and the tests; ordering is lexicographic).
+std::vector<std::vector<std::uint64_t>> all_compositions(
+    std::uint64_t total, std::uint32_t registers);
+
+}  // namespace ppde::progmodel

@@ -1,0 +1,211 @@
+#include "progmodel/flat.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ppde::progmodel {
+
+namespace {
+
+class FlatCompiler {
+ public:
+  explicit FlatCompiler(const Program& program) : program_(program) {}
+
+  FlatProgram compile() {
+    out_.num_registers = static_cast<std::uint32_t>(program_.num_registers());
+    out_.reg_names = program_.registers;
+    out_.main_proc = program_.main_proc;
+    out_.proc_entry.assign(program_.procedures.size(), 0);
+
+    // Prologue: call Main, then loop forever (Appendix B.2 inserts exactly
+    // this in case Main returns).
+    emit({FlatOp::Kind::kCall, program_.main_proc, 0});
+    emit({FlatOp::Kind::kHalt, 0, 0});
+
+    for (ProcId id = 0; id < program_.procedures.size(); ++id) {
+      const Procedure& proc = program_.procedures[id];
+      out_.proc_names.push_back(proc.name);
+      out_.proc_entry[id] = next_pc();
+      lower_block(proc.body);
+      // Fall-off-the-end: implicit void return. (The paper's programs end
+      // value-returning procedures with explicit returns.)
+      emit({FlatOp::Kind::kReturn, 2, 0});
+    }
+    return std::move(out_);
+  }
+
+ private:
+  std::uint32_t next_pc() const {
+    return static_cast<std::uint32_t>(out_.ops.size());
+  }
+
+  std::uint32_t emit(FlatOp op) {
+    out_.ops.push_back(op);
+    return next_pc() - 1;
+  }
+
+  /// Lower a condition so that execution falls through with CF = its value.
+  void lower_cond(CondId id) {
+    const Cond& cond = program_.conds[id];
+    switch (cond.kind) {
+      case Cond::Kind::kConst:
+        emit({FlatOp::Kind::kSetCF, cond.value ? 1u : 0u, 0});
+        break;
+      case Cond::Kind::kDetect:
+        emit({FlatOp::Kind::kDetect, cond.reg, 0});
+        break;
+      case Cond::Kind::kCall:
+        emit({FlatOp::Kind::kCall, cond.proc, 0});
+        break;
+      case Cond::Kind::kNot:
+        lower_cond(cond.lhs);
+        emit({FlatOp::Kind::kNotCF, 0, 0});
+        break;
+      case Cond::Kind::kAnd: {
+        lower_cond(cond.lhs);
+        // if !CF skip rhs (CF already false)
+        const std::uint32_t branch = emit({FlatOp::Kind::kBranch, 0, 0});
+        out_.ops[branch].a = next_pc();  // true: evaluate rhs
+        lower_cond(cond.rhs);
+        out_.ops[branch].b = next_pc();  // false: skip, CF == false
+        break;
+      }
+      case Cond::Kind::kOr: {
+        lower_cond(cond.lhs);
+        const std::uint32_t branch = emit({FlatOp::Kind::kBranch, 0, 0});
+        out_.ops[branch].b = next_pc();  // false: evaluate rhs
+        lower_cond(cond.rhs);
+        out_.ops[branch].a = next_pc();  // true: skip, CF == true
+        break;
+      }
+    }
+  }
+
+  void lower_block(BlockId block) {
+    if (block == kNoBlock) return;
+    for (StmtId id : program_.blocks[block]) lower_stmt(program_.stmts[id]);
+  }
+
+  void lower_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kMove:
+        emit({FlatOp::Kind::kMove, stmt.from, stmt.to});
+        break;
+      case Stmt::Kind::kSwap:
+        emit({FlatOp::Kind::kSwap, stmt.from, stmt.to});
+        break;
+      case Stmt::Kind::kSetOF:
+        emit({FlatOp::Kind::kSetOF, stmt.value ? 1u : 0u, 0});
+        break;
+      case Stmt::Kind::kRestart:
+        emit({FlatOp::Kind::kRestart, 0, 0});
+        break;
+      case Stmt::Kind::kCall:
+        emit({FlatOp::Kind::kCall, stmt.proc, 0});
+        break;
+      case Stmt::Kind::kIf: {
+        lower_cond(stmt.cond);
+        const std::uint32_t branch = emit({FlatOp::Kind::kBranch, 0, 0});
+        out_.ops[branch].a = next_pc();
+        lower_block(stmt.then_block);
+        if (stmt.else_block == kNoBlock) {
+          out_.ops[branch].b = next_pc();
+        } else {
+          const std::uint32_t jump_end = emit({FlatOp::Kind::kJump, 0, 0});
+          out_.ops[branch].b = next_pc();
+          lower_block(stmt.else_block);
+          out_.ops[jump_end].a = next_pc();
+        }
+        break;
+      }
+      case Stmt::Kind::kWhile: {
+        const std::uint32_t head = next_pc();
+        lower_cond(stmt.cond);
+        const std::uint32_t branch = emit({FlatOp::Kind::kBranch, 0, 0});
+        out_.ops[branch].a = next_pc();
+        lower_block(stmt.then_block);
+        emit({FlatOp::Kind::kJump, head, 0});
+        out_.ops[branch].b = next_pc();
+        break;
+      }
+      case Stmt::Kind::kReturn:
+        if (!stmt.has_cond) {
+          emit({FlatOp::Kind::kReturn, 2, 0});
+        } else if (program_.conds[stmt.cond].kind == Cond::Kind::kConst) {
+          emit({FlatOp::Kind::kReturn,
+                program_.conds[stmt.cond].value ? 1u : 0u, 0});
+        } else {
+          lower_cond(stmt.cond);
+          const std::uint32_t branch = emit({FlatOp::Kind::kBranch, 0, 0});
+          out_.ops[branch].a = next_pc();
+          emit({FlatOp::Kind::kReturn, 1, 0});
+          out_.ops[branch].b = next_pc();
+          emit({FlatOp::Kind::kReturn, 0, 0});
+        }
+        break;
+    }
+  }
+
+  const Program& program_;
+  FlatProgram out_;
+};
+
+}  // namespace
+
+FlatProgram FlatProgram::compile(const Program& program) {
+  program.validate();
+  return FlatCompiler(program).compile();
+}
+
+std::string FlatProgram::to_string() const {
+  std::ostringstream os;
+  for (std::uint32_t pc = 0; pc < ops.size(); ++pc) {
+    for (ProcId proc = 0; proc < proc_entry.size(); ++proc)
+      if (proc_entry[proc] == pc) os << proc_names[proc] << ":\n";
+    const FlatOp& op = ops[pc];
+    os << "  " << pc << ": ";
+    switch (op.kind) {
+      case FlatOp::Kind::kMove:
+        os << reg_names[op.a] << " -> " << reg_names[op.b];
+        break;
+      case FlatOp::Kind::kSwap:
+        os << "swap " << reg_names[op.a] << ", " << reg_names[op.b];
+        break;
+      case FlatOp::Kind::kSetOF:
+        os << "OF := " << (op.a ? "true" : "false");
+        break;
+      case FlatOp::Kind::kRestart:
+        os << "restart";
+        break;
+      case FlatOp::Kind::kDetect:
+        os << "CF := detect " << reg_names[op.a] << " > 0";
+        break;
+      case FlatOp::Kind::kSetCF:
+        os << "CF := " << (op.a ? "true" : "false");
+        break;
+      case FlatOp::Kind::kNotCF:
+        os << "CF := !CF";
+        break;
+      case FlatOp::Kind::kJump:
+        os << "goto " << op.a;
+        break;
+      case FlatOp::Kind::kBranch:
+        os << "if CF goto " << op.a << " else goto " << op.b;
+        break;
+      case FlatOp::Kind::kCall:
+        os << "call " << proc_names[op.a];
+        break;
+      case FlatOp::Kind::kReturn:
+        os << (op.a == 2 ? "return" : op.a == 1 ? "return true"
+                                                : "return false");
+        break;
+      case FlatOp::Kind::kHalt:
+        os << "halt";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppde::progmodel

@@ -1,0 +1,56 @@
+// Flattened form of population programs.
+//
+// Both interpreters (the randomized runner and the exhaustive explorer)
+// work on a compiled, goto-style representation: structured control flow is
+// lowered to branches on an internal condition flag, short-circuit boolean
+// operators become control flow, and procedure calls push explicit return
+// addresses. This mirrors what the Section-7.2 lowering does for population
+// machines, but stays internal to the interpreters: the official machine
+// lowering (compile/lower.hpp) is a separate, faithful implementation with
+// the register map and pointer domains of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "progmodel/ast.hpp"
+
+namespace ppde::progmodel {
+
+struct FlatOp {
+  enum class Kind {
+    kMove,     ///< regs[a] -> regs[b]; hangs if regs[a] == 0
+    kSwap,     ///< exchange regs[a], regs[b]
+    kSetOF,    ///< OF := a
+    kRestart,  ///< restart with a nondeterministic composition
+    kDetect,   ///< CF := nondet in {false, regs[a] > 0}
+    kSetCF,    ///< CF := a
+    kNotCF,    ///< CF := !CF
+    kJump,     ///< goto a
+    kBranch,   ///< if CF goto a else goto b
+    kCall,     ///< push pc+1; goto entry of procedure a
+    kReturn,   ///< a: 0 = return false, 1 = return true, 2 = void return
+    kHalt,     ///< self-loop (reached when Main returns)
+  };
+  Kind kind = Kind::kHalt;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct FlatProgram {
+  std::uint32_t num_registers = 0;
+  std::vector<FlatOp> ops;
+  std::vector<std::uint32_t> proc_entry;  ///< per source procedure
+  std::vector<std::string> reg_names;
+  std::vector<std::string> proc_names;
+  ProcId main_proc = 0;
+
+  /// Lower a (validated) population program. ops[0] calls Main; ops[1] is
+  /// the halt loop, matching the paper's machine prologue (Appendix B.2).
+  static FlatProgram compile(const Program& program);
+
+  std::string to_string() const;
+};
+
+}  // namespace ppde::progmodel

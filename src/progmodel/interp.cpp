@@ -1,0 +1,163 @@
+#include "progmodel/interp.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ppde::progmodel {
+
+Runner::Runner(const FlatProgram& flat, std::vector<std::uint64_t> initial_regs,
+               std::uint64_t seed)
+    : flat_(flat), regs_(std::move(initial_regs)), rng_(seed) {
+  if (regs_.size() != flat.num_registers)
+    throw std::invalid_argument("Runner: wrong number of registers");
+  total_agents_ = std::accumulate(regs_.begin(), regs_.end(),
+                                  std::uint64_t{0});
+}
+
+Runner::StepStatus Runner::step() {
+  const FlatOp& op = flat_.ops[pc_];
+  switch (op.kind) {
+    case FlatOp::Kind::kMove:
+      if (regs_[op.a] == 0) return StepStatus::kHung;
+      --regs_[op.a];
+      ++regs_[op.b];
+      ++pc_;
+      break;
+    case FlatOp::Kind::kSwap:
+      std::swap(regs_[op.a], regs_[op.b]);
+      ++pc_;
+      break;
+    case FlatOp::Kind::kSetOF:
+      of_ = op.a != 0;
+      ++pc_;
+      break;
+    case FlatOp::Kind::kRestart: {
+      ++restarts_;
+      // Fresh initial configuration per the configured policy. OF survives
+      // a restart (the machine lowering keeps it; Main overwrites it).
+      std::fill(regs_.begin(), regs_.end(), 0);
+      switch (restart_policy_) {
+        case RestartPolicy::kMultinomial:
+          for (std::uint64_t i = 0; i < total_agents_; ++i)
+            ++regs_[rng_.below(regs_.size())];
+          break;
+        case RestartPolicy::kStarsAndBars: {
+          // Uniform composition: draw r-1 distinct bar positions out of
+          // total + r - 1 slots; gaps between bars are the register values.
+          const std::uint64_t r = regs_.size();
+          std::vector<std::uint64_t> bars;
+          // Floyd's algorithm for a uniform (r-1)-subset of [0, m + r - 2].
+          const std::uint64_t slots = total_agents_ + r - 1;
+          for (std::uint64_t j = slots - (r - 1); j < slots; ++j) {
+            std::uint64_t candidate = rng_.below(j + 1);
+            if (std::find(bars.begin(), bars.end(), candidate) != bars.end())
+              candidate = j;
+            bars.push_back(candidate);
+          }
+          std::sort(bars.begin(), bars.end());
+          std::uint64_t previous = 0;
+          for (std::uint64_t index = 0; index < r - 1; ++index) {
+            regs_[index] = bars[index] - previous;
+            previous = bars[index] + 1;
+          }
+          regs_[r - 1] = slots - previous;
+          break;
+        }
+        case RestartPolicy::kAllInHub:
+          regs_[0] = total_agents_;
+          break;
+      }
+      stack_.clear();
+      cf_ = false;
+      pc_ = 0;
+      break;
+    }
+    case FlatOp::Kind::kDetect:
+      cf_ = regs_[op.a] > 0 && rng_.chance(detect_num_, detect_den_);
+      ++pc_;
+      break;
+    case FlatOp::Kind::kSetCF:
+      cf_ = op.a != 0;
+      ++pc_;
+      break;
+    case FlatOp::Kind::kNotCF:
+      cf_ = !cf_;
+      ++pc_;
+      break;
+    case FlatOp::Kind::kJump:
+      pc_ = op.a;
+      break;
+    case FlatOp::Kind::kBranch:
+      pc_ = cf_ ? op.a : op.b;
+      break;
+    case FlatOp::Kind::kCall:
+      stack_.push_back(pc_ + 1);
+      pc_ = flat_.proc_entry[op.a];
+      break;
+    case FlatOp::Kind::kReturn:
+      if (op.a != 2) cf_ = op.a != 0;
+      if (stack_.empty()) {
+        pc_ = 1;  // halt op of the prologue
+      } else {
+        pc_ = stack_.back();
+        stack_.pop_back();
+      }
+      break;
+    case FlatOp::Kind::kHalt:
+      break;  // spin
+  }
+  return StepStatus::kOk;
+}
+
+void Runner::set_policies(RestartPolicy restart_policy,
+                          std::uint32_t detect_num, std::uint32_t detect_den) {
+  restart_policy_ = restart_policy;
+  detect_num_ = detect_num;
+  detect_den_ = detect_den;
+}
+
+RunResult Runner::run(const RunOptions& options) {
+  set_policies(options.restart_policy, options.detect_true_num,
+               options.detect_true_den);
+  RunResult result;
+  bool held_of = of_;
+  std::uint64_t held_since = 0;
+  for (std::uint64_t steps = 0; steps < options.max_steps; ++steps) {
+    if (step() == StepStatus::kHung) {
+      // A hung program never changes OF again: it has stabilised in the
+      // fair-run sense, but we surface the hang for diagnostics.
+      result.hung = true;
+      result.stabilised = true;
+      result.output = of_;
+      result.steps = steps;
+      result.restarts = restarts_;
+      return result;
+    }
+    if (of_ != held_of) {
+      held_of = of_;
+      held_since = steps;
+    }
+    if (steps - held_since >= options.stable_window &&
+        flat_.ops[pc_].kind != FlatOp::Kind::kHalt) {
+      // (The Halt check is cosmetic: halting also counts as stable.)
+      result.stabilised = true;
+      result.output = of_;
+      result.steps = steps;
+      result.restarts = restarts_;
+      return result;
+    }
+    if (flat_.ops[pc_].kind == FlatOp::Kind::kHalt) {
+      result.stabilised = true;
+      result.output = of_;
+      result.steps = steps;
+      result.restarts = restarts_;
+      return result;
+    }
+  }
+  result.steps = options.max_steps;
+  result.restarts = restarts_;
+  return result;
+}
+
+}  // namespace ppde::progmodel

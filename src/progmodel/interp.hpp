@@ -1,0 +1,93 @@
+// Randomized execution of population programs.
+//
+// Resolves the model's nondeterminism stochastically, which realises a fair
+// run with probability 1:
+//   * detect x > 0 returns true with probability 1/2 when x > 0 (always
+//     false when x == 0),
+//   * restart redistributes the conserved agent total over the registers by
+//     a uniform multinomial draw (every composition has positive
+//     probability, so fairness reaches every initial configuration).
+//
+// Used for the large instances the exhaustive explorer cannot enumerate and
+// for the restart-dynamics experiments. Stabilisation is detected
+// heuristically (OF unchanged for a window); progmodel/explore.hpp gives
+// exact answers for small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "progmodel/flat.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::progmodel {
+
+/// How the randomized interpreter resolves a restart. The model demands
+/// every composition be reachable; the policies exist for the ablation
+/// bench (bench_ablation) showing correctness depends on that coverage.
+enum class RestartPolicy {
+  kMultinomial,   ///< each unit placed in an independently uniform register
+  kStarsAndBars,  ///< uniform over *compositions* (heavier tail per register)
+  kAllInHub,      ///< everything into register 0 — deliberately broken:
+                  ///< covers almost no compositions, so runs that need a
+                  ///< structured good configuration never find one
+};
+
+struct RunOptions {
+  std::uint64_t max_steps = 50'000'000;
+  /// OF must hold this many steps to declare stabilisation.
+  std::uint64_t stable_window = 1'000'000;
+  std::uint64_t seed = 1;
+  RestartPolicy restart_policy = RestartPolicy::kMultinomial;
+  /// detect x > 0 returns true with probability num/den when x > 0.
+  std::uint32_t detect_true_num = 1;
+  std::uint32_t detect_true_den = 2;
+};
+
+struct RunResult {
+  bool stabilised = false;
+  bool output = false;        ///< valid if stabilised
+  bool hung = false;          ///< a move from an empty register blocked
+  std::uint64_t steps = 0;
+  std::uint64_t restarts = 0; ///< number of restart instructions executed
+};
+
+class Runner {
+ public:
+  /// `flat` must outlive the runner. `initial_regs.size()` must equal
+  /// flat.num_registers.
+  Runner(const FlatProgram& flat, std::vector<std::uint64_t> initial_regs,
+         std::uint64_t seed = 1);
+
+  /// Override the nondeterminism policies (defaults match RunOptions).
+  void set_policies(RestartPolicy restart_policy, std::uint32_t detect_num,
+                    std::uint32_t detect_den);
+
+  enum class StepStatus { kOk, kHung };
+
+  /// Execute one instruction.
+  StepStatus step();
+
+  RunResult run(const RunOptions& options);
+
+  const std::vector<std::uint64_t>& registers() const { return regs_; }
+  bool output_flag() const { return of_; }
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint32_t pc() const { return pc_; }
+
+ private:
+  const FlatProgram& flat_;
+  std::vector<std::uint64_t> regs_;
+  std::vector<std::uint32_t> stack_;
+  std::uint32_t pc_ = 0;
+  bool cf_ = false;
+  bool of_ = false;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t total_agents_ = 0;
+  RestartPolicy restart_policy_ = RestartPolicy::kMultinomial;
+  std::uint32_t detect_num_ = 1;
+  std::uint32_t detect_den_ = 2;
+  support::Rng rng_;
+};
+
+}  // namespace ppde::progmodel

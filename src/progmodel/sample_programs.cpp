@@ -1,0 +1,100 @@
+#include "progmodel/sample_programs.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "progmodel/builder.hpp"
+
+namespace ppde::progmodel {
+
+namespace {
+
+/// Test(i): move i units from x to y, reporting success (Figure 1).
+ProcRef make_test_proc(ProgramBuilder& b, Reg x, Reg y, std::uint32_t i) {
+  return b.proc("Test(" + std::to_string(i) + ")", /*returns_value=*/true,
+                [&, i](BlockBuilder& s) {
+                  for (std::uint32_t j = 0; j < i; ++j) {
+                    s.if_(s.detect(x), [&](BlockBuilder& t) { t.move(x, y); },
+                          [](BlockBuilder& e) { e.return_(false); });
+                  }
+                  s.return_(true);
+                });
+}
+
+/// Clean: restart when z is occupied, then drain y back into x (Figure 1).
+/// `z` may be absent (kNoReg) for programs without a junk register.
+constexpr Reg kNoReg = 0xffffffffu;
+
+ProcRef make_clean_proc(ProgramBuilder& b, Reg x, Reg y, Reg z,
+                        bool with_swap) {
+  return b.proc("Clean", /*returns_value=*/false, [&](BlockBuilder& s) {
+    if (z != kNoReg)
+      s.if_(s.detect(z), [](BlockBuilder& t) { t.restart(); });
+    if (with_swap) s.swap(x, y);
+    s.while_(s.detect(y), [&](BlockBuilder& t) { t.move(y, x); });
+  });
+}
+
+}  // namespace
+
+Program make_figure1_program() { return make_window_program(4, 7); }
+
+Program make_window_program(std::uint32_t lo, std::uint32_t hi) {
+  if (lo == 0 || lo >= hi)
+    throw std::invalid_argument("window program: need 0 < lo < hi");
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const Reg y = b.reg("y");
+  const Reg z = b.reg("z");
+  const ProcRef test_lo = make_test_proc(b, x, y, lo);
+  const ProcRef test_hi = make_test_proc(b, x, y, hi);
+  const ProcRef clean = make_clean_proc(b, x, y, z, /*with_swap=*/true);
+  const ProcRef main =
+      b.proc("Main", /*returns_value=*/false, [&](BlockBuilder& s) {
+        s.set_of(false);
+        s.while_(s.not_(s.call_cond(test_lo)),
+                 [&](BlockBuilder& t) { t.call(clean); });
+        s.set_of(true);
+        s.while_(s.not_(s.call_cond(test_hi)),
+                 [&](BlockBuilder& t) { t.call(clean); });
+        s.set_of(false);
+        s.while_(s.constant(true),
+                 [&](BlockBuilder& t) { t.call(clean); });
+      });
+  return std::move(b).build(main);
+}
+
+Program make_threshold_program(std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("threshold program: k must be >= 1");
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const Reg y = b.reg("y");
+  const ProcRef test = make_test_proc(b, x, y, k);
+  const ProcRef clean = make_clean_proc(b, x, y, kNoReg, /*with_swap=*/false);
+  const ProcRef main =
+      b.proc("Main", /*returns_value=*/false, [&](BlockBuilder& s) {
+        s.set_of(false);
+        s.while_(s.not_(s.call_cond(test)),
+                 [&](BlockBuilder& t) { t.call(clean); });
+        s.set_of(true);
+        s.while_(s.constant(true),
+                 [&](BlockBuilder& t) { t.call(clean); });
+      });
+  return std::move(b).build(main);
+}
+
+Program make_figure3_program() {
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const Reg y = b.reg("y");
+  const ProcRef main =
+      b.proc("Main", /*returns_value=*/false, [&](BlockBuilder& s) {
+        s.while_(s.detect(x), [&](BlockBuilder& t) {
+          t.move(x, y);
+          t.swap(x, y);
+        });
+      });
+  return std::move(b).build(main);
+}
+
+}  // namespace ppde::progmodel

@@ -1,0 +1,28 @@
+// Small population programs used by tests, benches and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "progmodel/ast.hpp"
+
+namespace ppde::progmodel {
+
+/// The paper's Figure-1 program: registers x, y, z; decides
+/// phi(m) <=> 4 <= m < 7 (m = total agents). Main tries to move 4 and then
+/// 7 units out of x; Clean restarts when z is occupied and drains y back
+/// into x (including the paper's superfluous swap).
+Program make_figure1_program();
+
+/// Generalisation of Figure 1 deciding lo <= m < hi (0 < lo < hi).
+Program make_window_program(std::uint32_t lo, std::uint32_t hi);
+
+/// Plain threshold program deciding m >= k, built in the Figure-1 style
+/// (Theta(k) instructions). Used for differential tests of the compilation
+/// pipeline against the flock-of-birds protocol.
+Program make_threshold_program(std::uint32_t k);
+
+/// The Figure-3 snippet (Main: while detect x > 0 { x -> y; swap x, y }),
+/// used by the lowering goldens. Not a decider.
+Program make_figure3_program();
+
+}  // namespace ppde::progmodel

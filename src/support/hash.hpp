@@ -1,0 +1,35 @@
+// Hash combinators for configuration hashing in the exhaustive verifiers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppde::support {
+
+/// 64-bit mix (from MurmurHash3 finaliser).
+constexpr std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Incrementally combine a value into a seed hash.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hash an entire integral sequence.
+template <typename T>
+std::uint64_t hash_range(const std::vector<T>& values,
+                         std::uint64_t seed = 0x2545f4914f6cdd1dULL) {
+  std::uint64_t h = seed;
+  for (const T& v : values) h = hash_combine(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+}  // namespace ppde::support

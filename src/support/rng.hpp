@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation used across the library.
+//
+// All stochastic components (schedulers, the randomized interpreters, the
+// noise generators) take an explicit Rng so that every experiment is
+// reproducible from a seed. We use SplitMix64 for seeding and a
+// xoshiro256** core: fast, high quality, and trivially copyable so
+// simulations can be forked.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppde::support {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Bernoulli draw with probability num/den. Requires den > 0.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  /// Fair coin flip.
+  bool coin() { return (operator()() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ppde::support

@@ -1,0 +1,79 @@
+#include "support/scc.hpp"
+
+#include <algorithm>
+
+namespace ppde::support {
+
+SccResult tarjan_scc(
+    const std::vector<std::vector<std::uint32_t>>& successors) {
+  using u32 = std::uint32_t;
+  const u32 n = static_cast<u32>(successors.size());
+  constexpr u32 kUnvisited = 0xffffffffu;
+
+  SccResult result;
+  result.scc_of.assign(n, kUnvisited);
+  std::vector<u32> index(n, kUnvisited);
+  std::vector<u32> lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<u32> stack;
+
+  struct Frame {
+    u32 node;
+    u32 child;
+  };
+  std::vector<Frame> call_stack;
+  u32 next_index = 0;
+
+  for (u32 root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto& succs = successors[frame.node];
+      if (frame.child < succs.size()) {
+        const u32 next = succs[frame.child++];
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = 1;
+          call_stack.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+      } else {
+        const u32 node = frame.node;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const u32 parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[node]);
+        }
+        if (lowlink[node] == index[node]) {
+          while (true) {
+            const u32 member = stack.back();
+            stack.pop_back();
+            on_stack[member] = 0;
+            result.scc_of[member] = result.scc_count;
+            if (member == node) break;
+          }
+          ++result.scc_count;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> SccResult::bottom(
+    const std::vector<std::vector<std::uint32_t>>& successors) const {
+  std::vector<std::uint8_t> is_bottom(scc_count, 1);
+  for (std::uint32_t v = 0; v < successors.size(); ++v)
+    for (std::uint32_t succ : successors[v])
+      if (scc_of[succ] != scc_of[v]) is_bottom[scc_of[v]] = 0;
+  return is_bottom;
+}
+
+}  // namespace ppde::support

@@ -1,0 +1,28 @@
+// Strongly connected components over explicit successor lists.
+//
+// All exact verifiers in this library reduce fair-run stabilisation to a
+// property of *bottom* SCCs of a finite reachability graph (a fair run's
+// infinitely-often set is strongly connected and closed under the step
+// relation). This is the shared Tarjan pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppde::support {
+
+struct SccResult {
+  /// scc_of[v] = dense SCC index of node v (indices are in reverse
+  /// topological order of the condensation, as produced by Tarjan).
+  std::vector<std::uint32_t> scc_of;
+  std::uint32_t scc_count = 0;
+
+  /// For each SCC: true iff it has no edge into a different SCC.
+  std::vector<std::uint8_t> bottom(
+      const std::vector<std::vector<std::uint32_t>>& successors) const;
+};
+
+/// Iterative Tarjan over `successors` (nodes are 0..successors.size()-1).
+SccResult tarjan_scc(const std::vector<std::vector<std::uint32_t>>& successors);
+
+}  // namespace ppde::support

@@ -1,0 +1,186 @@
+// Tests for the baseline protocols (Table 1 comparators and workloads).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "baselines/doubling.hpp"
+#include "baselines/flock.hpp"
+#include "baselines/majority.hpp"
+#include "baselines/remainder.hpp"
+#include "pp/simulator.hpp"
+#include "pp/verifier.hpp"
+
+namespace ppde::baselines {
+namespace {
+
+using pp::Config;
+using pp::Protocol;
+using pp::SimulationOptions;
+using pp::VerificationResult;
+using pp::Verifier;
+
+// -- flock of birds ----------------------------------------------------------
+
+TEST(FlockOfBirds, StateCountIsKPlusOne) {
+  for (std::uint64_t k : {1, 2, 5, 17}) {
+    EXPECT_EQ(make_flock_of_birds(k).num_states(), k + 1);
+  }
+}
+
+TEST(FlockOfBirds, RejectsKZero) {
+  EXPECT_THROW(make_flock_of_birds(0), std::invalid_argument);
+}
+
+class FlockExact
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(FlockExact, DecidesThresholdExactly) {
+  const auto [k, x] = GetParam();
+  if (x < 2) GTEST_SKIP() << "population protocols need two agents";
+  Protocol protocol = make_flock_of_birds(k);
+  const VerificationResult result =
+      Verifier(protocol).verify(flock_initial(protocol, x));
+  ASSERT_TRUE(result.stabilises()) << "k=" << k << " x=" << x;
+  EXPECT_EQ(result.output(), x >= k) << "k=" << k << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlockExact,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 5, 8),
+                       ::testing::Values<std::uint32_t>(2, 3, 4, 5, 7, 8, 9)));
+
+TEST(FlockOfBirds, SimulationAtThresholdBoundary) {
+  const std::uint64_t k = 20;
+  Protocol protocol = make_flock_of_birds(k);
+  SimulationOptions options;
+  options.stable_window = 200'000;
+  for (std::uint32_t x : {19u, 20u, 21u}) {
+    pp::Simulator sim(protocol, flock_initial(protocol, x), 99 + x);
+    const auto result = sim.run_until_stable(options);
+    ASSERT_TRUE(result.stabilised) << "x=" << x;
+    EXPECT_EQ(result.output, x >= k) << "x=" << x;
+  }
+}
+
+TEST(FlockOfBirds, IsOneAware) {
+  // 1-awareness (paper Section 2): a single agent planted in the accepting
+  // state converts everyone — the protocol accepts even though x < k.
+  Protocol protocol = make_flock_of_birds(5);
+  Config poisoned = flock_initial(protocol, 2);  // 2 < 5: should reject ...
+  poisoned.add(protocol.state("5"), 1);          // ... but one noise agent
+  const VerificationResult result = Verifier(protocol).verify(poisoned);
+  EXPECT_EQ(result.verdict, VerificationResult::Verdict::kStabilisesTrue)
+      << "flock-of-birds must be fooled by a single accepting noise agent";
+}
+
+// -- doubling ----------------------------------------------------------------
+
+TEST(Doubling, StateCountIsLogarithmic) {
+  for (std::uint32_t j : {0, 1, 4, 10, 20}) {
+    EXPECT_EQ(make_doubling(j).num_states(), j + 2u);
+  }
+}
+
+class DoublingExact
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(DoublingExact, DecidesPowerOfTwoThreshold) {
+  const auto [j, x] = GetParam();
+  if (x < 2) GTEST_SKIP();
+  Protocol protocol = make_doubling(j);
+  const VerificationResult result =
+      Verifier(protocol).verify(doubling_initial(protocol, x));
+  ASSERT_TRUE(result.stabilises()) << "j=" << j << " x=" << x;
+  EXPECT_EQ(result.output(), x >= (1u << j)) << "j=" << j << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DoublingExact,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 3),
+                       ::testing::Values<std::uint32_t>(2, 3, 4, 5, 6, 7, 8,
+                                                        9, 10)));
+
+TEST(Doubling, SimulationAt64) {
+  // Reaching the top power requires the two last p5 agents to meet — a
+  // Theta(m^2) rare event — so the consensus window must dominate it.
+  Protocol protocol = make_doubling(6);  // threshold 64
+  SimulationOptions options;
+  options.stable_window = 5'000'000;
+  options.max_interactions = 100'000'000;
+  for (std::uint32_t x : {63u, 64u, 65u}) {
+    pp::Simulator sim(protocol, doubling_initial(protocol, x), x);
+    const auto result = sim.run_until_stable(options);
+    ASSERT_TRUE(result.stabilised) << "x=" << x;
+    EXPECT_EQ(result.output, x >= 64) << "x=" << x;
+  }
+}
+
+TEST(Doubling, IsOneAware) {
+  Protocol protocol = make_doubling(3);  // threshold 8
+  Config poisoned = doubling_initial(protocol, 3);
+  poisoned.add(protocol.state("p3"), 1);  // noise agent at the top power
+  const VerificationResult result = Verifier(protocol).verify(poisoned);
+  EXPECT_EQ(result.verdict, VerificationResult::Verdict::kStabilisesTrue);
+}
+
+// -- majority ----------------------------------------------------------------
+
+TEST(Majority, FourStates) { EXPECT_EQ(make_majority().num_states(), 4u); }
+
+class MajorityExact
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(MajorityExact, DecidesStrictMajority) {
+  const auto [x, y] = GetParam();
+  if (x + y < 2) GTEST_SKIP();
+  Protocol protocol = make_majority();
+  const VerificationResult result =
+      Verifier(protocol).verify(majority_initial(protocol, x, y));
+  ASSERT_TRUE(result.stabilises()) << "x=" << x << " y=" << y;
+  EXPECT_EQ(result.output(), x > y) << "x=" << x << " y=" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MajorityExact,
+    ::testing::Combine(::testing::Range<std::uint32_t>(0, 6),
+                       ::testing::Range<std::uint32_t>(0, 6)));
+
+// -- remainder ---------------------------------------------------------------
+
+TEST(Remainder, StateCountIsDPlusTwo) {
+  for (std::uint32_t d : {1, 2, 3, 7}) {
+    EXPECT_EQ(make_remainder(d, 0).num_states(), d + 2u);
+  }
+}
+
+TEST(Remainder, RejectsBadParameters) {
+  EXPECT_THROW(make_remainder(0, 0), std::invalid_argument);
+  EXPECT_THROW(make_remainder(3, 3), std::invalid_argument);
+}
+
+class RemainderExact
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RemainderExact, DecidesCongruence) {
+  const auto [d, r, x] = GetParam();
+  if (r >= d || x < 2) GTEST_SKIP();
+  Protocol protocol = make_remainder(d, r);
+  const VerificationResult result =
+      Verifier(protocol).verify(remainder_initial(protocol, x));
+  ASSERT_TRUE(result.stabilises()) << "d=" << d << " r=" << r << " x=" << x;
+  EXPECT_EQ(result.output(), x % d == r)
+      << "d=" << d << " r=" << r << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RemainderExact,
+    ::testing::Combine(::testing::Values<std::uint32_t>(2, 3, 4),
+                       ::testing::Values<std::uint32_t>(0, 1, 2),
+                       ::testing::Values<std::uint32_t>(2, 3, 4, 5, 6, 7)));
+
+}  // namespace
+}  // namespace ppde::baselines

@@ -1,0 +1,289 @@
+// Tests for the Section-6 construction: constants, register layout,
+// configuration classification (Figure 2), size bounds (Theorem 3), and
+// first semantic checks via the exhaustive explorer.
+#include "czerner/construction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "czerner/classify.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+
+namespace ppde::czerner {
+namespace {
+
+using progmodel::DecisionResult;
+using progmodel::ExploreLimits;
+using progmodel::FlatProgram;
+
+// -- constants ---------------------------------------------------------------
+
+TEST(Constants, LevelConstantsFollowRecurrence) {
+  // N_1 = 1, N_{i+1} = (N_i + 1)^2: 1, 4, 25, 676, 458329, ...
+  EXPECT_EQ(Construction::level_constant_u64(1), 1u);
+  EXPECT_EQ(Construction::level_constant_u64(2), 4u);
+  EXPECT_EQ(Construction::level_constant_u64(3), 25u);
+  EXPECT_EQ(Construction::level_constant_u64(4), 676u);
+  EXPECT_EQ(Construction::level_constant_u64(5), 458329u);
+  EXPECT_EQ(Construction::level_constant_u64(6), 210066388900u);
+}
+
+TEST(Constants, ThresholdIsTwiceTheSum) {
+  EXPECT_EQ(Construction::threshold_u64(1), 2u);
+  EXPECT_EQ(Construction::threshold_u64(2), 10u);
+  EXPECT_EQ(Construction::threshold_u64(3), 60u);
+  EXPECT_EQ(Construction::threshold_u64(4), 1412u);
+}
+
+TEST(Constants, ThresholdIsDoublyExponential) {
+  // Theorem 3: k(n) >= 2^(2^(n-1)).
+  for (int n = 1; n <= 14; ++n) {
+    const bignum::Nat k = Construction::threshold(n);
+    EXPECT_GE(k, bignum::Nat::pow2(std::uint64_t{1} << (n - 1))) << "n=" << n;
+  }
+}
+
+TEST(Constants, LevelConstantOverflowsU64AtSeven) {
+  EXPECT_NO_THROW(Construction::level_constant_u64(6));
+  EXPECT_THROW(Construction::level_constant_u64(7), std::overflow_error);
+  // But the exact value is fine:
+  EXPECT_EQ(Construction::level_constant(7).to_decimal(),
+            "44127887745906175987801");
+}
+
+// -- structure ---------------------------------------------------------------
+
+TEST(Structure, RegisterLayout) {
+  const Construction c = build_construction(3);
+  EXPECT_EQ(c.num_registers(), 13u);
+  EXPECT_EQ(c.program.registers[c.x(1)], "x1");
+  EXPECT_EQ(c.program.registers[c.xb(1)], "~x1");
+  EXPECT_EQ(c.program.registers[c.y(2)], "y2");
+  EXPECT_EQ(c.program.registers[c.yb(3)], "~y3");
+  EXPECT_EQ(c.program.registers[c.R()], "R");
+}
+
+TEST(Structure, BarIsAnInvolution) {
+  const Construction c = build_construction(2);
+  for (progmodel::Reg r = 0; r < 8; ++r) {
+    EXPECT_EQ(c.bar(c.bar(r)), r);
+    EXPECT_NE(c.bar(r), r);
+    EXPECT_EQ(c.level(c.bar(r)), c.level(r));
+  }
+  EXPECT_THROW(c.bar(c.R()), std::out_of_range);
+}
+
+TEST(Structure, Levels) {
+  const Construction c = build_construction(2);
+  EXPECT_EQ(c.level(c.x(1)), 1);
+  EXPECT_EQ(c.level(c.yb(2)), 2);
+  EXPECT_EQ(c.level(c.R()), 3);
+}
+
+TEST(Structure, GeneratedProceduresForN1) {
+  const Construction c = build_construction(1);
+  EXPECT_NO_THROW(c.proc("Main"));
+  EXPECT_NO_THROW(c.proc("AssertProper(1)"));
+  EXPECT_NO_THROW(c.proc("AssertEmpty(2)"));
+  EXPECT_NO_THROW(c.proc("Large(~x1)"));
+  EXPECT_NO_THROW(c.proc("Large(~y1)"));
+  EXPECT_THROW(c.proc("Zero(x1)"), std::out_of_range)
+      << "Zero is never needed at the top level for n=1";
+}
+
+TEST(Structure, GeneratedProceduresForN2) {
+  const Construction c = build_construction(2);
+  EXPECT_NO_THROW(c.proc("Zero(x1)"));
+  EXPECT_NO_THROW(c.proc("Zero(~x1)"));
+  EXPECT_NO_THROW(c.proc("IncrPair(x1,y1)"));
+  EXPECT_NO_THROW(c.proc("IncrPair(~x1,~y1)"));
+  EXPECT_NO_THROW(c.proc("Large(~x2)"));
+  EXPECT_NO_THROW(c.proc("AssertEmpty(3)"));
+}
+
+TEST(Structure, ProgramSizeGrowsLinearly) {
+  // Theorem 3: size O(n). Check exact linear growth of each component.
+  const auto s2 = build_construction(2).program.size();
+  const auto s3 = build_construction(3).program.size();
+  const auto s4 = build_construction(4).program.size();
+  const auto s5 = build_construction(5).program.size();
+  EXPECT_EQ(s3.num_registers - s2.num_registers, 4u);
+  EXPECT_EQ(s4.num_registers - s3.num_registers, 4u);
+  // Per-level instruction increment is eventually constant.
+  const auto d34 = s4.num_instructions - s3.num_instructions;
+  const auto d45 = s5.num_instructions - s4.num_instructions;
+  EXPECT_EQ(d34, d45);
+  // Swap-size: only x <-> ~x pairs, 2 ordered pairs per register pair.
+  EXPECT_EQ(s2.swap_size, 8u);
+  EXPECT_EQ(s3.swap_size, 12u);
+  EXPECT_EQ(s4.swap_size, 16u);
+}
+
+TEST(Structure, ValidatesAndPrints) {
+  const Construction c = build_construction(3);
+  EXPECT_NO_THROW(c.program.validate());
+  const std::string text = c.program.to_string();
+  EXPECT_NE(text.find("procedure Main"), std::string::npos);
+  EXPECT_NE(text.find("procedure Large(~x3)"), std::string::npos);
+}
+
+// -- classification (Figure 2) -------------------------------------------------
+
+class ClassifyN3 : public ::testing::Test {
+ protected:
+  ClassifyN3() : c_(build_construction(3)) {}
+
+  RegValues regs(std::initializer_list<std::uint64_t> values) {
+    RegValues result(values);
+    EXPECT_EQ(result.size(), c_.num_registers());
+    return result;
+  }
+
+  Construction c_;
+};
+
+TEST_F(ClassifyN3, ProperConfig) {
+  // Layout per level: x, ~x, y, ~y; N = 1, 4, 25.
+  const RegValues r = regs({0, 1, 0, 1, 0, 4, 0, 4, 0, 25, 0, 25, 7});
+  EXPECT_TRUE(is_i_proper(c_, r, 3));
+  EXPECT_TRUE(is_i_proper(c_, r, 2));
+  EXPECT_TRUE(is_i_proper(c_, r, 1));
+  EXPECT_TRUE(is_weakly_i_proper(c_, r, 3));
+  EXPECT_FALSE(is_i_low(c_, r, 3));
+  EXPECT_FALSE(is_i_high(c_, r, 3));
+}
+
+TEST_F(ClassifyN3, WeaklyProperButNotProper) {
+  // Figure 2 row 2 shape: level-2 invariant holds but digits are nonzero.
+  const RegValues r = regs({0, 1, 0, 1, 3, 1, 2, 2, 0, 25, 0, 25, 0});
+  EXPECT_TRUE(is_i_proper(c_, r, 1));
+  EXPECT_FALSE(is_i_proper(c_, r, 2));
+  EXPECT_TRUE(is_weakly_i_proper(c_, r, 2));
+  EXPECT_TRUE(is_i_high(c_, r, 2));  // sums equal N_2: also 2-high
+}
+
+TEST_F(ClassifyN3, LowConfig) {
+  const RegValues r = regs({0, 1, 0, 1, 0, 1, 0, 4, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(is_i_low(c_, r, 2));
+  EXPECT_TRUE(is_i_empty(c_, r, 3));
+  EXPECT_FALSE(is_i_high(c_, r, 2));
+}
+
+TEST_F(ClassifyN3, HighConfig) {
+  const RegValues r = regs({0, 1, 0, 1, 3, 4, 7, 0, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(is_i_high(c_, r, 2));
+  EXPECT_FALSE(is_i_low(c_, r, 2));
+}
+
+TEST_F(ClassifyN3, NeitherLowNorHigh) {
+  // x_2 = 0 but y-side sum exceeds... x-side sum below N_2, y-side above.
+  const RegValues r = regs({0, 1, 0, 1, 0, 1, 0, 9, 0, 0, 0, 0, 0});
+  EXPECT_FALSE(is_i_low(c_, r, 2));   // ~y_2 = 9 > N_2
+  EXPECT_FALSE(is_i_high(c_, r, 2));  // x_2 + ~x_2 = 1 < N_2
+}
+
+TEST_F(ClassifyN3, EmptyLevels) {
+  const RegValues r = regs({2, 4, 8, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(is_i_empty(c_, r, 2));
+  EXPECT_FALSE(is_i_empty(c_, r, 1));
+  const RegValues with_r = regs({2, 4, 8, 3, 0, 0, 0, 0, 0, 0, 0, 0, 1});
+  EXPECT_FALSE(is_i_empty(c_, with_r, 2)) << "R counts for i-emptiness";
+}
+
+TEST_F(ClassifyN3, ClassifyLabels) {
+  const auto labels = classify(c_, proper_config(c_, 0));
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "3-proper"), labels.end());
+}
+
+// -- good configurations --------------------------------------------------------
+
+TEST(GoodConfig, ProperAboveThreshold) {
+  const Construction c = build_construction(2);
+  const std::uint64_t k = Construction::threshold_u64(2);  // 10
+  for (std::uint64_t m : {k, k + 1, k + 5}) {
+    const RegValues regs = good_config(c, m);
+    EXPECT_EQ(total_agents(regs), m);
+    EXPECT_TRUE(is_i_proper(c, regs, 2));
+  }
+}
+
+TEST(GoodConfig, LowAndEmptyBelowThreshold) {
+  const Construction c = build_construction(2);
+  for (std::uint64_t m = 0; m < 10; ++m) {
+    const RegValues regs = good_config(c, m);
+    EXPECT_EQ(total_agents(regs), m) << "m=" << m;
+    bool found = false;
+    for (int j = 1; j <= 2 && !found; ++j)
+      found = is_i_low(c, regs, j) && is_i_empty(c, regs, j + 1);
+    EXPECT_TRUE(found) << "m=" << m << ": must be j-low and (j+1)-empty";
+  }
+}
+
+TEST(GoodConfig, MatchesTheorem3CaseSplitForN3) {
+  const Construction c = build_construction(3);
+  const std::uint64_t k = Construction::threshold_u64(3);  // 60
+  for (std::uint64_t m = 0; m <= 70; ++m) {
+    const RegValues regs = good_config(c, m);
+    ASSERT_EQ(total_agents(regs), m);
+    if (m >= k) {
+      EXPECT_TRUE(is_i_proper(c, regs, 3)) << "m=" << m;
+    } else {
+      bool found = false;
+      for (int j = 1; j <= 3 && !found; ++j)
+        found = is_i_low(c, regs, j) && is_i_empty(c, regs, j + 1);
+      EXPECT_TRUE(found) << "m=" << m;
+    }
+  }
+}
+
+// -- first semantics checks (n = 1) ---------------------------------------------
+
+TEST(SemanticsN1, LargeBaseCase) {
+  // Large(~x_1) on a weakly 1-proper config: Lemma 12a — post = {(C, false),
+  // (C, C(~x1) >= 1)}.
+  const Construction c = build_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  {
+    // ~x1 = 1 (proper): may return true or false, registers unchanged.
+    std::vector<std::uint64_t> regs = {0, 1, 0, 1, 0};
+    const auto post = progmodel::explore_post(flat, c.proc("Large(~x1)"), regs);
+    EXPECT_TRUE(post.returns_only());
+    EXPECT_TRUE(post.contains(regs, 1));
+    EXPECT_TRUE(post.contains(regs, 0));
+    EXPECT_EQ(post.outcomes.size(), 2u);
+  }
+  {
+    // ~x1 = 0: only false.
+    std::vector<std::uint64_t> regs = {0, 0, 0, 1, 0};
+    const auto post = progmodel::explore_post(flat, c.proc("Large(~x1)"), regs);
+    EXPECT_TRUE(post.returns_only());
+    EXPECT_EQ(post.outcomes.size(), 1u);
+    EXPECT_TRUE(post.contains(regs, 0));
+  }
+  {
+    // ~x1 = 3 (1-high direction): true swaps surplus into x1 (Lemma 12b).
+    const auto post = progmodel::explore_post(flat, c.proc("Large(~x1)"),
+                                              {0, 3, 0, 1, 0});
+    EXPECT_TRUE(post.contains({2, 1, 0, 1, 0}, 1));
+    EXPECT_TRUE(post.contains({0, 3, 0, 1, 0}, 0));
+  }
+}
+
+TEST(SemanticsN1, DecidesThresholdTwo) {
+  // Theorem 3 for n = 1: the program decides m >= k(1) = 2. Checked
+  // exhaustively (restart expansion over all compositions) for all m <= 6
+  // and every initial distribution of the agents.
+  const Construction c = build_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  for (std::uint64_t m = 0; m <= 6; ++m) {
+    ExploreLimits limits;
+    limits.max_nodes = 5'000'000;
+    const DecisionResult result =
+        progmodel::decide(flat, {0, 0, 0, 0, m}, limits);
+    ASSERT_TRUE(result.stabilises()) << "m=" << m;
+    EXPECT_EQ(result.output(), m >= 2) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace ppde::czerner

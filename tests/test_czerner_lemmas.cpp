@@ -1,0 +1,648 @@
+// Exhaustive validation of the construction's correctness lemmas
+// (paper Appendix A): for each procedure and each configuration type the
+// paper distinguishes, we enumerate post(C, f) exactly (all nondeterminism,
+// fairness-aware divergence detection) and check it against the lemma's
+// statement.
+//
+//   Lemma 8  — AssertEmpty(i): no effect; restart possible iff not i-empty.
+//   Lemma 9  — AssertProper(i): identity on proper/low configs; restarts on
+//              high configs and on inflated level-i registers; robust.
+//   Lemma 10 — Zero(x): deterministic zero-check on weakly proper configs;
+//              characterised outcomes above the invariant; false implies
+//              x > 0; robust.
+//   Lemma 11 — IncrPair(x, y): increments the simulated base-(N_i+1)
+//              counter; *reversible* under the weak i-high assumption;
+//              j-robust for j <= i.
+//   Lemma 12 — Large(x): nondeterministic >= N_i check with the exact
+//              register exchange of the paper; robust.
+//   Lemma 4  — Main: trichotomy (may stabilise false / may stabilise true /
+//              always restarts) matching the configuration classifier.
+//
+// Levels 1 and 2 are exercised inside an n=3 instance (so that all
+// level-1/2 instantiations exist), Large additionally at level 3.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "czerner/classify.hpp"
+#include "czerner/construction.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/interp.hpp"
+
+namespace ppde::czerner {
+namespace {
+
+using progmodel::ExploreLimits;
+using progmodel::FlatProgram;
+using progmodel::MainAnalysis;
+using progmodel::PostResult;
+
+class LemmaFixture : public ::testing::Test {
+ protected:
+  LemmaFixture()
+      : c_(build_construction(3)), flat_(FlatProgram::compile(c_.program)) {}
+
+  PostResult post(const std::string& proc, const RegValues& regs,
+                  std::uint64_t max_nodes = 3'000'000) const {
+    ExploreLimits limits;
+    limits.max_nodes = max_nodes;
+    PostResult result = progmodel::explore_post(flat_, c_.proc(proc), regs,
+                                                limits);
+    EXPECT_FALSE(result.limit_hit) << proc;
+    return result;
+  }
+
+  /// Registers in paper layout: per level x, ~x, y, ~y; then R.
+  RegValues regs(std::initializer_list<std::uint64_t> values) const {
+    RegValues result(values);
+    EXPECT_EQ(result.size(), c_.num_registers());
+    return result;
+  }
+
+  // Named configurations (N_1 = 1, N_2 = 4, N_3 = 25).
+  RegValues proper3(std::uint64_t r = 0) const {
+    return regs({0, 1, 0, 1, 0, 4, 0, 4, 0, 25, 0, 25, r});
+  }
+  RegValues weakly2(std::uint64_t x2, std::uint64_t y2) const {
+    return regs({0, 1, 0, 1, x2, 4 - x2, y2, 4 - y2, 0, 0, 0, 0, 0});
+  }
+  RegValues low2(std::uint64_t xb, std::uint64_t yb) const {
+    return regs({0, 1, 0, 1, 0, xb, 0, yb, 0, 0, 0, 0, 0});
+  }
+
+  Construction c_;
+  FlatProgram flat_;
+};
+
+// ---------------------------------------------------------------------------
+// Lemma 8: AssertEmpty
+// ---------------------------------------------------------------------------
+
+TEST_F(LemmaFixture, Lemma8NoEffectAndRestartIffNotEmpty) {
+  const std::vector<RegValues> configs = {
+      regs({2, 4, 8, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0}),  // 2-empty
+      regs({2, 4, 8, 3, 0, 1, 0, 0, 0, 0, 0, 0, 0}),  // not 2-empty
+      regs({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5}),  // R occupied
+      proper3(0),
+      proper3(3),
+  };
+  for (int i = 2; i <= 4; ++i) {
+    const std::string proc = "AssertEmpty(" + std::to_string(i) + ")";
+    for (const RegValues& config : configs) {
+      const PostResult result = post(proc, config);
+      // No effect: the only return outcome is the unchanged configuration.
+      ASSERT_EQ(result.outcomes.size(), 1u) << proc;
+      EXPECT_TRUE(result.contains(config, -1)) << proc;
+      EXPECT_FALSE(result.can_diverge) << proc;
+      EXPECT_EQ(result.can_restart, !is_i_empty(c_, config, i)) << proc;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 9: AssertProper
+// ---------------------------------------------------------------------------
+
+TEST_F(LemmaFixture, Lemma9aIdentityOnProperAndLow) {
+  const std::vector<std::pair<int, RegValues>> cases = {
+      {1, proper3(0)},
+      {2, proper3(5)},
+      {3, proper3(1)},
+      {1, regs({0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})},  // 1-low
+      {2, low2(3, 4)},                                      // 2-low
+      {2, low2(0, 0)},                                      // 2-low (empty)
+  };
+  for (const auto& [i, config] : cases) {
+    const std::string proc = "AssertProper(" + std::to_string(i) + ")";
+    const PostResult result = post(proc, config);
+    EXPECT_TRUE(result.returns_only()) << proc;
+    ASSERT_EQ(result.outcomes.size(), 1u) << proc;
+    EXPECT_TRUE(result.contains(config, -1)) << proc;
+  }
+}
+
+TEST_F(LemmaFixture, Lemma9bRestartsOnHighConfigs) {
+  // 1-high inside AssertProper(2): x1 + ~x1 >= 1, y1 + ~y1 >= 1, not proper.
+  const RegValues high1 = regs({1, 1, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(is_i_high(c_, high1, 1));
+  EXPECT_TRUE(post("AssertProper(1)", high1).can_restart);
+  EXPECT_TRUE(post("AssertProper(2)", high1).can_restart);
+
+  const RegValues high2 = regs({0, 1, 0, 1, 3, 4, 2, 5, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(is_i_high(c_, high2, 2));
+  EXPECT_TRUE(post("AssertProper(2)", high2).can_restart);
+  EXPECT_TRUE(post("AssertProper(3)", high2).can_restart);
+}
+
+TEST_F(LemmaFixture, Lemma9cRestartsOnInflatedLevelRegisters) {
+  // (i-1)-proper with C(x_i) > 0: restart possible.
+  const RegValues digit = regs({0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(post("AssertProper(2)", digit).can_restart);
+  // (i-1)-proper with C(~x_i) > N_i: restart possible.
+  const RegValues inflated = regs({0, 1, 0, 1, 0, 6, 0, 4, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(post("AssertProper(2)", inflated).can_restart);
+  // ~y_2 inflated as well (second loop iteration).
+  const RegValues inflated_y = regs({0, 1, 0, 1, 0, 4, 0, 7, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(post("AssertProper(2)", inflated_y).can_restart);
+}
+
+TEST_F(LemmaFixture, Lemma9dRobustOnHighConfigs) {
+  const RegValues high2 = regs({0, 1, 0, 1, 3, 4, 2, 5, 0, 0, 0, 0, 2});
+  ASSERT_TRUE(is_i_high(c_, high2, 2));
+  for (int i = 1; i <= 3; ++i) {
+    const PostResult result =
+        post("AssertProper(" + std::to_string(i) + ")", high2);
+    EXPECT_FALSE(result.can_diverge) << i;
+    for (const auto& outcome : result.outcomes)
+      EXPECT_TRUE(is_i_high(c_, outcome.regs, 2)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 10: Zero
+// ---------------------------------------------------------------------------
+
+TEST_F(LemmaFixture, Lemma10aDeterministicOnWeaklyProper) {
+  struct Case {
+    const char* proc;
+    RegValues config;
+    bool is_zero;
+  };
+  const std::vector<Case> cases = {
+      {"Zero(x1)", proper3(0), true},
+      {"Zero(~x1)", proper3(0), false},
+      {"Zero(x2)", weakly2(0, 2), true},
+      {"Zero(x2)", weakly2(3, 0), false},
+      {"Zero(~y2)", weakly2(1, 2), false},
+      {"Zero(~y2)", weakly2(0, 4), true},  // ~y2 = 0 when y2 = N_2
+  };
+  for (const auto& [proc, config, is_zero] : cases) {
+    const PostResult result = post(proc, config);
+    EXPECT_TRUE(result.returns_only()) << proc;
+    ASSERT_EQ(result.outcomes.size(), 1u) << proc;
+    EXPECT_TRUE(result.contains(config, is_zero ? 1 : 0)) << proc;
+  }
+}
+
+TEST_F(LemmaFixture, Lemma10bOutcomesAboveInvariant) {
+  // (i-1)-proper, x2 + ~x2 = 6 >= N_2 = 4, x2 = 2 > 0, ~x2 = 4 >= N_2:
+  // both outcomes exist, true swaps per the lemma's C'.
+  const RegValues config = regs({0, 1, 0, 1, 2, 4, 0, 4, 0, 0, 0, 0, 0});
+  const PostResult result = post("Zero(x2)", config);
+  EXPECT_TRUE(result.returns_only());
+  EXPECT_TRUE(result.contains(config, 0)) << "false with registers unchanged";
+  // C'(~x2) = C(x2) + N_2 = 6, C'(x2) = C(~x2) - N_2 = 0.
+  const RegValues swapped = regs({0, 1, 0, 1, 0, 6, 0, 4, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(result.contains(swapped, 1));
+  EXPECT_EQ(result.outcomes.size(), 2u);
+}
+
+TEST_F(LemmaFixture, Lemma10bNoTrueWhenBarBelowThreshold) {
+  // x2 + ~x2 = 5 >= 4 but ~x2 = 3 < N_2: only the false outcome.
+  const RegValues config = regs({0, 1, 0, 1, 2, 3, 0, 4, 0, 0, 0, 0, 0});
+  const PostResult result = post("Zero(x2)", config);
+  EXPECT_TRUE(result.returns_only());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.contains(config, 0));
+}
+
+TEST_F(LemmaFixture, Lemma10cFalseImpliesNonzero) {
+  const std::vector<std::pair<const char*, RegValues>> cases = {
+      {"Zero(x2)", weakly2(3, 0)},
+      {"Zero(y2)", weakly2(1, 2)},
+      {"Zero(~x1)", proper3(4)},
+      {"Zero(x2)", regs({0, 1, 0, 1, 2, 4, 0, 4, 0, 0, 0, 0, 0})},
+  };
+  const auto reg_of = [this](const std::string& proc) {
+    // "Zero(<reg>)" -> register index.
+    const std::string name = proc.substr(5, proc.size() - 6);
+    for (progmodel::Reg r = 0; r < c_.num_registers(); ++r)
+      if (c_.program.registers[r] == name) return r;
+    throw std::out_of_range(name);
+  };
+  for (const auto& [proc, config] : cases) {
+    const PostResult result = post(proc, config);
+    for (const auto& outcome : result.outcomes) {
+      if (outcome.ret == 0) {
+        EXPECT_GT(outcome.regs[reg_of(proc)], 0u) << proc;
+      }
+    }
+  }
+}
+
+TEST_F(LemmaFixture, Lemma10dRobustNeverDiverges) {
+  // On a 1-high configuration Zero at level 2 must terminate or restart —
+  // never loop forever (the in-loop AssertProper restarts eventually).
+  const RegValues high1 = regs({2, 1, 1, 1, 0, 2, 0, 0, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(is_i_high(c_, high1, 1));
+  for (const char* proc : {"Zero(x2)", "Zero(~x2)", "Zero(y2)"}) {
+    const PostResult result = post(proc, high1);
+    EXPECT_FALSE(result.can_diverge) << proc;
+    EXPECT_TRUE(result.can_restart) << proc;
+    for (const auto& outcome : result.outcomes)
+      EXPECT_TRUE(is_i_high(c_, outcome.regs, 1)) << proc;
+  }
+}
+
+TEST_F(LemmaFixture, Lemma10LowConfigDivergesOnlyViaFairRestart) {
+  // Below the invariant (x2 + ~x2 < N_2, x2 = 0) the zero-check can neither
+  // return true nor detect x2 — Section 5.2's "infinite loop" case. The
+  // paper's remedy: AssertProper inside the loop must make a restart
+  // available. Here level 1 is proper, so nothing restarts: this is the
+  // genuinely divergent case, which Main excludes by construction (it only
+  // calls Zero under the lexicographic precondition).
+  const RegValues low = low2(2, 4);
+  const PostResult result = post("Zero(x2)", low);
+  EXPECT_TRUE(result.can_diverge);
+  EXPECT_FALSE(result.contains(low, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 11: IncrPair
+// ---------------------------------------------------------------------------
+
+TEST_F(LemmaFixture, Lemma11aIncrementsTheCounter) {
+  // ctr_{x2,y2} = x2 * 5 + y2 over weakly 2-proper configs; IncrPair must
+  // bump it by exactly 1 mod 25 and keep everything else fixed.
+  for (std::uint64_t x2 = 0; x2 <= 4; ++x2) {
+    for (std::uint64_t y2 = 0; y2 <= 4; ++y2) {
+      const RegValues config = weakly2(x2, y2);
+      const PostResult result = post("IncrPair(x2,y2)", config);
+      EXPECT_TRUE(result.returns_only()) << x2 << "," << y2;
+      ASSERT_EQ(result.outcomes.size(), 1u) << x2 << "," << y2;
+      const auto& out = result.outcomes[0].regs;
+      const std::uint64_t before = x2 * 5 + y2;
+      const std::uint64_t after = out[c_.x(2)] * 5 + out[c_.y(2)];
+      EXPECT_EQ(after, (before + 1) % 25) << x2 << "," << y2;
+      EXPECT_EQ(out[c_.x(2)] + out[c_.xb(2)], 4u);
+      EXPECT_EQ(out[c_.y(2)] + out[c_.yb(2)], 4u);
+      EXPECT_EQ(out[c_.R()], config[c_.R()]);
+      EXPECT_EQ(out[c_.xb(1)], 1u);  // level 1 untouched
+    }
+  }
+}
+
+TEST_F(LemmaFixture, Lemma11aComplementDecrements) {
+  // IncrPair(~x2, ~y2) increments the complement counter, i.e. decrements
+  // ctr_{x2,y2} mod 25.
+  const RegValues config = weakly2(2, 0);
+  const PostResult result = post("IncrPair(~x2,~y2)", config);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const auto& out = result.outcomes[0].regs;
+  EXPECT_EQ(out[c_.x(2)] * 5 + out[c_.y(2)], 9u);  // 10 - 1
+}
+
+TEST_F(LemmaFixture, Lemma11bReversibleOnHighConfigs) {
+  // The key technical property: on (i-1)-proper configs with
+  // w + ~w >= N_i, every outcome of IncrPair(x, y) can be undone by
+  // IncrPair(~x, ~y), and registers outside Q_i are untouched.
+  const std::vector<RegValues> configs = {
+      weakly2(1, 3),
+      regs({0, 1, 0, 1, 3, 4, 2, 5, 0, 0, 0, 0, 0}),  // 2-high
+      regs({0, 1, 0, 1, 0, 5, 4, 1, 0, 0, 0, 0, 2}),  // 2-high, extremes
+  };
+  for (const RegValues& config : configs) {
+    const PostResult forward = post("IncrPair(x2,y2)", config);
+    EXPECT_FALSE(forward.can_diverge);
+    for (const auto& outcome : forward.outcomes) {
+      for (progmodel::Reg r : {c_.x(1), c_.xb(1), c_.y(1), c_.yb(1), c_.R()})
+        EXPECT_EQ(outcome.regs[r], config[r]);
+      const PostResult backward = post("IncrPair(~x2,~y2)", outcome.regs);
+      EXPECT_TRUE(backward.contains(config, -1))
+          << "IncrPair must be reversible";
+    }
+  }
+}
+
+TEST_F(LemmaFixture, Lemma11cRobustAtLowerLevels) {
+  // 1-high config: IncrPair at level 2 terminates or restarts and keeps
+  // 1-highness.
+  const RegValues high1 = regs({1, 1, 2, 0, 1, 3, 0, 4, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(is_i_high(c_, high1, 1));
+  const PostResult result = post("IncrPair(x2,y2)", high1);
+  EXPECT_FALSE(result.can_diverge);
+  for (const auto& outcome : result.outcomes)
+    EXPECT_TRUE(is_i_high(c_, outcome.regs, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 12: Large
+// ---------------------------------------------------------------------------
+
+TEST_F(LemmaFixture, Lemma12aWeaklyProperIsReadOnly) {
+  struct Case {
+    const char* proc;
+    RegValues config;
+    bool reaches;  // C(x) >= N_i
+  };
+  const std::vector<Case> cases = {
+      {"Large(~x1)", proper3(0), true},
+      {"Large(x1)", proper3(0), false},
+      {"Large(~x2)", weakly2(0, 0), true},
+      {"Large(~x2)", weakly2(1, 0), false},
+      {"Large(y2)", weakly2(0, 4), true},
+      {"Large(y2)", weakly2(0, 3), false},
+  };
+  for (const auto& [proc, config, reaches] : cases) {
+    const PostResult result = post(proc, config);
+    EXPECT_TRUE(result.returns_only()) << proc;
+    EXPECT_TRUE(result.contains(config, 0)) << proc << ": false always";
+    EXPECT_EQ(result.contains(config, 1), reaches) << proc;
+    EXPECT_EQ(result.outcomes.size(), reaches ? 2u : 1u) << proc;
+  }
+}
+
+TEST_F(LemmaFixture, Lemma12bExchangesSurplus) {
+  // (i-1)-proper, x2 = 6 >= N_2: true is possible with C'(x2) = ~x2 + N_2,
+  // C'(~x2) = x2 - N_2.
+  const RegValues config = regs({0, 1, 0, 1, 6, 1, 0, 4, 0, 0, 0, 0, 0});
+  const PostResult result = post("Large(x2)", config);
+  EXPECT_TRUE(result.returns_only());
+  EXPECT_TRUE(result.contains(config, 0));
+  const RegValues exchanged = regs({0, 1, 0, 1, 5, 2, 0, 4, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(result.contains(exchanged, 1));
+  EXPECT_EQ(result.outcomes.size(), 2u);
+}
+
+TEST_F(LemmaFixture, Lemma12bLevel3WalksTheLevel2Counter) {
+  // Large at level 3 exercises the full nested machinery: a random walk on
+  // the level-2 counter with zero-checks recursing to level 1.
+  const RegValues config = proper3(2);
+  const PostResult result = post("Large(~x3)", config, 6'000'000);
+  EXPECT_TRUE(result.returns_only());
+  EXPECT_TRUE(result.contains(config, 1)) << "~x3 = 25 >= N_3";
+  EXPECT_TRUE(result.contains(config, 0));
+  EXPECT_EQ(result.outcomes.size(), 2u);
+}
+
+TEST_F(LemmaFixture, Lemma12bFalseOnlyWhenBelowThreshold) {
+  // ~x3 = 7 < N_3 = 25 (only the barred level-3 Larges are instantiated —
+  // the unbarred ones are never called from Main's call graph).
+  const RegValues config = regs({0, 1, 0, 1, 0, 4, 0, 4, 18, 7, 0, 25, 0});
+  const PostResult result = post("Large(~x3)", config, 6'000'000);
+  EXPECT_TRUE(result.returns_only());
+  ASSERT_EQ(result.outcomes.size(), 1u) << "~x3 = 7 < N_3 = 25";
+  EXPECT_TRUE(result.contains(config, 0));
+}
+
+TEST_F(LemmaFixture, Lemma12cRobustOnHighConfigs) {
+  // 2-high: Large at level 3 must terminate (the reversibility of IncrPair
+  // lets the walk retrace) or restart; registers stay 2-high.
+  const RegValues high2 = regs({0, 1, 0, 1, 3, 4, 2, 5, 0, 3, 0, 0, 0});
+  ASSERT_TRUE(is_i_high(c_, high2, 2));
+  const PostResult result = post("Large(~x3)", high2, 6'000'000);
+  EXPECT_FALSE(result.can_diverge);
+  EXPECT_TRUE(result.can_restart);
+  for (const auto& outcome : result.outcomes)
+    EXPECT_TRUE(is_i_high(c_, outcome.regs, 2));
+}
+
+TEST_F(LemmaFixture, Lemma12RestartsWhenCounterNotZeroed) {
+  // Large(x) for i > 1 first demands Zero(x_{i-1}) and Zero(y_{i-1}):
+  // a nonzero level-2 digit forces a restart.
+  const RegValues config = regs({0, 1, 0, 1, 2, 2, 0, 4, 5, 20, 0, 25, 0});
+  const PostResult result = post("Large(~x3)", config, 6'000'000);
+  EXPECT_TRUE(result.can_restart);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4: Main trichotomy (n = 1 and n = 2)
+// ---------------------------------------------------------------------------
+
+TEST(Lemma4, TrichotomyOverAllSmallConfigsN1) {
+  const Construction c = build_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  for (std::uint64_t m = 0; m <= 5; ++m) {
+    for (const auto& config : progmodel::all_compositions(m, 5)) {
+      const MainAnalysis analysis = progmodel::analyse_main(flat, config);
+      ASSERT_FALSE(analysis.limit_hit);
+      EXPECT_FALSE(analysis.has_mixed_bscc)
+          << "Main may only restart or stabilise";
+
+      bool low_and_empty = false;
+      for (int j = 1; j <= c.n; ++j)
+        low_and_empty |= is_i_low(c, config, j) && is_i_empty(c, config, j + 1);
+      const bool proper = is_i_proper(c, config, c.n);
+
+      EXPECT_EQ(analysis.may_stabilise_false, low_and_empty)
+          << "m=" << m << " config index";
+      EXPECT_EQ(analysis.may_stabilise_true, proper);
+      if (!low_and_empty && !proper) {
+        EXPECT_TRUE(analysis.always_restarts());
+      }
+    }
+  }
+}
+
+TEST(Lemma4, TrichotomyOnStructuredConfigsN2) {
+  const Construction c = build_construction(2);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  ExploreLimits limits;
+  limits.max_nodes = 4'000'000;
+
+  struct Case {
+    RegValues config;
+    enum { kFalse, kTrue, kRestart } expected;
+  };
+  const std::vector<Case> cases = {
+      // good accepting: 2-proper (+ R surplus)
+      {{0, 1, 0, 1, 0, 4, 0, 4, 0}, Case::kTrue},
+      {{0, 1, 0, 1, 0, 4, 0, 4, 3}, Case::kTrue},
+      // good rejecting: j-low and (j+1)-empty
+      {{0, 0, 0, 0, 0, 0, 0, 0, 0}, Case::kFalse},  // 1-low, 2-empty (m=0)
+      {{0, 1, 0, 0, 0, 0, 0, 0, 0}, Case::kFalse},  // 1-low, 2-empty
+      {{0, 1, 0, 1, 0, 3, 0, 4, 0}, Case::kFalse},  // 2-low, 3-empty
+      {{0, 1, 0, 1, 0, 1, 0, 0, 0}, Case::kFalse},
+      // bad: everything else restarts
+      {{0, 1, 0, 1, 0, 3, 0, 4, 1}, Case::kRestart},  // 2-low but R occupied
+      {{0, 1, 0, 1, 2, 4, 1, 4, 0}, Case::kRestart},  // 2-high
+      {{1, 1, 0, 1, 0, 0, 0, 0, 0}, Case::kRestart},  // 1-high
+      {{0, 2, 0, 1, 0, 0, 0, 0, 0}, Case::kRestart},  // ~x1 inflated
+      {{0, 0, 0, 0, 0, 4, 0, 4, 0}, Case::kRestart},  // level 1 empty
+  };
+  for (std::size_t index = 0; index < cases.size(); ++index) {
+    const auto& [config, expected] = cases[index];
+    const MainAnalysis analysis = progmodel::analyse_main(flat, config, limits);
+    ASSERT_FALSE(analysis.limit_hit) << "case " << index;
+    EXPECT_FALSE(analysis.has_mixed_bscc) << "case " << index;
+    switch (expected) {
+      case Case::kTrue:
+        EXPECT_TRUE(analysis.may_stabilise_true) << "case " << index;
+        EXPECT_FALSE(analysis.may_stabilise_false) << "case " << index;
+        break;
+      case Case::kFalse:
+        EXPECT_TRUE(analysis.may_stabilise_false) << "case " << index;
+        EXPECT_FALSE(analysis.may_stabilise_true) << "case " << index;
+        break;
+      case Case::kRestart:
+        EXPECT_TRUE(analysis.always_restarts()) << "case " << index;
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3 at program level, n = 2 (randomized; exhaustive is n = 1 —
+// see test_construction.cpp)
+// ---------------------------------------------------------------------------
+
+
+TEST(Theorem3, ExhaustiveRejectionN2) {
+  // Full restart nondeterminism at n = 2: for m well below k = 10, every
+  // fair run from every initial distribution stabilises to reject — no
+  // spurious acceptance exists anywhere in the reachable space.
+  const Construction c = build_construction(2);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  for (std::uint64_t m = 0; m <= 6; ++m) {
+    std::vector<std::uint64_t> regs(9, 0);
+    regs[8] = m;
+    ExploreLimits limits;
+    limits.max_nodes = 6'000'000;
+    const auto result = progmodel::decide(flat, regs, limits);
+    ASSERT_TRUE(result.stabilises()) << "m=" << m;
+    EXPECT_FALSE(result.output()) << "m=" << m;
+  }
+}
+
+TEST(Theorem3, RandomizedBoundaryN2) {
+  const Construction c = build_construction(2);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  const std::uint64_t k = Construction::threshold_u64(2);  // 10
+  for (std::uint64_t m : {k - 1, k}) {
+    std::vector<std::uint64_t> regs(9, 0);
+    regs[8] = m;
+    progmodel::Runner runner(flat, regs, 12345 + m);
+    progmodel::RunOptions options;
+    options.stable_window = 3'000'000;
+    options.max_steps = 600'000'000;
+    const progmodel::RunResult result = runner.run(options);
+    ASSERT_TRUE(result.stabilised) << "m=" << m;
+    EXPECT_FALSE(result.hung);
+    EXPECT_EQ(result.output, m >= k) << "m=" << m;
+    EXPECT_GT(result.restarts, 0u) << "detect-restart loop must engage";
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// Lemma 4 at n = 2, exhaustively over every small configuration
+// ---------------------------------------------------------------------------
+
+class Lemma4SweepN2 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma4SweepN2, TrichotomyOverAllCompositions) {
+  // Every distribution of m agents over the 9 registers must fall into
+  // exactly the case Lemma 4 predicts from its classification.
+  const std::uint64_t m = GetParam();
+  const Construction c = build_construction(2);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  ExploreLimits limits;
+  limits.max_nodes = 2'000'000;
+  for (const auto& config : progmodel::all_compositions(m, 9)) {
+    const MainAnalysis analysis =
+        progmodel::analyse_main(flat, config, limits);
+    ASSERT_FALSE(analysis.limit_hit);
+    ASSERT_FALSE(analysis.has_mixed_bscc);
+
+    bool low_and_empty = false;
+    for (int j = 1; j <= c.n; ++j)
+      low_and_empty |=
+          is_i_low(c, config, j) && is_i_empty(c, config, j + 1);
+    const bool proper = is_i_proper(c, config, c.n);
+
+    std::string shape;
+    for (std::uint64_t v : config) shape += std::to_string(v) + ",";
+    EXPECT_EQ(analysis.may_stabilise_false, low_and_empty) << shape;
+    EXPECT_EQ(analysis.may_stabilise_true, proper) << shape;
+    if (!low_and_empty && !proper) {
+      EXPECT_TRUE(analysis.always_restarts()) << shape;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, Lemma4SweepN2,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Level-3 procedures (inside an n = 4 instance)
+// ---------------------------------------------------------------------------
+
+class Level3Fixture : public ::testing::Test {
+ protected:
+  Level3Fixture()
+      : c_(build_construction(4)), flat_(FlatProgram::compile(c_.program)) {}
+
+  PostResult post(const std::string& proc, const RegValues& regs,
+                  std::uint64_t max_nodes = 6'000'000) const {
+    ExploreLimits limits;
+    limits.max_nodes = max_nodes;
+    PostResult result =
+        progmodel::explore_post(flat_, c_.proc(proc), regs, limits);
+    EXPECT_FALSE(result.limit_hit) << proc;
+    return result;
+  }
+
+  /// 3-proper prefix (N = 1, 4, 25) with chosen level-4 and R values.
+  RegValues with_level4(std::uint64_t x4, std::uint64_t xb4, std::uint64_t y4,
+                        std::uint64_t yb4, std::uint64_t r = 0) const {
+    return {0, 1, 0, 1, 0, 4, 0, 4, 0, 25, 0, 25, x4, xb4, y4, yb4, r};
+  }
+
+  Construction c_;
+  FlatProgram flat_;
+};
+
+TEST_F(Level3Fixture, ZeroAtLevel3IsDeterministicOnWeaklyProper) {
+  // weakly 3-proper with x3 = 7: Zero(x3) returns false; with x3 = 0: true.
+  RegValues nonzero = {0, 1, 0, 1, 0, 4, 0, 4, 7, 18, 0, 25, 0, 0, 0, 0, 0};
+  const PostResult r1 = post("Zero(x3)", nonzero);
+  EXPECT_TRUE(r1.returns_only());
+  ASSERT_EQ(r1.outcomes.size(), 1u);
+  EXPECT_TRUE(r1.contains(nonzero, 0));
+
+  RegValues zero = {0, 1, 0, 1, 0, 4, 0, 4, 0, 25, 0, 25, 0, 0, 0, 0, 0};
+  const PostResult r2 = post("Zero(x3)", zero);
+  EXPECT_TRUE(r2.returns_only());
+  ASSERT_EQ(r2.outcomes.size(), 1u);
+  EXPECT_TRUE(r2.contains(zero, 1));
+}
+
+TEST_F(Level3Fixture, IncrPairAtLevel3WrapsAtN4) {
+  // ctr_{x3,y3} = x3 * 26 + y3 (base N_3 + 1 = 26) increments mod 676.
+  RegValues config = {0, 1, 0, 1, 0, 4, 0, 4, 3, 22, 25, 0, 0, 0, 0, 0, 0};
+  const PostResult result = post("IncrPair(x3,y3)", config);
+  EXPECT_TRUE(result.returns_only());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const auto& out = result.outcomes[0].regs;
+  // before: 3 * 26 + 25 = 103; after: 104 = 4 * 26 + 0.
+  EXPECT_EQ(out[c_.x(3)], 4u);
+  EXPECT_EQ(out[c_.y(3)], 0u);
+  EXPECT_EQ(out[c_.xb(3)], 21u);
+  EXPECT_EQ(out[c_.yb(3)], 25u);
+}
+
+TEST_F(Level3Fixture, IncrPairAtLevel3IsReversible) {
+  RegValues config = {0, 1, 0, 1, 0, 4, 0, 4, 2, 23, 4, 21, 0, 0, 0, 0, 0};
+  const PostResult forward = post("IncrPair(x3,y3)", config);
+  EXPECT_FALSE(forward.can_diverge);
+  for (const auto& outcome : forward.outcomes) {
+    const PostResult backward = post("IncrPair(~x3,~y3)", outcome.regs);
+    EXPECT_TRUE(backward.contains(config, -1));
+  }
+}
+
+TEST_F(Level3Fixture, LargeAtLevel4PreconditionChecks) {
+  // The full 676-step walk of Large at level 4 is beyond exhaustive reach
+  // (each counter position spawns the entire level-1..3 machinery), but its
+  // entry behaviour is not: a nonzero level-3 digit forces a restart
+  // before the walk begins (Large's first guard).
+  RegValues dirty = with_level4(0, 676, 0, 676);
+  dirty[c_.x(3)] = 2;
+  dirty[c_.xb(3)] = 23;
+  const PostResult result = post("Large(~x4)", dirty, 2'000'000);
+  EXPECT_TRUE(result.can_restart);
+}
+
+}  // namespace
+}  // namespace ppde::czerner

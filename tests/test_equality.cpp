@@ -1,0 +1,136 @@
+// The equality variant from the paper's conclusion: the construction also
+// decides phi(x) <=> x = k with O(n) states. Main watches the surplus
+// register R from the accepting loop; an agent in R proves m > k and flips
+// the output to false permanently.
+#include <gtest/gtest.h>
+
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/classify.hpp"
+#include "czerner/construction.hpp"
+#include "machine/interp.hpp"
+#include "pp/verifier.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/interp.hpp"
+
+namespace ppde::czerner {
+namespace {
+
+using progmodel::DecisionResult;
+using progmodel::FlatProgram;
+using progmodel::MainAnalysis;
+
+TEST(Equality, ProgramSizeStaysLinear) {
+  // The variant adds a constant number of instructions, independent of n.
+  const auto eq3 = build_equality_construction(3).program.size();
+  const auto th3 = build_construction(3).program.size();
+  const auto eq4 = build_equality_construction(4).program.size();
+  const auto th4 = build_construction(4).program.size();
+  EXPECT_EQ(eq3.num_instructions - th3.num_instructions,
+            eq4.num_instructions - th4.num_instructions);
+  EXPECT_LE(eq3.num_instructions - th3.num_instructions, 4u);
+}
+
+TEST(Equality, DecidesEqualityExhaustivelyN1) {
+  // Theorem-3-style check: every fair run from every initial distribution
+  // stabilises to [m == 2].
+  const Construction c = build_equality_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  for (std::uint64_t m = 0; m <= 6; ++m) {
+    progmodel::ExploreLimits limits;
+    limits.max_nodes = 5'000'000;
+    const DecisionResult result =
+        progmodel::decide(flat, {0, 0, 0, 0, m}, limits);
+    ASSERT_TRUE(result.stabilises()) << "m=" << m;
+    EXPECT_EQ(result.output(), m == 2) << "m=" << m;
+  }
+}
+
+TEST(Equality, MainTrichotomyN1) {
+  // Lemma-4 analogue: n-proper with empty R may stabilise true; n-proper
+  // with occupied R may stabilise false (never true: fairness forces the
+  // detect); low-and-empty stabilises false; everything else restarts.
+  const Construction c = build_equality_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  {
+    const MainAnalysis a = progmodel::analyse_main(flat, {0, 1, 0, 1, 0});
+    EXPECT_TRUE(a.may_stabilise_true);
+    EXPECT_FALSE(a.may_stabilise_false);
+    EXPECT_FALSE(a.has_mixed_bscc);
+  }
+  {
+    const MainAnalysis a = progmodel::analyse_main(flat, {0, 1, 0, 1, 3});
+    EXPECT_FALSE(a.may_stabilise_true)
+        << "R occupied: fairness eventually fires the R detect";
+    EXPECT_TRUE(a.may_stabilise_false);
+    EXPECT_FALSE(a.has_mixed_bscc);
+  }
+  {
+    const MainAnalysis a = progmodel::analyse_main(flat, {0, 1, 0, 0, 0});
+    EXPECT_TRUE(a.may_stabilise_false);  // 1-low, 2-empty
+    EXPECT_FALSE(a.may_stabilise_true);
+  }
+  {
+    const MainAnalysis a = progmodel::analyse_main(flat, {1, 1, 0, 1, 0});
+    EXPECT_TRUE(a.always_restarts());  // 1-high
+  }
+}
+
+TEST(Equality, MachineLevelN1) {
+  const auto lowered =
+      compile::lower_program(build_equality_construction(1).program);
+  machine::MachineExploreLimits limits;
+  limits.max_nodes = 6'000'000;
+  for (std::uint64_t m = 0; m <= 4; ++m) {
+    const auto decision =
+        machine::decide_machine(lowered.machine, {0, 0, 0, 0, m}, limits);
+    ASSERT_TRUE(decision.stabilises()) << "m=" << m;
+    EXPECT_EQ(decision.output(), m == 2) << "m=" << m;
+  }
+}
+
+TEST(Equality, ProtocolLevelFromPi) {
+  // Full pipeline: the converted protocol decides m_regs == 2 exactly —
+  // in particular m_regs = 3 now REJECTS where the threshold variant
+  // accepts.
+  const auto lowered =
+      compile::lower_program(build_equality_construction(1).program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  options.max_configs = 3'000'000;
+  for (std::uint64_t m_regs = 0; m_regs <= 3; ++m_regs) {
+    std::vector<std::uint64_t> regs(5, 0);
+    regs[4] = m_regs;
+    const auto verdict =
+        pp::Verifier(conv.protocol)
+            .verify(conv.pi(machine::initial_state(lowered.machine, regs),
+                            false),
+                    options);
+    ASSERT_TRUE(verdict.stabilises()) << "m_regs=" << m_regs;
+    EXPECT_EQ(verdict.output(), m_regs == 2) << "m_regs=" << m_regs;
+  }
+}
+
+TEST(Equality, RandomizedBoundaryN2) {
+  const Construction c = build_equality_construction(2);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  const std::uint64_t k = Construction::threshold_u64(2);  // 10
+  for (std::uint64_t m : {k, k + 1}) {
+    std::vector<std::uint64_t> regs(9, 0);
+    regs[8] = m;
+    progmodel::Runner runner(flat, regs, 4242 + m);
+    progmodel::RunOptions options;
+    options.stable_window = 3'000'000;
+    options.max_steps = 900'000'000;
+    const auto result = runner.run(options);
+    ASSERT_TRUE(result.stabilised) << "m=" << m;
+    EXPECT_EQ(result.output, m == k) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace ppde::czerner

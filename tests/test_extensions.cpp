@@ -1,0 +1,332 @@
+// Tests for the library extensions beyond the paper's core pipeline:
+// scheduler ablation knobs (restart policies, detect bias), mid-run agent
+// removal, and the Graphviz export.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/crn.hpp"
+#include "analysis/reachability.hpp"
+#include "baselines/majority.hpp"
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "pp/simulator.hpp"
+#include "pp/verifier.hpp"
+#include "progmodel/builder.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/interp.hpp"
+#include "progmodel/sample_programs.hpp"
+
+namespace ppde {
+namespace {
+
+using progmodel::FlatProgram;
+using progmodel::RestartPolicy;
+using progmodel::RunOptions;
+using progmodel::Runner;
+
+// -- restart policies -----------------------------------------------------------
+
+TEST(RestartPolicies, StarsAndBarsConservesTotal) {
+  const FlatProgram flat =
+      FlatProgram::compile(progmodel::make_figure1_program());
+  Runner runner(flat, {1, 2, 4}, 11);
+  runner.set_policies(RestartPolicy::kStarsAndBars, 1, 2);
+  for (int i = 0; i < 100'000; ++i) runner.step();
+  const auto& regs = runner.registers();
+  EXPECT_EQ(std::accumulate(regs.begin(), regs.end(), std::uint64_t{0}), 7u);
+  EXPECT_GT(runner.restarts(), 0u);
+}
+
+TEST(RestartPolicies, StarsAndBarsCoversExtremes) {
+  // A uniform-composition sampler must occasionally put everything into a
+  // single register; with 3 registers and m = 4 each extreme composition
+  // has probability 1/C(6,2) = 1/15 per restart.
+  const FlatProgram flat =
+      FlatProgram::compile(progmodel::make_figure1_program());
+  Runner runner(flat, {0, 0, 4}, 23);
+  runner.set_policies(RestartPolicy::kStarsAndBars, 1, 2);
+  bool saw_all_in_x = false;
+  for (int i = 0; i < 500'000 && !saw_all_in_x; ++i) {
+    runner.step();
+    saw_all_in_x = runner.registers()[0] == 4;
+  }
+  EXPECT_TRUE(saw_all_in_x);
+}
+
+class PolicyCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PolicyCorrectness, Figure1DecidedUnderEveryFairPolicy) {
+  // Both fair policies (and any detect bias) decide the window predicate.
+  const auto [policy_index, m] = GetParam();
+  const FlatProgram flat =
+      FlatProgram::compile(progmodel::make_figure1_program());
+  Runner runner(flat, {0, 0, m}, 37 + m);
+  RunOptions options;
+  options.stable_window = 300'000;
+  options.max_steps = 60'000'000;
+  options.restart_policy = static_cast<RestartPolicy>(policy_index);
+  options.detect_true_num = policy_index == 0 ? 1 : 3;
+  options.detect_true_den = 4;
+  const auto result = runner.run(options);
+  ASSERT_TRUE(result.stabilised);
+  EXPECT_EQ(result.output, m >= 4 && m < 7) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyCorrectness,
+    // m = 2 (reject below) and m = 5 (accept) are observable under any
+    // detect bias; the upper-threshold reject (m >= 7) needs seven
+    // consecutive detect successes and is covered exhaustively in
+    // test_progmodel.cpp instead.
+    ::testing::Combine(::testing::Values(0, 1),  // multinomial, stars&bars
+                       ::testing::Values<std::uint64_t>(2, 5)));
+
+TEST(RestartPolicies, AllInHubBreaksAcceptance) {
+  // The deliberately broken policy never reaches an n-proper configuration
+  // of the construction, so the accept case m = k never turns true.
+  const auto c = czerner::build_construction(1);
+  const FlatProgram flat = FlatProgram::compile(c.program);
+  std::vector<std::uint64_t> regs(5, 0);
+  regs[4] = 2;  // m = k = 2: must accept under fair restarts...
+  Runner runner(flat, regs, 3);
+  RunOptions options;
+  options.stable_window = 500'000;
+  options.max_steps = 30'000'000;
+  options.restart_policy = RestartPolicy::kAllInHub;
+  const auto result = runner.run(options);
+  // ... but never does here: the window reports the perpetual false.
+  ASSERT_TRUE(result.stabilised);
+  EXPECT_FALSE(result.output)
+      << "all-in-hub restarts must not be able to accept";
+}
+
+// -- agent removal -----------------------------------------------------------------
+
+TEST(AgentRemoval, ConservesAndFilters) {
+  const pp::Protocol protocol = baselines::make_majority();
+  pp::Simulator sim(protocol, baselines::majority_initial(protocol, 5, 4), 9);
+  const pp::State big_a = protocol.state("A");
+  const auto removed =
+      sim.remove_random_agent([big_a](pp::State q) { return q == big_a; });
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, big_a);
+  EXPECT_EQ(sim.population(), 8u);
+  EXPECT_EQ(sim.config()[big_a], 4u);
+}
+
+TEST(AgentRemoval, AcceptingCountStaysConsistent) {
+  const pp::Protocol protocol = baselines::make_majority();
+  pp::Simulator sim(protocol, baselines::majority_initial(protocol, 6, 2), 5);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (int i = 0; i < 4; ++i) sim.remove_random_agent();
+  EXPECT_EQ(sim.accepting_agents(), sim.config().accepting_count(protocol));
+}
+
+TEST(AgentRemoval, RefusesBelowTwoAgents) {
+  const pp::Protocol protocol = baselines::make_majority();
+  pp::Simulator sim(protocol, baselines::majority_initial(protocol, 1, 1), 2);
+  EXPECT_FALSE(sim.remove_random_agent().has_value());
+}
+
+TEST(AgentRemoval, NoEligibleAgent) {
+  const pp::Protocol protocol = baselines::make_majority();
+  pp::Simulator sim(protocol, baselines::majority_initial(protocol, 3, 2), 2);
+  const pp::State small_a = protocol.state("a");
+  EXPECT_FALSE(sim.remove_random_agent([small_a](pp::State q) {
+                    return q == small_a;  // nobody is in "a" initially
+                  }).has_value());
+}
+
+TEST(AgentRemoval, MajorityFlipsWhenLeaderRemoved) {
+  // Removing enough A agents flips a 5-vs-4 majority: the protocol
+  // re-converges to the new truth (majority is naturally removal-tolerant,
+  // unlike the pipeline's pointer agents — see bench_agent_removal).
+  const pp::Protocol protocol = baselines::make_majority();
+  pp::Simulator sim(protocol, baselines::majority_initial(protocol, 5, 4), 1);
+  const pp::State big_a = protocol.state("A");
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(sim.remove_random_agent(
+                        [big_a](pp::State q) { return q == big_a; })
+                    .has_value());
+  pp::SimulationOptions options;
+  options.stable_window = 100'000;
+  const auto result = sim.run_until_stable(options);
+  ASSERT_TRUE(result.stabilised);
+  EXPECT_FALSE(result.output) << "3 A vs 4 B: majority must reject";
+}
+
+// -- dot export ------------------------------------------------------------------
+
+TEST(DotExport, RendersNodesAndEdges) {
+  const pp::Protocol protocol = baselines::make_majority();
+  const std::string dot = protocol.to_dot();
+  EXPECT_NE(dot.find("digraph protocol"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // accepting
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);     // input
+  EXPECT_NE(dot.find("label=\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExport, ElidesBeyondLimit) {
+  const auto lowered =
+      compile::lower_program(progmodel::make_figure1_program());
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::string dot = conv.protocol.to_dot(/*max_transitions=*/10);
+  EXPECT_NE(dot.find("more transitions elided"), std::string::npos);
+}
+
+
+// -- state reachability --------------------------------------------------------------
+
+TEST(Reachability, EpidemicFromMixedStart) {
+  pp::Protocol protocol;
+  const pp::State sick = protocol.add_state("sick");
+  const pp::State healthy = protocol.add_state("healthy");
+  const pp::State unused = protocol.add_state("unused");
+  protocol.add_transition(sick, healthy, sick, sick);
+  protocol.finalize();
+  pp::Config initial(3);
+  initial.add(sick, 1);
+  initial.add(healthy, 3);
+  const auto occupiable = analysis::reachable_states(protocol, initial);
+  EXPECT_TRUE(occupiable[sick]);
+  EXPECT_TRUE(occupiable[healthy]);
+  EXPECT_FALSE(occupiable[unused]);
+  EXPECT_EQ(analysis::reachable_state_count(protocol, initial), 2u);
+}
+
+TEST(Reachability, ConversionHasUnoccupiableStates) {
+  // The nominal Theorem-5 state count includes gadget stages no run can
+  // occupy; the effective count from the initial configuration is smaller.
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::uint64_t effective = analysis::reachable_state_count(
+      conv.protocol, conv.initial_config(conv.num_pointers + 3));
+  EXPECT_LT(effective, conv.protocol.num_states());
+  EXPECT_GT(effective, conv.protocol.num_states() / 4);
+}
+
+// -- hang detection -------------------------------------------------------------------
+
+TEST(HangDetection, UnguardedMoveHangs) {
+  // move on an empty register blocks the program forever; the explorer
+  // reports it as a divergence (non-terminal bottom SCC) with the hang
+  // flag, and the randomized runner surfaces it too.
+  progmodel::ProgramBuilder b;
+  const progmodel::Reg a = b.reg("a");
+  const progmodel::Reg c = b.reg("b");
+  const progmodel::ProcRef main =
+      b.proc("Main", false, [&](progmodel::BlockBuilder& s) {
+        s.set_of(true);
+        s.move(a, c);  // hangs whenever a == 0
+        s.set_of(false);
+        s.while_(s.constant(true), [](progmodel::BlockBuilder&) {});
+      });
+  const progmodel::Program program = std::move(b).build(main);
+  const FlatProgram flat = FlatProgram::compile(program);
+
+  const auto analysis = progmodel::analyse_main(flat, {0, 1});
+  EXPECT_TRUE(analysis.may_stabilise_true)
+      << "hung with OF = true: stabilises to true in the fair-run sense";
+  EXPECT_FALSE(analysis.may_stabilise_false);
+
+  Runner runner(flat, {0, 1}, 4);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  const auto result = runner.run(options);
+  EXPECT_TRUE(result.hung);
+  EXPECT_TRUE(result.output);
+
+  // With a unit available the move succeeds and OF ends false.
+  const auto ok = progmodel::analyse_main(flat, {1, 0});
+  EXPECT_TRUE(ok.may_stabilise_false);
+  EXPECT_FALSE(ok.may_stabilise_true);
+}
+
+
+// -- pruning -------------------------------------------------------------------------
+
+TEST(Pruning, PrunedPipelineDecidesTheSamePredicate) {
+  // Dropping unoccupiable states must not change the decided predicate:
+  // exact verdicts on the pruned protocol match the original's.
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+
+  for (std::uint64_t m_regs = 0; m_regs <= 2; ++m_regs) {
+    std::vector<std::uint64_t> regs(5, 0);
+    regs[4] = m_regs;
+    const pp::Config initial =
+        conv.pi(machine::initial_state(lowered.machine, regs), false);
+    const auto pruned = analysis::prune_protocol(conv.protocol, initial);
+    EXPECT_LT(pruned.protocol.num_states(), conv.protocol.num_states());
+    EXPECT_EQ(pruned.initial.total(), initial.total());
+
+    pp::VerifierOptions options;
+    options.witness_mode = true;
+    const auto original =
+        pp::Verifier(conv.protocol).verify(initial, options);
+    const auto reduced =
+        pp::Verifier(pruned.protocol).verify(pruned.initial, options);
+    ASSERT_TRUE(original.stabilises());
+    ASSERT_TRUE(reduced.stabilises());
+    EXPECT_EQ(original.output(), reduced.output()) << "m_regs=" << m_regs;
+    EXPECT_EQ(reduced.output(), m_regs >= 2);
+  }
+}
+
+TEST(Pruning, KeepsAcceptingAndInputMarks) {
+  const pp::Protocol protocol = baselines::make_majority();
+  const pp::Config initial = baselines::majority_initial(protocol, 2, 1);
+  const auto pruned = analysis::prune_protocol(protocol, initial);
+  // Majority from (2,1) can occupy all four states.
+  EXPECT_EQ(pruned.protocol.num_states(), 4u);
+  EXPECT_EQ(pruned.protocol.input_states().size(),
+            protocol.input_states().size());
+}
+
+// -- CRN export ----------------------------------------------------------------------
+
+TEST(CrnExport, MajorityReactions) {
+  const pp::Protocol protocol = baselines::make_majority();
+  const std::string crn = analysis::to_crn(protocol);
+  EXPECT_NE(crn.find("species A  # accepting"), std::string::npos);
+  EXPECT_NE(crn.find("A + B -> a + b"), std::string::npos);
+  EXPECT_NE(crn.find("a + b -> b + b"), std::string::npos);
+  const auto stats = analysis::crn_stats(protocol);
+  EXPECT_EQ(stats.species, 4u);
+  EXPECT_EQ(stats.reactions, 4u);
+}
+
+TEST(CrnExport, MergesSymmetricDuplicates) {
+  // Two orientations of the same chemical reaction count once.
+  pp::Protocol protocol;
+  const pp::State a = protocol.add_state("A");
+  const pp::State b = protocol.add_state("B");
+  const pp::State c = protocol.add_state("C");
+  protocol.add_transition(a, b, c, c);
+  protocol.add_transition(b, a, c, c);
+  protocol.finalize();
+  EXPECT_EQ(analysis::crn_stats(protocol).reactions, 1u);
+}
+
+TEST(CrnExport, MarksUnreachableSpecies) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::string crn = analysis::to_crn(
+      conv.protocol, conv.initial_config(conv.num_pointers + 2),
+      /*max_reactions=*/5);
+  EXPECT_NE(crn.find("(unreachable)"), std::string::npos);
+  EXPECT_NE(crn.find("more reactions elided"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppde

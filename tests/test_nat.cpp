@@ -1,0 +1,206 @@
+// Unit + property tests for the Nat bignum substrate, including a
+// differential suite against GMP (used only here, as an oracle).
+#include "bignum/nat.hpp"
+
+#include <gmpxx.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ppde::bignum {
+namespace {
+
+TEST(Nat, DefaultIsZero) {
+  Nat zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.to_u64(), 0u);
+  EXPECT_EQ(zero.to_decimal(), "0");
+  EXPECT_EQ(zero.bit_length(), 0u);
+}
+
+TEST(Nat, SmallValues) {
+  Nat seven{7};
+  EXPECT_FALSE(seven.is_zero());
+  EXPECT_EQ(seven.to_u64(), 7u);
+  EXPECT_EQ(seven.bit_length(), 3u);
+  EXPECT_EQ(seven.to_decimal(), "7");
+}
+
+TEST(Nat, AdditionCarriesAcrossLimbs) {
+  Nat max64{0xffffffffffffffffULL};
+  Nat one{1};
+  Nat sum = max64 + one;
+  EXPECT_EQ(sum.to_decimal(), "18446744073709551616");
+  EXPECT_EQ(sum.bit_length(), 65u);
+  EXPECT_FALSE(sum.fits_u64());
+}
+
+TEST(Nat, SubtractionBorrowsAcrossLimbs) {
+  Nat big = Nat::pow2(128);
+  Nat result = big - Nat{1};
+  EXPECT_EQ(result.bit_length(), 128u);
+  EXPECT_EQ(result + Nat{1}, big);
+}
+
+TEST(Nat, SubtractionUnderflowThrows) {
+  EXPECT_THROW(Nat{3} - Nat{4}, std::underflow_error);
+}
+
+TEST(Nat, MultiplicationSchoolbook) {
+  Nat a = Nat::from_decimal("123456789123456789123456789");
+  Nat b = Nat::from_decimal("987654321987654321");
+  EXPECT_EQ((a * b).to_decimal(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(Nat, MultiplicationByZero) {
+  Nat a = Nat::from_decimal("999999999999999999999999");
+  EXPECT_TRUE((a * Nat{}).is_zero());
+  EXPECT_TRUE((Nat{} * a).is_zero());
+}
+
+TEST(Nat, Pow2MatchesShift) {
+  for (std::uint64_t e : {0u, 1u, 63u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ(Nat::pow2(e), Nat{1}.shifted_left(e)) << "exponent " << e;
+    EXPECT_EQ(Nat::pow2(e).bit_length(), e + 1);
+  }
+}
+
+TEST(Nat, PowSquaring) {
+  EXPECT_EQ(Nat{2}.pow(10).to_u64(), 1024u);
+  EXPECT_EQ(Nat{3}.pow(0).to_u64(), 1u);
+  EXPECT_EQ(Nat{0}.pow(0).to_u64(), 1u);  // convention
+  EXPECT_EQ(Nat{0}.pow(5).to_u64(), 0u);
+  EXPECT_EQ(Nat{10}.pow(30).to_decimal(),
+            "1000000000000000000000000000000");
+}
+
+TEST(Nat, DivModSmallDivisor) {
+  Nat a = Nat::from_decimal("1000000000000000000000000000007");
+  auto [q, r] = Nat::divmod(a, Nat{13});
+  EXPECT_EQ(q * Nat{13} + r, a);
+  EXPECT_LT(r, Nat{13});
+}
+
+TEST(Nat, DivModLargeDivisor) {
+  Nat a = Nat::pow2(200) + Nat::from_decimal("987654321");
+  Nat b = Nat::pow2(100) + Nat{12345};
+  auto [q, r] = Nat::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+TEST(Nat, DivisionByZeroThrows) {
+  EXPECT_THROW(Nat{1} / Nat{}, std::domain_error);
+}
+
+TEST(Nat, OrderingIsTotal) {
+  std::vector<Nat> ordered = {Nat{}, Nat{1}, Nat{2}, Nat{0xffffffffffffffffULL},
+                              Nat::pow2(64), Nat::pow2(100)};
+  for (std::size_t i = 0; i < ordered.size(); ++i)
+    for (std::size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+    }
+}
+
+TEST(Nat, DecimalRoundTrip) {
+  for (const char* text :
+       {"0", "1", "10", "18446744073709551615", "18446744073709551616",
+        "340282366920938463463374607431768211456",
+        "10000000000000000000000000000000000000000000000001"}) {
+    EXPECT_EQ(Nat::from_decimal(text).to_decimal(), text);
+  }
+}
+
+TEST(Nat, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(Nat::from_decimal(""), std::invalid_argument);
+  EXPECT_THROW(Nat::from_decimal("12a"), std::invalid_argument);
+  EXPECT_THROW(Nat::from_decimal("-1"), std::invalid_argument);
+}
+
+TEST(Nat, Log2Accuracy) {
+  EXPECT_DOUBLE_EQ(Nat{1}.log2(), 0.0);
+  EXPECT_DOUBLE_EQ(Nat{2}.log2(), 1.0);
+  EXPECT_NEAR(Nat::pow2(1000).log2(), 1000.0, 1e-9);
+  EXPECT_NEAR((Nat::pow2(100) + Nat::pow2(99)).log2(), 100.5849625007, 1e-6);
+  EXPECT_THROW(Nat{}.log2(), std::domain_error);
+}
+
+TEST(Nat, ToDoubleLargeIsFinite) {
+  EXPECT_DOUBLE_EQ(Nat{12345}.to_double(), 12345.0);
+  EXPECT_GT(Nat::pow2(500).to_double(), 1e150);
+}
+
+TEST(Nat, HashDistinguishesValues) {
+  EXPECT_NE(Nat{1}.hash(), Nat{2}.hash());
+  EXPECT_EQ(Nat{42}.hash(), Nat{42}.hash());
+}
+
+// -- Differential property tests against GMP --------------------------------
+
+class NatVsGmp : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Nat random_nat(support::Rng& rng, int max_limbs, mpz_class* mirror) {
+    const int limbs = static_cast<int>(rng.below(max_limbs)) + 1;
+    Nat value;
+    mpz_class gmp = 0;
+    for (int i = 0; i < limbs; ++i) {
+      const std::uint64_t limb = rng();
+      value = value.shifted_left(64) + Nat{limb};
+      gmp <<= 64;
+      gmp += mpz_class(mpz_class(static_cast<unsigned long>(limb >> 32)) << 32) +
+             static_cast<unsigned long>(limb & 0xffffffffu);
+    }
+    *mirror = gmp;
+    return value;
+  }
+
+  static std::string gmp_str(const mpz_class& value) {
+    return value.get_str();
+  }
+};
+
+TEST_P(NatVsGmp, ArithmeticAgreesWithGmp) {
+  support::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    mpz_class ga, gb;
+    Nat a = random_nat(rng, 5, &ga);
+    Nat b = random_nat(rng, 5, &gb);
+    ASSERT_EQ(a.to_decimal(), gmp_str(ga));
+    ASSERT_EQ(b.to_decimal(), gmp_str(gb));
+
+    EXPECT_EQ((a + b).to_decimal(), gmp_str(ga + gb));
+    EXPECT_EQ((a * b).to_decimal(), gmp_str(ga * gb));
+    if (a >= b)
+      EXPECT_EQ((a - b).to_decimal(), gmp_str(ga - gb));
+    else
+      EXPECT_EQ((b - a).to_decimal(), gmp_str(gb - ga));
+
+    if (!b.is_zero()) {
+      auto [q, r] = Nat::divmod(a, b);
+      EXPECT_EQ(q.to_decimal(), gmp_str(ga / gb));
+      EXPECT_EQ(r.to_decimal(), gmp_str(ga % gb));
+    }
+
+    EXPECT_EQ(a < b, ga < gb);
+    EXPECT_EQ(a == b, ga == gb);
+
+    const std::uint64_t shift = rng.below(130);
+    mpz_class shifted = ga << static_cast<unsigned long>(shift);
+    EXPECT_EQ(a.shifted_left(shift).to_decimal(), gmp_str(shifted));
+
+    EXPECT_EQ(a.bit_length(),
+              ga == 0 ? 0u : mpz_sizeinbase(ga.get_mpz_t(), 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NatVsGmp,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ppde::bignum

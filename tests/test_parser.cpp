@@ -1,0 +1,139 @@
+// Tests for the Presburger predicate parser, including a brute-force
+// semantic cross-check: every parsed predicate is evaluated against a
+// direct interpretation of the source expression on a grid of inputs.
+#include "presburger/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/nat.hpp"
+
+namespace ppde::presburger {
+namespace {
+
+using bignum::Nat;
+
+std::vector<Nat> in(std::initializer_list<std::uint64_t> values) {
+  std::vector<Nat> result;
+  for (std::uint64_t v : values) result.emplace_back(v);
+  return result;
+}
+
+TEST(Parser, SimpleThreshold) {
+  auto phi = parse_predicate("x0 >= 5");
+  EXPECT_FALSE(phi->evaluate_unary(Nat{4}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{5}));
+}
+
+TEST(Parser, AllComparisonOperators) {
+  struct Case {
+    const char* text;
+    bool at4, at5, at6;
+  };
+  const Case cases[] = {
+      {"x0 >= 5", false, true, true}, {"x0 > 5", false, false, true},
+      {"x0 <= 5", true, true, false}, {"x0 < 5", true, false, false},
+      {"x0 == 5", false, true, false}, {"x0 != 5", true, false, true},
+  };
+  for (const Case& c : cases) {
+    auto phi = parse_predicate(c.text);
+    EXPECT_EQ(phi->evaluate_unary(Nat{4}), c.at4) << c.text;
+    EXPECT_EQ(phi->evaluate_unary(Nat{5}), c.at5) << c.text;
+    EXPECT_EQ(phi->evaluate_unary(Nat{6}), c.at6) << c.text;
+  }
+}
+
+TEST(Parser, Figure1Window) {
+  auto phi = parse_predicate("x0 >= 4 && !(x0 >= 7)");
+  for (std::uint64_t x = 0; x <= 10; ++x)
+    EXPECT_EQ(phi->evaluate_unary(Nat{x}), x >= 4 && x < 7) << x;
+}
+
+TEST(Parser, PrecedenceNotAndOr) {
+  // ! binds tighter than &&, && tighter than ||.
+  auto phi = parse_predicate("x0 >= 10 || x0 >= 2 && !x0 >= 5");
+  // equivalent to: (x0>=10) || ((x0>=2) && !(x0>=5))
+  EXPECT_FALSE(phi->evaluate_unary(Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{3}));
+  EXPECT_FALSE(phi->evaluate_unary(Nat{6}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{12}));
+}
+
+TEST(Parser, MultiVariableWithCoefficients) {
+  // Majority with margin: x0 - x1 >= 2.
+  auto phi = parse_predicate("x0 - x1 >= 2");
+  EXPECT_TRUE(phi->evaluate(in({5, 3})));
+  EXPECT_FALSE(phi->evaluate(in({4, 3})));
+  EXPECT_FALSE(phi->evaluate(in({0, 9})));
+
+  auto scaled = parse_predicate("2*x0 - 3*x1 >= 1");
+  EXPECT_TRUE(scaled->evaluate(in({5, 3})));   // 10 - 9 = 1
+  EXPECT_FALSE(scaled->evaluate(in({4, 3})));  // 8 - 9 < 1
+}
+
+TEST(Parser, ConstantTermsFoldAcrossComparison) {
+  // x0 + 3 >= 5  <=>  x0 >= 2.
+  auto phi = parse_predicate("x0 + 3 >= 5");
+  EXPECT_FALSE(phi->evaluate_unary(Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{2}));
+  // x0 - 4 >= 1  <=>  x0 >= 5.
+  auto shifted = parse_predicate("x0 - 4 >= 1");
+  EXPECT_FALSE(shifted->evaluate_unary(Nat{4}));
+  EXPECT_TRUE(shifted->evaluate_unary(Nat{5}));
+}
+
+TEST(Parser, NegativeBoundNormalisation) {
+  // x0 - x1 + 5 >= 2  <=>  x0 - x1 >= -3  <=>  !(x1 - x0 >= 4).
+  auto phi = parse_predicate("x0 - x1 + 5 >= 2");
+  EXPECT_TRUE(phi->evaluate(in({0, 3})));   // -3 >= -3
+  EXPECT_FALSE(phi->evaluate(in({0, 4})));  // -4 < -3
+  EXPECT_TRUE(phi->evaluate(in({7, 1})));
+}
+
+TEST(Parser, Remainder) {
+  auto phi = parse_predicate("x0 % 3 == 1");
+  EXPECT_TRUE(phi->evaluate_unary(Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{7}));
+  EXPECT_FALSE(phi->evaluate_unary(Nat{6}));
+}
+
+TEST(Parser, HugeThresholdConstant) {
+  auto phi = parse_predicate(
+      "x0 >= 340282366920938463463374607431768211456");  // 2^128
+  EXPECT_FALSE(phi->evaluate_unary(Nat::pow2(128) - Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat::pow2(128)));
+  EXPECT_GE(phi->size(), 128u);
+}
+
+TEST(Parser, BooleanConstants) {
+  EXPECT_TRUE(parse_predicate("true")->evaluate({}));
+  EXPECT_FALSE(parse_predicate("false")->evaluate({}));
+  EXPECT_FALSE(parse_predicate("!true")->evaluate({}));
+  EXPECT_TRUE(parse_predicate("true && !false")->evaluate({}));
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  auto a = parse_predicate("x0>=4&&!(x0>=7)");
+  auto b = parse_predicate("  x0   >= 4   &&   ! ( x0 >= 7 ) ");
+  for (std::uint64_t x = 0; x <= 8; ++x)
+    EXPECT_EQ(a->evaluate_unary(Nat{x}), b->evaluate_unary(Nat{x}));
+}
+
+TEST(Parser, Rejections) {
+  for (const char* bad :
+       {"", "x", "x0", "x0 >=", ">= 4", "x0 >= 4 &&", "x0 >= 4)",
+        "(x0 >= 4", "x0 % 0 == 1", "x0 % 3 = 1", "x0 ** 2 >= 1",
+        "x0 >= 4 x1 >= 2", "truex", "x0 + 1 % 3 == 1"}) {
+    EXPECT_THROW(parse_predicate(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Parser, RoundTripAgainstConstruction) {
+  // The predicate the paper's protocol decides, written as text.
+  const Nat k = Nat::from_decimal("918070");  // k(5)
+  auto phi = parse_predicate("x0 >= 918070");
+  EXPECT_FALSE(phi->evaluate_unary(k - Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(k));
+}
+
+}  // namespace
+}  // namespace ppde::presburger

@@ -1,0 +1,142 @@
+// Tests for quantifier-free Presburger predicates and the |phi| size
+// measure used by all state-complexity statements.
+#include "presburger/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bignum/nat.hpp"
+
+namespace ppde::presburger {
+namespace {
+
+using bignum::Nat;
+
+std::vector<Nat> in(std::initializer_list<std::uint64_t> values) {
+  std::vector<Nat> result;
+  for (std::uint64_t v : values) result.emplace_back(v);
+  return result;
+}
+
+TEST(Predicate, Constants) {
+  EXPECT_TRUE(Predicate::constant(true)->evaluate({}));
+  EXPECT_FALSE(Predicate::constant(false)->evaluate({}));
+  EXPECT_EQ(Predicate::constant(true)->size(), 1u);
+}
+
+TEST(Predicate, UnaryThreshold) {
+  auto phi = Predicate::unary_threshold(Nat{5});
+  EXPECT_FALSE(phi->evaluate_unary(Nat{4}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{5}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{6}));
+  EXPECT_EQ(phi->to_string(), "x0 >= 5");
+}
+
+TEST(Predicate, ThresholdSizeIsBitsOfConstant) {
+  // |phi_n| for phi_n(x) <=> x >= 2^n is Theta(n): size grows linearly in n.
+  const std::uint64_t s10 = Predicate::unary_threshold(Nat::pow2(10))->size();
+  const std::uint64_t s20 = Predicate::unary_threshold(Nat::pow2(20))->size();
+  const std::uint64_t s40 = Predicate::unary_threshold(Nat::pow2(40))->size();
+  EXPECT_EQ(s20 - s10, 10u);
+  EXPECT_EQ(s40 - s20, 20u);
+}
+
+TEST(Predicate, DoubleExponentialThresholdSize) {
+  // x >= 2^(2^n) has size Theta(2^n): the paper's protocols have
+  // O(n) = O(log |phi|) states against this measure.
+  auto phi = Predicate::unary_threshold(Nat::pow2(1 << 10));
+  EXPECT_GE(phi->size(), 1u << 10);
+  EXPECT_LE(phi->size(), (1u << 10) + 16);
+}
+
+TEST(Predicate, MultiVariableThreshold) {
+  // x - 2y >= 3.
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  sum.terms.push_back({.variable = 1, .coefficient = -2});
+  auto phi = Predicate::threshold(sum, Nat{3});
+  EXPECT_TRUE(phi->evaluate(in({10, 2})));   // 10 - 4 = 6 >= 3
+  EXPECT_FALSE(phi->evaluate(in({10, 4})));  // 10 - 8 = 2 < 3
+  EXPECT_FALSE(phi->evaluate(in({0, 5})));   // negative sum
+}
+
+TEST(Predicate, MajorityAsThreshold) {
+  // x >= y  <=>  x - y >= 0.
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  sum.terms.push_back({.variable = 1, .coefficient = -1});
+  auto phi = Predicate::threshold(sum, Nat{0});
+  EXPECT_TRUE(phi->evaluate(in({3, 3})));
+  EXPECT_TRUE(phi->evaluate(in({4, 3})));
+  EXPECT_FALSE(phi->evaluate(in({2, 3})));
+}
+
+TEST(Predicate, Remainder) {
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  auto phi = Predicate::remainder(sum, 5, 2);
+  EXPECT_TRUE(phi->evaluate(in({2})));
+  EXPECT_TRUE(phi->evaluate(in({7})));
+  EXPECT_TRUE(phi->evaluate(in({12})));
+  EXPECT_FALSE(phi->evaluate(in({5})));
+  EXPECT_FALSE(phi->evaluate(in({0})));
+}
+
+TEST(Predicate, RemainderWithNegativeCoefficient) {
+  // x - y ≡ 0 (mod 3).
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  sum.terms.push_back({.variable = 1, .coefficient = -1});
+  auto phi = Predicate::remainder(sum, 3, 0);
+  EXPECT_TRUE(phi->evaluate(in({5, 2})));
+  EXPECT_TRUE(phi->evaluate(in({2, 5})));  // -3 ≡ 0
+  EXPECT_FALSE(phi->evaluate(in({4, 2})));
+}
+
+TEST(Predicate, RemainderModulusZeroThrows) {
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  EXPECT_THROW(Predicate::remainder(sum, 0, 0), std::invalid_argument);
+}
+
+TEST(Predicate, BooleanCombinations) {
+  // The Figure-1 predicate: 4 <= x < 7.
+  auto lo = Predicate::unary_threshold(Nat{4});
+  auto hi = Predicate::unary_threshold(Nat{7});
+  auto window = Predicate::conjunction(lo, Predicate::negation(hi));
+  for (std::uint64_t x = 0; x <= 10; ++x)
+    EXPECT_EQ(window->evaluate_unary(Nat{x}), x >= 4 && x < 7) << "x=" << x;
+  EXPECT_EQ(window->size(), lo->size() + hi->size() + 2);
+}
+
+TEST(Predicate, Disjunction) {
+  auto phi = Predicate::disjunction(Predicate::unary_threshold(Nat{10}),
+                                    Predicate::negation(
+                                        Predicate::unary_threshold(Nat{3})));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{0}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{2}));
+  EXPECT_FALSE(phi->evaluate_unary(Nat{5}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat{10}));
+}
+
+TEST(Predicate, HugeThresholdEvaluates) {
+  auto phi = Predicate::unary_threshold(Nat::pow2(4096));
+  EXPECT_FALSE(phi->evaluate_unary(Nat::pow2(4096) - Nat{1}));
+  EXPECT_TRUE(phi->evaluate_unary(Nat::pow2(4096)));
+}
+
+TEST(Predicate, OutOfRangeVariableThrows) {
+  LinearSum sum;
+  sum.terms.push_back({.variable = 3, .coefficient = 1});
+  auto phi = Predicate::threshold(sum, Nat{1});
+  EXPECT_THROW(phi->evaluate(in({1})), std::out_of_range);
+}
+
+TEST(LinearSum, ToString) {
+  LinearSum sum;
+  sum.terms.push_back({.variable = 0, .coefficient = 1});
+  sum.terms.push_back({.variable = 1, .coefficient = -2});
+  EXPECT_EQ(sum.to_string(), "x0 - 2*x1");
+}
+
+}  // namespace
+}  // namespace ppde::presburger

@@ -1,0 +1,329 @@
+// Tests for population programs (Section 4): builder, size measure, flat
+// lowering, the randomized runner, and the exhaustive explorer — including
+// the full decision check of the Figure-1 program.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "progmodel/ast.hpp"
+#include "progmodel/builder.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/interp.hpp"
+#include "progmodel/sample_programs.hpp"
+
+namespace ppde::progmodel {
+namespace {
+
+// -- builder / AST -----------------------------------------------------------
+
+TEST(Builder, DuplicateRegisterThrows) {
+  ProgramBuilder b;
+  b.reg("x");
+  EXPECT_THROW(b.reg("x"), std::invalid_argument);
+}
+
+TEST(Builder, CyclicCallsRejected) {
+  ProgramBuilder b;
+  const ProcRef f = b.declare_proc("F", false);
+  const ProcRef g = b.declare_proc("G", false);
+  b.define(f, [&](BlockBuilder& s) { s.call(g); });
+  b.define(g, [&](BlockBuilder& s) { s.call(f); });
+  EXPECT_THROW(std::move(b).build(f), std::logic_error);
+}
+
+TEST(Builder, SelfRecursionRejected) {
+  ProgramBuilder b;
+  const ProcRef f = b.declare_proc("F", false);
+  b.define(f, [&](BlockBuilder& s) { s.call(f); });
+  EXPECT_THROW(std::move(b).build(f), std::logic_error);
+}
+
+TEST(Builder, VoidProcedureAsConditionRejected) {
+  ProgramBuilder b;
+  const ProcRef noop = b.proc("Noop", false, [](BlockBuilder& s) {
+    s.return_void();
+  });
+  const ProcRef main = b.proc("Main", false, [&](BlockBuilder& s) {
+    s.if_(s.call_cond(noop), [](BlockBuilder&) {});
+  });
+  EXPECT_THROW(std::move(b).build(main), std::logic_error);
+}
+
+TEST(Builder, SwapWithSelfRejected) {
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const ProcRef main =
+      b.proc("Main", false, [&](BlockBuilder& s) { s.swap(x, x); });
+  EXPECT_THROW(std::move(b).build(main), std::logic_error);
+}
+
+TEST(Ast, Figure1SwapSizeIsTwo) {
+  // The paper computes swap-size 2 for Figure 1: only (x, y) and (y, x).
+  const Program program = make_figure1_program();
+  EXPECT_EQ(program.size().swap_size, 2u);
+}
+
+TEST(Ast, SwapSizeGrowsTransitively) {
+  // Adding swap y, z makes all 6 ordered pairs of {x, y, z} swappable.
+  ProgramBuilder b;
+  const Reg x = b.reg("x");
+  const Reg y = b.reg("y");
+  const Reg z = b.reg("z");
+  const ProcRef main = b.proc("Main", false, [&](BlockBuilder& s) {
+    s.swap(x, y);
+    s.swap(y, z);
+  });
+  const Program program = std::move(b).build(main);
+  EXPECT_EQ(program.size().swap_size, 6u);
+}
+
+TEST(Ast, ThresholdProgramSizeGrowsLinearly) {
+  const auto s4 = make_threshold_program(4).size();
+  const auto s8 = make_threshold_program(8).size();
+  const auto s16 = make_threshold_program(16).size();
+  // Test(k) expands the for-loop k times: L grows linearly in k, so the
+  // increment doubles when the threshold increment doubles.
+  EXPECT_EQ(s16.num_instructions - s8.num_instructions,
+            2 * (s8.num_instructions - s4.num_instructions));
+  EXPECT_GT(s16.num_instructions, s8.num_instructions);
+}
+
+TEST(Ast, PrettyPrinterMentionsAllProcedures) {
+  const std::string text = make_figure1_program().to_string();
+  EXPECT_NE(text.find("procedure Main"), std::string::npos);
+  EXPECT_NE(text.find("procedure Test(4)"), std::string::npos);
+  EXPECT_NE(text.find("procedure Test(7)"), std::string::npos);
+  EXPECT_NE(text.find("procedure Clean"), std::string::npos);
+  EXPECT_NE(text.find("restart"), std::string::npos);
+}
+
+TEST(Ast, CalleesOfMain) {
+  const Program program = make_figure1_program();
+  const auto callees = program.callees(program.main_proc);
+  EXPECT_EQ(callees.size(), 3u);  // Test(4), Test(7), Clean
+}
+
+// -- flat lowering -----------------------------------------------------------
+
+TEST(Flat, PrologueCallsMainThenHalts) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  ASSERT_GE(flat.ops.size(), 2u);
+  EXPECT_EQ(flat.ops[0].kind, FlatOp::Kind::kCall);
+  EXPECT_EQ(flat.ops[0].a, flat.main_proc);
+  EXPECT_EQ(flat.ops[1].kind, FlatOp::Kind::kHalt);
+}
+
+TEST(Flat, EveryJumpTargetInRange) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  for (const FlatOp& op : flat.ops) {
+    if (op.kind == FlatOp::Kind::kJump) {
+      EXPECT_LT(op.a, flat.ops.size());
+    }
+    if (op.kind == FlatOp::Kind::kBranch) {
+      EXPECT_LT(op.a, flat.ops.size());
+      EXPECT_LT(op.b, flat.ops.size());
+    }
+    if (op.kind == FlatOp::Kind::kCall) {
+      EXPECT_LT(flat.proc_entry[op.a], flat.ops.size());
+    }
+  }
+}
+
+TEST(Flat, ListingRoundTripsThroughToString) {
+  const FlatProgram flat = FlatProgram::compile(make_figure3_program());
+  const std::string text = flat.to_string();
+  EXPECT_NE(text.find("x -> y"), std::string::npos);
+  EXPECT_NE(text.find("swap x, y"), std::string::npos);
+  EXPECT_NE(text.find("CF := detect x > 0"), std::string::npos);
+}
+
+// -- compositions helper -----------------------------------------------------
+
+TEST(Compositions, CountsMatchStarsAndBars) {
+  EXPECT_EQ(all_compositions(0, 3).size(), 1u);
+  EXPECT_EQ(all_compositions(5, 1).size(), 1u);
+  EXPECT_EQ(all_compositions(5, 2).size(), 6u);
+  EXPECT_EQ(all_compositions(4, 3).size(), 15u);  // C(6,2)
+  for (const auto& c : all_compositions(4, 3)) {
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0] + c[1] + c[2], 4u);
+  }
+}
+
+// -- exhaustive explorer: post sets -------------------------------------------
+
+class Fig1Post : public ::testing::Test {
+ protected:
+  Fig1Post() : program_(make_figure1_program()),
+               flat_(FlatProgram::compile(program_)) {}
+
+  ProcId proc(const std::string& name) const {
+    for (ProcId id = 0; id < program_.procedures.size(); ++id)
+      if (program_.procedures[id].name == name) return id;
+    throw std::out_of_range(name);
+  }
+
+  Program program_;
+  FlatProgram flat_;
+};
+
+TEST_F(Fig1Post, TestProcMovesUnitsOnSuccess) {
+  // Test(4) from x=5: may return true having moved 4 units, or false
+  // having moved 0..3 (detect may fail spuriously at any point).
+  const PostResult result = explore_post(flat_, proc("Test(4)"), {5, 0, 0});
+  EXPECT_FALSE(result.can_restart);
+  EXPECT_FALSE(result.can_diverge);
+  EXPECT_TRUE(result.contains({1, 4, 0}, 1));
+  for (std::uint64_t moved = 0; moved < 4; ++moved)
+    EXPECT_TRUE(result.contains({5 - moved, moved, 0}, 0)) << moved;
+  EXPECT_EQ(result.outcomes.size(), 5u);
+}
+
+TEST_F(Fig1Post, TestProcCannotSucceedWithoutEnoughAgents) {
+  const PostResult result = explore_post(flat_, proc("Test(4)"), {3, 1, 0});
+  for (const auto& outcome : result.outcomes) EXPECT_NE(outcome.ret, 1);
+  EXPECT_TRUE(result.contains({3, 1, 0}, 0));
+}
+
+TEST_F(Fig1Post, CleanRestartsOnJunk) {
+  const PostResult result = explore_post(flat_, proc("Clean"), {1, 1, 1});
+  EXPECT_TRUE(result.can_restart);
+}
+
+TEST_F(Fig1Post, CleanNeverRestartsWithoutJunk) {
+  const PostResult result = explore_post(flat_, proc("Clean"), {2, 3, 0});
+  EXPECT_FALSE(result.can_restart);
+  EXPECT_FALSE(result.can_diverge);
+  // Clean swaps x/y then drains y -> x: outcomes are (y+t, x-t) over old
+  // values; all settle with total 5.
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.regs[0] + outcome.regs[1], 5u);
+    EXPECT_EQ(outcome.ret, -1);
+  }
+  EXPECT_TRUE(result.contains({5, 0, 0}, -1));
+}
+
+TEST_F(Fig1Post, PostIsExactOnTinyCase) {
+  // Test(4) from x=0: only outcome is immediate false.
+  const PostResult result = explore_post(flat_, proc("Test(4)"), {0, 0, 0});
+  EXPECT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.contains({0, 0, 0}, 0));
+  EXPECT_TRUE(result.returns_only());
+}
+
+// -- exhaustive explorer: whole-program decision -------------------------------
+
+TEST(Fig1Decide, DecidesWindowPredicateForAllSmallInputs) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  for (std::uint64_t m = 0; m <= 10; ++m) {
+    // Adversarial initial distribution: everything in z.
+    const DecisionResult result = decide(flat, {0, 0, m});
+    ASSERT_TRUE(result.stabilises()) << "m=" << m;
+    EXPECT_EQ(result.output(), m >= 4 && m < 7) << "m=" << m;
+  }
+}
+
+TEST(Fig1Decide, VerdictIndependentOfInitialDistribution) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  for (const auto& initial : all_compositions(5, 3)) {
+    const DecisionResult result = decide(flat, initial);
+    ASSERT_TRUE(result.stabilises());
+    EXPECT_TRUE(result.output()) << "m=5 must be accepted";
+  }
+  for (const auto& initial : all_compositions(8, 3)) {
+    const DecisionResult result = decide(flat, initial);
+    ASSERT_TRUE(result.stabilises());
+    EXPECT_FALSE(result.output()) << "m=8 must be rejected";
+  }
+}
+
+TEST(ThresholdProgram, DecidesThresholdExhaustively) {
+  const FlatProgram flat = FlatProgram::compile(make_threshold_program(3));
+  for (std::uint64_t m = 0; m <= 6; ++m) {
+    const DecisionResult result = decide(flat, {m, 0});
+    ASSERT_TRUE(result.stabilises()) << "m=" << m;
+    EXPECT_EQ(result.output(), m >= 3) << "m=" << m;
+  }
+}
+
+TEST(MainAnalysis, Figure1GoodAndBadConfigs) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  {
+    // Good accepting config: all 5 agents in x, z empty.
+    const MainAnalysis analysis = analyse_main(flat, {5, 0, 0});
+    EXPECT_TRUE(analysis.may_stabilise_true);
+    EXPECT_FALSE(analysis.has_mixed_bscc);
+  }
+  {
+    // z occupied: it must not stabilise; every fair run restarts.
+    const MainAnalysis analysis = analyse_main(flat, {4, 0, 1});
+    EXPECT_TRUE(analysis.always_restarts());
+  }
+}
+
+
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(WindowSweep, DecidesItsWindowExhaustively) {
+  const auto [lo, hi] = GetParam();
+  const FlatProgram flat = FlatProgram::compile(make_window_program(lo, hi));
+  for (std::uint64_t m = 0; m <= hi + 2; ++m) {
+    const DecisionResult result = decide(flat, {0, 0, m});
+    ASSERT_TRUE(result.stabilises()) << "lo=" << lo << " hi=" << hi
+                                     << " m=" << m;
+    EXPECT_EQ(result.output(), m >= lo && m < hi)
+        << "lo=" << lo << " hi=" << hi << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(std::tuple{2u, 5u},
+                                           std::tuple{1u, 2u},
+                                           std::tuple{3u, 8u}));
+
+TEST(WindowProgram, RejectsDegenerateBounds) {
+  EXPECT_THROW(make_window_program(0, 3), std::invalid_argument);
+  EXPECT_THROW(make_window_program(4, 4), std::invalid_argument);
+  EXPECT_THROW(make_threshold_program(0), std::invalid_argument);
+}
+
+// -- randomized runner ---------------------------------------------------------
+
+TEST(Runner, WrongRegisterCountThrows) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  EXPECT_THROW(Runner(flat, {1, 2}, 1), std::invalid_argument);
+}
+
+class Fig1Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fig1Random, AgreesWithPredicate) {
+  const std::uint64_t m = GetParam();
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  Runner runner(flat, {0, 0, m}, /*seed=*/77 + m);
+  RunOptions options;
+  options.stable_window = 200'000;
+  options.max_steps = 80'000'000;
+  const RunResult result = runner.run(options);
+  ASSERT_TRUE(result.stabilised) << "m=" << m;
+  EXPECT_FALSE(result.hung);
+  EXPECT_EQ(result.output, m >= 4 && m < 7) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, Fig1Random,
+                         ::testing::Values(0, 1, 3, 4, 5, 6, 7, 9, 12));
+
+TEST(Runner, RegisterTotalConservedAcrossRestarts) {
+  const FlatProgram flat = FlatProgram::compile(make_figure1_program());
+  Runner runner(flat, {2, 1, 3}, 5);
+  for (int i = 0; i < 200'000; ++i) runner.step();
+  std::uint64_t total = 0;
+  for (std::uint64_t v : runner.registers()) total += v;
+  EXPECT_EQ(total, 6u);
+  EXPECT_GT(runner.restarts(), 0u) << "z was occupied: restarts must happen";
+}
+
+}  // namespace
+}  // namespace ppde::progmodel

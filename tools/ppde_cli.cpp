@@ -1,0 +1,220 @@
+// ppde — command-line front end for the library.
+//
+//   ppde info <n> [--equality]       sizes + threshold of the construction
+//   ppde program <n> [--equality]    the Section-6 population program
+//   ppde machine <n> [--equality]    the lowered population machine
+//   ppde protocol <n> [--dot]        converted protocol stats (n = 1..2)
+//   ppde simulate <n> <extra> [seed] run the full protocol with |F|+extra
+//                                    agents until consensus
+//   ppde verify <n> <m_regs>         exact fair-run verdict from pi(C)
+//   ppde decide <n> <m>              program-level exhaustive decision
+//   ppde window <lo> <hi> <m>        decide lo <= m < hi with a Figure-1
+//                                    style program (exhaustive)
+//
+// Exit code: 0 on success (for verify/decide: also when the verdict was
+// computed, regardless of accept/reject), 1 on usage or resource errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "machine/interp.hpp"
+#include "pp/simulator.hpp"
+#include "pp/verifier.hpp"
+#include "progmodel/explore.hpp"
+#include "progmodel/flat.hpp"
+#include "progmodel/sample_programs.hpp"
+
+namespace {
+
+using namespace ppde;
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+czerner::Construction build(int n, bool equality) {
+  return equality ? czerner::build_equality_construction(n)
+                  : czerner::build_construction(n);
+}
+
+int cmd_info(int n, bool equality) {
+  const czerner::Construction c = build(n, equality);
+  const auto size = c.program.size();
+  const auto lowered = compile::lower_program(c.program);
+  std::printf("construction n=%d%s\n", n, equality ? " (equality variant)" : "");
+  std::printf("  predicate ......... x %s %s\n", equality ? "=" : ">=",
+              czerner::Construction::threshold(n).to_decimal().c_str());
+  std::printf("  program size ...... %llu (|Q|=%llu, L=%llu, S=%llu)\n",
+              (unsigned long long)size.total(),
+              (unsigned long long)size.num_registers,
+              (unsigned long long)size.num_instructions,
+              (unsigned long long)size.swap_size);
+  std::printf("  machine size ...... %llu (%zu instructions, |F|=%zu)\n",
+              (unsigned long long)lowered.machine.size(),
+              lowered.machine.num_instructions(),
+              lowered.machine.num_pointers());
+  std::printf("  protocol states ... %llu\n",
+              (unsigned long long)compile::conversion_state_count(
+                  lowered.machine));
+  return 0;
+}
+
+int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed) {
+  const auto lowered = compile::lower_program(build(n, false).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::uint64_t m = conv.num_pointers + extra;
+  std::printf("simulating n=%d with m = |F| + %u = %llu agents (seed %llu)\n",
+              n, extra, (unsigned long long)m, (unsigned long long)seed);
+  pp::Simulator sim(conv.protocol, conv.initial_config(m), seed);
+  pp::SimulationOptions options;
+  options.stable_window = 90'000'000;
+  options.max_interactions = 2'000'000'000;
+  const auto result = sim.run_until_stable(options);
+  if (!result.stabilised) {
+    std::printf("no consensus within %llu interactions\n",
+                (unsigned long long)options.max_interactions);
+    return 1;
+  }
+  std::printf("%s after %.1fM interactions (consensus since %.1fM)\n",
+              result.output ? "ACCEPT" : "reject (one-sided: see README)",
+              static_cast<double>(result.interactions) / 1e6,
+              static_cast<double>(result.consensus_since) / 1e6);
+  return 0;
+}
+
+int cmd_verify(int n, std::uint64_t m_regs, bool equality) {
+  const czerner::Construction c = build(n, equality);
+  const auto lowered = compile::lower_program(c.program);
+  compile::ConversionOptions nb;
+  nb.with_broadcast = false;
+  const auto conv = compile::machine_to_protocol(lowered.machine, nb);
+  std::vector<std::uint64_t> regs(c.num_registers(), 0);
+  regs[c.R()] = m_regs;
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  options.max_configs = 8'000'000;
+  const auto verdict =
+      pp::Verifier(conv.protocol)
+          .verify(conv.pi(machine::initial_state(lowered.machine, regs),
+                          false),
+                  options);
+  std::printf("n=%d, m_regs=%llu: %s\n", n, (unsigned long long)m_regs,
+              to_string(verdict.verdict).c_str());
+  return verdict.stabilises() ? 0 : 1;
+}
+
+int cmd_decide(int n, std::uint64_t m, bool equality) {
+  const czerner::Construction c = build(n, equality);
+  const auto flat = progmodel::FlatProgram::compile(c.program);
+  std::vector<std::uint64_t> regs(c.num_registers(), 0);
+  regs[c.R()] = m;
+  progmodel::ExploreLimits limits;
+  limits.max_nodes = 8'000'000;
+  const auto result = progmodel::decide(flat, regs, limits);
+  const char* text =
+      result.verdict == progmodel::DecisionResult::Verdict::kStabilisesTrue
+          ? "ACCEPT"
+          : result.verdict ==
+                    progmodel::DecisionResult::Verdict::kStabilisesFalse
+                ? "reject"
+                : result.verdict ==
+                          progmodel::DecisionResult::Verdict::kLimit
+                      ? "resource limit"
+                      : "does not stabilise";
+  std::printf("n=%d, m=%llu: %s (%llu configurations)\n", n,
+              (unsigned long long)m, text,
+              (unsigned long long)result.explored_nodes);
+  return result.stabilises() ? 0 : 1;
+}
+
+int cmd_window(std::uint32_t lo, std::uint32_t hi, std::uint64_t m) {
+  const auto program = progmodel::make_window_program(lo, hi);
+  const auto flat = progmodel::FlatProgram::compile(program);
+  progmodel::ExploreLimits limits;
+  limits.max_nodes = 8'000'000;
+  const auto result = progmodel::decide(flat, {0, 0, m}, limits);
+  std::printf("%u <= %llu < %u: %s\n", lo, (unsigned long long)m, hi,
+              result.stabilises() ? (result.output() ? "ACCEPT" : "reject")
+                                  : "undecided (limit)");
+  return result.stabilises() ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ppde <command> ...\n"
+      "  info <n> [--equality]\n"
+      "  program <n> [--equality]\n"
+      "  machine <n> [--equality]\n"
+      "  protocol <n> [--dot]\n"
+      "  simulate <n> <extra-agents> [seed]\n"
+      "  verify <n> <m_regs> [--equality]\n"
+      "  decide <n> <m> [--equality]\n"
+      "  window <lo> <hi> <m>\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const bool equality = has_flag(argc, argv, "--equality");
+  const int n = std::atoi(argv[2]);
+  if (n < 1 && command != "window") return usage();
+
+  try {
+    if (command == "info") return cmd_info(n, equality);
+    if (command == "program") {
+      std::printf("%s", build(n, equality).program.to_string().c_str());
+      return 0;
+    }
+    if (command == "machine") {
+      std::printf("%s", compile::lower_program(build(n, equality).program)
+                            .machine.to_string()
+                            .c_str());
+      return 0;
+    }
+    if (command == "protocol") {
+      const auto lowered = compile::lower_program(build(n, equality).program);
+      if (n > 2) {
+        std::printf("protocol states: %llu (full transition relation only "
+                    "materialised for n <= 2)\n",
+                    (unsigned long long)compile::conversion_state_count(
+                        lowered.machine));
+        return 0;
+      }
+      const auto conv = compile::machine_to_protocol(lowered.machine);
+      if (has_flag(argc, argv, "--dot")) {
+        std::printf("%s", conv.protocol.to_dot().c_str());
+      } else {
+        std::printf("states: %zu, transitions: %zu, |F| = %u\n",
+                    conv.protocol.num_states(),
+                    conv.protocol.num_transitions(), conv.num_pointers);
+      }
+      return 0;
+    }
+    if (command == "simulate" && argc >= 4)
+      return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(argv[3])),
+                          argc >= 5 ? std::strtoull(argv[4], nullptr, 10)
+                                    : 42);
+    if (command == "verify" && argc >= 4)
+      return cmd_verify(n, std::strtoull(argv[3], nullptr, 10), equality);
+    if (command == "decide" && argc >= 4)
+      return cmd_decide(n, std::strtoull(argv[3], nullptr, 10), equality);
+    if (command == "window" && argc >= 5)
+      return cmd_window(static_cast<std::uint32_t>(std::atoi(argv[2])),
+                        static_cast<std::uint32_t>(std::atoi(argv[3])),
+                        std::strtoull(argv[4], nullptr, 10));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
