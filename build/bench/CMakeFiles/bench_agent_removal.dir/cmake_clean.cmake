@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agent_removal.dir/bench_agent_removal.cpp.o"
+  "CMakeFiles/bench_agent_removal.dir/bench_agent_removal.cpp.o.d"
+  "bench_agent_removal"
+  "bench_agent_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agent_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

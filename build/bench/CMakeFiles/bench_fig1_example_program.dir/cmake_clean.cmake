@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_example_program.dir/bench_fig1_example_program.cpp.o"
+  "CMakeFiles/bench_fig1_example_program.dir/bench_fig1_example_program.cpp.o.d"
+  "bench_fig1_example_program"
+  "bench_fig1_example_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_example_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lowering.dir/bench_fig3_lowering.cpp.o"
+  "CMakeFiles/bench_fig3_lowering.dir/bench_fig3_lowering.cpp.o.d"
+  "bench_fig3_lowering"
+  "bench_fig3_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

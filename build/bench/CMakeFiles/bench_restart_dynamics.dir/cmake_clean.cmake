@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restart_dynamics.dir/bench_restart_dynamics.cpp.o"
+  "CMakeFiles/bench_restart_dynamics.dir/bench_restart_dynamics.cpp.o.d"
+  "bench_restart_dynamics"
+  "bench_restart_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_self_stabilisation.dir/bench_thm2_self_stabilisation.cpp.o"
+  "CMakeFiles/bench_thm2_self_stabilisation.dir/bench_thm2_self_stabilisation.cpp.o.d"
+  "bench_thm2_self_stabilisation"
+  "bench_thm2_self_stabilisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_self_stabilisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_attempt.dir/parity_attempt.cpp.o"
+  "CMakeFiles/parity_attempt.dir/parity_attempt.cpp.o.d"
+  "parity_attempt"
+  "parity_attempt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_attempt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parity_attempt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for parity_attempt.
+# This may be replaced when dependencies are built.

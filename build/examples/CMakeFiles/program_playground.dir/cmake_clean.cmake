@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_playground.dir/program_playground.cpp.o"
+  "CMakeFiles/program_playground.dir/program_playground.cpp.o.d"
+  "program_playground"
+  "program_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

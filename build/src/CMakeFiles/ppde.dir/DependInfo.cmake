@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/convergence.cpp" "src/CMakeFiles/ppde.dir/analysis/convergence.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/analysis/convergence.cpp.o.d"
+  "/root/repo/src/analysis/crn.cpp" "src/CMakeFiles/ppde.dir/analysis/crn.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/analysis/crn.cpp.o.d"
+  "/root/repo/src/analysis/reachability.cpp" "src/CMakeFiles/ppde.dir/analysis/reachability.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/analysis/reachability.cpp.o.d"
+  "/root/repo/src/analysis/robustness.cpp" "src/CMakeFiles/ppde.dir/analysis/robustness.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/analysis/robustness.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/CMakeFiles/ppde.dir/analysis/tables.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/analysis/tables.cpp.o.d"
+  "/root/repo/src/baselines/doubling.cpp" "src/CMakeFiles/ppde.dir/baselines/doubling.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/baselines/doubling.cpp.o.d"
+  "/root/repo/src/baselines/flock.cpp" "src/CMakeFiles/ppde.dir/baselines/flock.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/baselines/flock.cpp.o.d"
+  "/root/repo/src/baselines/majority.cpp" "src/CMakeFiles/ppde.dir/baselines/majority.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/baselines/majority.cpp.o.d"
+  "/root/repo/src/baselines/remainder.cpp" "src/CMakeFiles/ppde.dir/baselines/remainder.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/baselines/remainder.cpp.o.d"
+  "/root/repo/src/bignum/nat.cpp" "src/CMakeFiles/ppde.dir/bignum/nat.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/bignum/nat.cpp.o.d"
+  "/root/repo/src/compile/lower.cpp" "src/CMakeFiles/ppde.dir/compile/lower.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/compile/lower.cpp.o.d"
+  "/root/repo/src/compile/to_protocol.cpp" "src/CMakeFiles/ppde.dir/compile/to_protocol.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/compile/to_protocol.cpp.o.d"
+  "/root/repo/src/czerner/classify.cpp" "src/CMakeFiles/ppde.dir/czerner/classify.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/czerner/classify.cpp.o.d"
+  "/root/repo/src/czerner/construction.cpp" "src/CMakeFiles/ppde.dir/czerner/construction.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/czerner/construction.cpp.o.d"
+  "/root/repo/src/machine/interp.cpp" "src/CMakeFiles/ppde.dir/machine/interp.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/machine/interp.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/ppde.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/pp/config.cpp" "src/CMakeFiles/ppde.dir/pp/config.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/pp/config.cpp.o.d"
+  "/root/repo/src/pp/protocol.cpp" "src/CMakeFiles/ppde.dir/pp/protocol.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/pp/protocol.cpp.o.d"
+  "/root/repo/src/pp/simulator.cpp" "src/CMakeFiles/ppde.dir/pp/simulator.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/pp/simulator.cpp.o.d"
+  "/root/repo/src/pp/verifier.cpp" "src/CMakeFiles/ppde.dir/pp/verifier.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/pp/verifier.cpp.o.d"
+  "/root/repo/src/presburger/parser.cpp" "src/CMakeFiles/ppde.dir/presburger/parser.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/presburger/parser.cpp.o.d"
+  "/root/repo/src/presburger/predicate.cpp" "src/CMakeFiles/ppde.dir/presburger/predicate.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/presburger/predicate.cpp.o.d"
+  "/root/repo/src/progmodel/ast.cpp" "src/CMakeFiles/ppde.dir/progmodel/ast.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/ast.cpp.o.d"
+  "/root/repo/src/progmodel/builder.cpp" "src/CMakeFiles/ppde.dir/progmodel/builder.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/builder.cpp.o.d"
+  "/root/repo/src/progmodel/explore.cpp" "src/CMakeFiles/ppde.dir/progmodel/explore.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/explore.cpp.o.d"
+  "/root/repo/src/progmodel/flat.cpp" "src/CMakeFiles/ppde.dir/progmodel/flat.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/flat.cpp.o.d"
+  "/root/repo/src/progmodel/interp.cpp" "src/CMakeFiles/ppde.dir/progmodel/interp.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/interp.cpp.o.d"
+  "/root/repo/src/progmodel/sample_programs.cpp" "src/CMakeFiles/ppde.dir/progmodel/sample_programs.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/progmodel/sample_programs.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/ppde.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/scc.cpp" "src/CMakeFiles/ppde.dir/support/scc.cpp.o" "gcc" "src/CMakeFiles/ppde.dir/support/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

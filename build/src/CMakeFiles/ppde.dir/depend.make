@@ -1,0 +1,2 @@
+# Empty dependencies file for ppde.
+# This may be replaced when dependencies are built.

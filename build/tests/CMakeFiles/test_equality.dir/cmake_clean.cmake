@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equality.dir/test_equality.cpp.o"
+  "CMakeFiles/test_equality.dir/test_equality.cpp.o.d"
+  "test_equality"
+  "test_equality.pdb"
+  "test_equality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

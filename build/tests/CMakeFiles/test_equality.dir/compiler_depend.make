@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_equality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progmodel.dir/test_progmodel.cpp.o"
+  "CMakeFiles/test_progmodel.dir/test_progmodel.cpp.o.d"
+  "test_progmodel"
+  "test_progmodel.pdb"
+  "test_progmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_core.dir/test_protocol_core.cpp.o"
+  "CMakeFiles/test_protocol_core.dir/test_protocol_core.cpp.o.d"
+  "test_protocol_core"
+  "test_protocol_core.pdb"
+  "test_protocol_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppde_cli.dir/ppde_cli.cpp.o"
+  "CMakeFiles/ppde_cli.dir/ppde_cli.cpp.o.d"
+  "ppde"
+  "ppde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppde_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
