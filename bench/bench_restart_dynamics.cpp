@@ -16,12 +16,13 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/convergence.hpp"
 #include "analysis/tables.hpp"
 #include "baselines/flock.hpp"
 #include "compile/lower.hpp"
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
+#include "engine/count_sim.hpp"
+#include "engine/ensemble.hpp"
 #include "progmodel/flat.hpp"
 #include "progmodel/interp.hpp"
 
@@ -68,14 +69,15 @@ void print_report() {
     const auto conv = compile::machine_to_protocol(lowered.machine);
     analysis::TextTable scale({"m (= |F| + extra)", "interactions to full"
                                " consensus", "parallel time"});
+    const engine::PairIndex index(conv.protocol);
     for (std::uint32_t extra : {2u, 6u, 14u, 30u}) {
-      pp::Simulator sim(conv.protocol,
-                        conv.initial_config(conv.num_pointers + extra),
-                        811 + extra);
+      engine::CountSimulator sim(conv.protocol, index,
+                                 conv.initial_config(conv.num_pointers + extra),
+                                 811 + extra);
       std::uint64_t done = 0;
       const std::uint64_t budget = 3'000'000'000ull;
       while (sim.accepting_agents() != sim.population() &&
-             sim.interactions() < budget)
+             sim.interactions() < budget && !sim.frozen())
         sim.step();
       done = sim.interactions();
       scale.add_row(
@@ -97,13 +99,15 @@ void print_report() {
                          " stable consensus (m = 4)"});
   {
     pp::Protocol flock = baselines::make_flock_of_birds(2);
-    pp::SimulationOptions options;
-    options.stable_window = 50'000;
-    const auto samples = analysis::sample_convergence(
-        flock, baselines::flock_initial(flock, 4), 9, options, 5);
-    const auto summary = analysis::summarize(samples);
+    engine::EnsembleOptions options;
+    options.trials = 9;
+    options.master_seed = 5;
+    options.sim.stable_window = 50'000;
+    const engine::EnsembleStats stats =
+        engine::run_ensemble(flock, baselines::flock_initial(flock, 4),
+                             options);
     t.add_row({"flock of birds (k=2)", std::to_string(flock.num_states()),
-               analysis::fmt_double(summary.median_interactions, 0)});
+               analysis::fmt_double(stats.interactions.p50, 0)});
   }
   t.add_row({"this construction (n=1, k=2)", "880",
              "~1e7 (see test_to_protocol / quickstart)"});

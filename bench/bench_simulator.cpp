@@ -3,8 +3,14 @@
 // Not a paper artefact — these measure the infrastructure every other
 // experiment stands on: interactions/second of the random scheduler across
 // protocol shapes and population sizes, and configurations/second of the
-// bottom-SCC verifier.
+// bottom-SCC verifier. Before the google-benchmark tables this binary
+// prints two engine reports (DESIGN.md S21): per-agent vs count-based vs
+// count+null-skip effective throughput on the converted n=1 Czerner
+// protocol, and ensemble wall-clock scaling over thread counts.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "baselines/flock.hpp"
 #include "baselines/majority.hpp"
@@ -12,12 +18,138 @@
 #include "compile/lower.hpp"
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
+#include "engine/count_sim.hpp"
+#include "engine/ensemble.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
 
 namespace {
 
 using namespace ppde;
+
+// ---------------------------------------------------------------------------
+// Engine comparison: same protocol, same population, fixed wall budget per
+// engine; the figure of merit is *effective* interactions/second — meetings
+// advanced per second of wall clock, where a skipped null meeting counts
+// exactly like an executed one (it is one, just accounted in closed form).
+// ---------------------------------------------------------------------------
+
+template <typename Step>
+std::uint64_t run_for(double budget_seconds, const Step& step) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(budget_seconds);
+  std::uint64_t batches = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Check the clock every few thousand steps, not every step.
+    for (int i = 0; i < 4096; ++i) step();
+    ++batches;
+  }
+  return batches;
+}
+
+void print_engine_comparison(std::uint32_t extra_agents,
+                             double budget_seconds) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const pp::Config initial =
+      conv.initial_config(conv.num_pointers + extra_agents);
+  const engine::PairIndex index(conv.protocol);
+
+  struct Row {
+    const char* name;
+    std::uint64_t interactions;
+    std::uint64_t firings;
+    double seconds;
+  };
+  Row rows[3];
+
+  {
+    pp::Simulator sim(conv.protocol, initial, 13);
+    const auto start = std::chrono::steady_clock::now();
+    run_for(budget_seconds, [&] { sim.step(); });
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rows[0] = {"per-agent", sim.interactions(), sim.metrics().firings,
+               elapsed};
+  }
+  for (int skip = 0; skip <= 1; ++skip) {
+    engine::CountSimOptions options;
+    options.null_skip = skip != 0;
+    engine::CountSimulator sim(conv.protocol, index, initial, 13, options);
+    const auto start = std::chrono::steady_clock::now();
+    run_for(budget_seconds, [&] { sim.step(); });
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rows[1 + skip] = {skip ? "count+null-skip" : "count-based",
+                      sim.interactions(), sim.metrics().firings, elapsed};
+  }
+
+  std::printf(
+      "\n=== Engine comparison: converted Czerner n=1, m = %u agents, "
+      "%.1fs budget per engine ===\n",
+      conv.num_pointers + extra_agents, budget_seconds);
+  std::printf("%-16s %18s %14s %20s %10s\n", "engine", "interactions",
+              "firings", "eff. interactions/s", "speedup");
+  const double base = static_cast<double>(rows[0].interactions) /
+                      rows[0].seconds;
+  for (const Row& row : rows) {
+    const double rate =
+        static_cast<double>(row.interactions) / row.seconds;
+    std::printf("%-16s %18llu %14llu %20.3e %9.1fx\n", row.name,
+                static_cast<unsigned long long>(row.interactions),
+                static_cast<unsigned long long>(row.firings), rate,
+                rate / base);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble scaling: K independent flock-of-birds trials to stable
+// consensus, identical verdicts at every thread count (per-trial seeds
+// derive from the master seed, not from thread assignment); only the wall
+// clock moves. Flock converges one way and then freezes, so each trial is
+// substantial but strictly bounded — unlike e.g. 4-state majority, whose
+// a/b counter-dynamics can random-walk past any budget.
+// ---------------------------------------------------------------------------
+
+void print_ensemble_scaling(std::uint32_t population,
+                            std::uint64_t trials) {
+  const pp::Protocol protocol = baselines::make_flock_of_birds(64);
+  const pp::Config initial = baselines::flock_initial(protocol, population);
+
+  engine::EnsembleOptions options;
+  options.trials = trials;
+  options.master_seed = 17;
+  options.engine = engine::EngineKind::kCountNullSkip;
+  // The window must exceed the time to the *first* accepting agent, or the
+  // initial all-reject consensus "stabilises" spuriously; once the flock
+  // freezes all-accepting, the frozen shortcut satisfies any window for
+  // free.
+  options.sim.stable_window = 10'000'000'000ULL;
+  options.sim.max_interactions = 1'000'000'000'000ULL;
+
+  std::printf(
+      "\n=== Ensemble scaling: flock k=64, m = %u, %llu trials, "
+      "count+null-skip ===\n",
+      population, static_cast<unsigned long long>(trials));
+  std::printf("%-8s %14s %12s %12s %12s\n", "threads", "wall [s]",
+              "speedup", "stabilised", "accept");
+  double base_wall = 0.0;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    options.threads = threads;
+    const engine::EnsembleStats stats =
+        engine::run_ensemble(protocol, initial, options);
+    if (threads == 1) base_wall = stats.wall_seconds;
+    std::printf("%-8u %14.3f %11.2fx %12.2f %12.2f\n", stats.threads_used,
+                stats.wall_seconds, base_wall / stats.wall_seconds,
+                stats.stabilised_fraction(), stats.accept_fraction());
+  }
+}
 
 void BM_SimulatorMajority(benchmark::State& state) {
   const pp::Protocol protocol = baselines::make_majority();
@@ -53,6 +185,35 @@ void BM_SimulatorCzernerProtocol(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulatorCzernerProtocol)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_CountSimulatorCzerner(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  engine::CountSimOptions options;
+  options.null_skip = false;
+  engine::CountSimulator sim(
+      conv.protocol, conv.initial_config(conv.num_pointers + state.range(0)),
+      13, options);
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSimulatorCzerner)->Arg(2)->Arg(64)->Arg(10'000);
+
+void BM_CountSimulatorCzernerNullSkip(benchmark::State& state) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  engine::CountSimulator sim(
+      conv.protocol, conv.initial_config(conv.num_pointers + state.range(0)),
+      13);
+  // One step() can advance many meetings; report *meetings* as items so the
+  // items/s column is directly comparable with the per-agent benchmarks.
+  std::uint64_t before = sim.interactions();
+  for (auto _ : state) benchmark::DoNotOptimize(sim.step());
+  state.SetItemsProcessed(sim.interactions() - before);
+}
+BENCHMARK(BM_CountSimulatorCzernerNullSkip)->Arg(2)->Arg(64)->Arg(10'000);
 
 void BM_VerifierMajority(benchmark::State& state) {
   const pp::Protocol protocol = baselines::make_majority();
@@ -96,4 +257,12 @@ BENCHMARK(BM_VerifierCzernerPipeline)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  print_engine_comparison(/*extra_agents=*/10'000, /*budget_seconds=*/1.0);
+  print_ensemble_scaling(/*population=*/1'000'000, /*trials=*/8);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

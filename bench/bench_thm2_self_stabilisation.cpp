@@ -83,6 +83,34 @@ void print_report() {
                 "state: %s  (recounted, robust)\n\n",
                 to_string(verdict.verdict).c_str());
   }
+
+  // The broadcast-wrapped protocol is beyond the exact verifier's reach;
+  // sweep it statistically on the ensemble fleet (trials run concurrently,
+  // verdict identical at every thread count).
+  std::printf("broadcast-wrapped pipeline, simulated noise sweep "
+              "(ensemble fleet, 4 threads):\n");
+  {
+    const auto bconv = compile::machine_to_protocol(lowered.machine);
+    const auto bphi = [&bconv](std::uint64_t m) {
+      return m >= bconv.num_pointers && m - bconv.num_pointers >= 2;
+    };
+    std::vector<std::uint64_t> regs(5, 0);
+    regs[4] = 2;
+    const pp::Config base =
+        bconv.pi(machine::initial_state(lowered.machine, regs), false);
+    pp::SimulationOptions sim;
+    sim.stable_window = 80'000'000;
+    sim.max_interactions = 1'500'000'000;
+    const auto result = analysis::sweep_simulated(
+        bconv.protocol, base, /*max_noise=*/2, /*trials=*/4, bphi, sim,
+        /*seed=*/7, /*threads=*/4);
+    std::printf("  pi(2 register agents) + <=2 noise agents: %llu trials, "
+                "%llu correct, %llu wrong, %llu unresolved\n\n",
+                (unsigned long long)result.trials,
+                (unsigned long long)result.correct,
+                (unsigned long long)result.wrong,
+                (unsigned long long)result.unresolved);
+  }
 }
 
 void BM_ExactNoiseSweepRejectSide(benchmark::State& state) {

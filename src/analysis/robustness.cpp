@@ -1,5 +1,7 @@
 #include "analysis/robustness.hpp"
 
+#include <optional>
+
 namespace ppde::analysis {
 
 pp::Config random_noise(const pp::Protocol& protocol, std::uint32_t agents,
@@ -58,20 +60,50 @@ RobustnessResult sweep_simulated(const pp::Protocol& protocol,
                                  std::uint32_t max_noise, std::uint64_t trials,
                                  const TotalPredicate& predicate,
                                  const pp::SimulationOptions& options,
-                                 std::uint64_t seed) {
-  RobustnessResult result;
+                                 std::uint64_t seed, unsigned threads,
+                                 engine::EngineKind kind) {
+  // Draw every noise configuration up front from one sequential stream, so
+  // the workload is a pure function of `seed` no matter how many workers
+  // later execute it.
   support::Rng rng(seed);
+  std::vector<pp::Config> configs;
+  configs.reserve(trials);
   for (std::uint64_t trial = 0; trial < trials; ++trial) {
     const auto agents =
         static_cast<std::uint32_t>(rng.below(max_noise + 1));
-    const pp::Config config =
-        with_noise(base, random_noise(protocol, agents, rng));
-    pp::Simulator simulator(protocol, config, seed * 7919 + trial);
-    const pp::SimulationResult sim = simulator.run_until_stable(options);
+    configs.push_back(with_noise(base, random_noise(protocol, agents, rng)));
+  }
+
+  std::optional<engine::PairIndex> index;
+  if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
+  const std::vector<engine::TrialResult> outcomes = engine::run_trial_fleet(
+      trials, threads, seed,
+      [&](std::uint64_t trial, std::uint64_t trial_seed) {
+        engine::TrialResult outcome;
+        outcome.seed = trial_seed;
+        if (kind == engine::EngineKind::kPerAgent) {
+          pp::Simulator simulator(protocol, configs[trial], trial_seed);
+          outcome.sim = simulator.run_until_stable(options);
+          outcome.metrics = simulator.metrics();
+        } else {
+          engine::CountSimOptions sim_options;
+          sim_options.null_skip =
+              kind == engine::EngineKind::kCountNullSkip;
+          engine::CountSimulator simulator(protocol, *index, configs[trial],
+                                           trial_seed, sim_options);
+          outcome.sim = simulator.run_until_stable(options);
+          outcome.metrics = simulator.metrics();
+        }
+        return outcome;
+      });
+
+  RobustnessResult result;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const engine::TrialResult& outcome = outcomes[trial];
     ++result.trials;
-    if (!sim.stabilised)
+    if (!outcome.sim.stabilised)
       ++result.unresolved;
-    else if (sim.output == predicate(config.total()))
+    else if (outcome.sim.output == predicate(configs[trial].total()))
       ++result.correct;
     else
       ++result.wrong;

@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "engine/ensemble.hpp"
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
 #include "pp/simulator.hpp"
@@ -55,12 +56,18 @@ RobustnessResult sweep_exact(
     std::uint64_t seed, const std::vector<pp::State>* noise_pool = nullptr);
 
 /// Statistical sweep with the random scheduler (for instances beyond the
-/// exact verifier's reach).
-RobustnessResult sweep_simulated(const pp::Protocol& protocol,
-                                 const pp::Config& base,
-                                 std::uint32_t max_noise, std::uint64_t trials,
-                                 const TotalPredicate& predicate,
-                                 const pp::SimulationOptions& options,
-                                 std::uint64_t seed);
+/// exact verifier's reach). Noise configurations are drawn sequentially
+/// from `seed` (so the sweep is reproducible), then the trials run on the
+/// engine's thread-pool fleet with per-trial seeds derived from `seed` —
+/// the result is identical for every `threads` value. `engine` selects the
+/// per-trial simulator: per-agent is fastest for small populations with
+/// long stability windows; count+null-skip wins once populations are large
+/// and meetings are mostly null (see DESIGN.md S21).
+RobustnessResult sweep_simulated(
+    const pp::Protocol& protocol, const pp::Config& base,
+    std::uint32_t max_noise, std::uint64_t trials,
+    const TotalPredicate& predicate, const pp::SimulationOptions& options,
+    std::uint64_t seed, unsigned threads = 1,
+    engine::EngineKind engine = engine::EngineKind::kPerAgent);
 
 }  // namespace ppde::analysis

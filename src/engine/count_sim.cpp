@@ -1,0 +1,333 @@
+#include "engine/count_sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ppde::engine {
+
+PairIndex::PairIndex(const pp::Protocol& protocol) {
+  if (!protocol.finalized())
+    throw std::logic_error("PairIndex: protocol not finalized");
+  const std::size_t n = protocol.num_states();
+  // Mark ordered pairs with at least one non-silent candidate. A pair whose
+  // candidates are all silent cannot change the configuration: meeting it
+  // is a null meeting exactly like a pair with no candidates at all.
+  std::vector<std::vector<pp::State>> out(n);
+  for (const pp::Transition& t : protocol.transitions())
+    if (!t.is_silent()) out[t.q].push_back(t.r);
+  self_active_.assign(n, 0);
+  out_begin_.assign(n + 1, 0);
+  in_begin_.assign(n + 1, 0);
+  std::vector<std::vector<pp::State>> in(n);
+  for (pp::State q = 0; q < n; ++q) {
+    auto& partners = out[q];
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()),
+                   partners.end());
+    for (pp::State r : partners) {
+      if (r == q) self_active_[q] = 1;
+      in[r].push_back(q);
+    }
+  }
+  for (pp::State q = 0; q < n; ++q) {
+    out_begin_[q + 1] = out_begin_[q] + out[q].size();
+    in_begin_[q + 1] = in_begin_[q] + in[q].size();
+  }
+  out_flat_.reserve(out_begin_[n]);
+  in_flat_.reserve(in_begin_[n]);
+  for (pp::State q = 0; q < n; ++q) {
+    out_flat_.insert(out_flat_.end(), out[q].begin(), out[q].end());
+    in_flat_.insert(in_flat_.end(), in[q].begin(), in[q].end());
+  }
+}
+
+CountSimulator::CountSimulator(const pp::Protocol& protocol,
+                               const pp::Config& initial, std::uint64_t seed,
+                               CountSimOptions options)
+    : CountSimulator(std::make_unique<PairIndex>(protocol), protocol, initial,
+                     seed, options) {}
+
+CountSimulator::CountSimulator(std::unique_ptr<const PairIndex> owned,
+                               const pp::Protocol& protocol,
+                               const pp::Config& initial, std::uint64_t seed,
+                               CountSimOptions options)
+    : CountSimulator(protocol, *owned, initial, seed, options) {
+  owned_index_ = std::move(owned);
+}
+
+CountSimulator::CountSimulator(const pp::Protocol& protocol,
+                               const PairIndex& index,
+                               const pp::Config& initial, std::uint64_t seed,
+                               CountSimOptions options)
+    : protocol_(&protocol),
+      index_(&index),
+      options_(options),
+      counts_(protocol.num_states()),
+      rout_(protocol.num_states(), 0),
+      position_(protocol.num_states(), kNoPosition),
+      rng_(seed) {
+  if (!protocol.finalized())
+    throw std::logic_error("CountSimulator: protocol not finalized");
+  if (index.num_states() != protocol.num_states())
+    throw std::invalid_argument("CountSimulator: index/protocol mismatch");
+  if (initial.total() < 2)
+    throw std::invalid_argument("CountSimulator: need at least two agents");
+  if (initial.num_states() > protocol.num_states())
+    throw std::invalid_argument("CountSimulator: config has unknown states");
+  for (pp::State q = 0; q < initial.num_states(); ++q)
+    if (initial[q] != 0) counts_.add(q, initial[q]);
+  for (pp::State q = 0; q < counts_.num_states(); ++q) {
+    if (counts_[q] == 0) continue;
+    if (protocol.is_accepting(q)) accepting_ += counts_[q];
+    for (pp::State p : index_->initiators_meeting(q)) rout_[p] += counts_[q];
+    position_[q] = static_cast<std::uint32_t>(populated_.size());
+    populated_.push_back(q);
+  }
+  weights_.resize(populated_.size());
+}
+
+std::uint64_t CountSimulator::active_weight() {
+  std::uint64_t total = 0;
+  weights_.resize(populated_.size());
+  for (std::size_t i = 0; i < populated_.size(); ++i) {
+    const pp::State q = populated_[i];
+    // Ordered pairs with initiator q: Σ_{r active} C(q)·(C(r) − [r=q]) =
+    // C(q)·(rout_[q] − [(q,q) active]).
+    const std::uint64_t weight =
+        counts_[q] * (rout_[q] - (index_->self_active(q) ? 1 : 0));
+    weights_[i] = weight;
+    total += weight;
+  }
+  return total;
+}
+
+std::uint64_t CountSimulator::sample_null_run(std::uint64_t active) {
+  const double m = static_cast<double>(counts_.total());
+  const double p = static_cast<double>(active) / (m * (m - 1.0));
+  if (p >= 1.0) return 0;
+  // U uniform on (0, 1]; 53-bit mantissa draw, shifted off zero.
+  const double u = (static_cast<double>(rng_() >> 11) + 1.0) * 0x1.0p-53;
+  const double k = std::floor(std::log(u) / std::log1p(-p));
+  if (!(k >= 0.0)) return 0;
+  if (k >= 1.8e19) return std::numeric_limits<std::uint64_t>::max() / 2;
+  return static_cast<std::uint64_t>(k);
+}
+
+void CountSimulator::advance_nulls(std::uint64_t count) {
+  if (count == 0) return;
+  interactions_ += count;
+  metrics_.meetings += count;
+  metrics_.skipped_meetings += count;
+  ++metrics_.null_skip_batches;
+}
+
+void CountSimulator::change_count(pp::State state, std::int64_t delta) {
+  if (delta > 0)
+    counts_.add(state, static_cast<std::uint32_t>(delta));
+  else
+    counts_.remove(state, static_cast<std::uint32_t>(-delta));
+  const auto shift = static_cast<std::uint64_t>(delta);  // two's complement
+  if (protocol_->is_accepting(state)) accepting_ += shift;
+  for (pp::State p : index_->initiators_meeting(state)) rout_[p] += shift;
+  if (counts_[state] == 0) {
+    // Swap-remove from the populated list.
+    const std::uint32_t hole = position_[state];
+    const pp::State moved = populated_.back();
+    populated_[hole] = moved;
+    position_[moved] = hole;
+    populated_.pop_back();
+    position_[state] = kNoPosition;
+  } else if (position_[state] == kNoPosition) {
+    position_[state] = static_cast<std::uint32_t>(populated_.size());
+    populated_.push_back(state);
+  }
+}
+
+void CountSimulator::fire(pp::State q, pp::State r) {
+  const auto candidates = protocol_->transitions_for(q, r);
+  ++metrics_.firings;
+  const std::uint32_t pick =
+      candidates.size() == 1 ? candidates[0]
+                             : candidates[rng_.below(candidates.size())];
+  const pp::Transition& t = protocol_->transitions()[pick];
+  if (t.is_silent()) return;
+  if (t.q != t.q2) {
+    change_count(t.q, -1);
+    change_count(t.q2, +1);
+  }
+  if (t.r != t.r2) {
+    change_count(t.r, -1);
+    change_count(t.r2, +1);
+  }
+}
+
+void CountSimulator::apply_active_meeting(std::uint64_t active) {
+  std::uint64_t target = rng_.below(active);
+  std::size_t slot = 0;
+  for (;; ++slot) {
+    if (target < weights_[slot]) break;
+    target -= weights_[slot];
+  }
+  const pp::State q = populated_[slot];
+  const std::uint64_t cq = counts_[q];
+  pp::State r = q;  // overwritten below; the loop must find a partner
+  for (pp::State partner : index_->partners_of(q)) {
+    const std::uint64_t weight =
+        cq * (counts_[partner] - (partner == q ? 1 : 0));
+    if (target < weight) {
+      r = partner;
+      break;
+    }
+    target -= weight;
+  }
+  fire(q, r);
+}
+
+bool CountSimulator::step() {
+  if (!options_.null_skip) return step_meeting();
+  const std::uint64_t active = active_weight();
+  if (active == 0) {
+    ++interactions_;
+    ++metrics_.meetings;
+    return false;
+  }
+  advance_nulls(sample_null_run(active));
+  ++interactions_;
+  ++metrics_.meetings;
+  apply_active_meeting(active);
+  return true;
+}
+
+bool CountSimulator::step_meeting() {
+  ++interactions_;
+  ++metrics_.meetings;
+  const std::uint64_t m = counts_.total();
+  // Initiator uniform over agents, responder uniform over the rest — the
+  // same ordered-distinct-pair law as pp::Simulator, on counts.
+  std::uint64_t i = rng_.below(m);
+  std::size_t slot = 0;
+  while (i >= counts_[populated_[slot]]) i -= counts_[populated_[slot++]];
+  const pp::State q = populated_[slot];
+  std::uint64_t j = rng_.below(m - 1);
+  pp::State r = 0;
+  for (slot = 0;; ++slot) {
+    const pp::State candidate = populated_[slot];
+    const std::uint64_t c = counts_[candidate] - (candidate == q ? 1 : 0);
+    if (j < c) {
+      r = candidate;
+      break;
+    }
+    j -= c;
+  }
+  const auto candidates = protocol_->transitions_for(q, r);
+  if (candidates.empty()) return false;
+  fire(q, r);
+  return true;
+}
+
+std::optional<bool> CountSimulator::consensus() const {
+  if (accepting_ == counts_.total()) return true;
+  if (accepting_ == 0) return false;
+  return std::nullopt;
+}
+
+bool CountSimulator::frozen() const {
+  for (const pp::State q : populated_)
+    if (counts_[q] * (rout_[q] - (index_->self_active(q) ? 1 : 0)) != 0)
+      return false;
+  return true;
+}
+
+pp::SimulationResult CountSimulator::run_until_stable(
+    const pp::SimulationOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+  pp::SimulationResult result;
+  std::uint64_t consensus_start = interactions_;
+  std::optional<bool> held = consensus();
+
+  while (interactions_ < options.max_interactions) {
+    if (options_.null_skip) {
+      const std::uint64_t active = active_weight();
+      const std::uint64_t stable_at = consensus_start + options.stable_window;
+      if (active == 0) {
+        // Frozen: every future meeting is null, so the current consensus
+        // (or its absence) is permanent. Realise just enough nulls to hit
+        // the window or the budget.
+        if (held.has_value() && stable_at <= options.max_interactions) {
+          advance_nulls(stable_at - interactions_);
+          result.stabilised = true;
+          result.output = *held;
+          result.consensus_since = consensus_start;
+        } else {
+          advance_nulls(options.max_interactions - interactions_);
+        }
+        break;
+      }
+      const std::uint64_t skip = sample_null_run(active);
+      if (held.has_value() && stable_at <= interactions_ + skip) {
+        // The window completes during the null run, before the next firing.
+        advance_nulls(stable_at - interactions_);
+        result.stabilised = true;
+        result.output = *held;
+        result.consensus_since = consensus_start;
+        break;
+      }
+      if (interactions_ + skip >= options.max_interactions) {
+        advance_nulls(options.max_interactions - interactions_);
+        break;
+      }
+      advance_nulls(skip);
+      ++interactions_;
+      ++metrics_.meetings;
+      apply_active_meeting(active);
+    } else {
+      step_meeting();
+    }
+    const std::optional<bool> now = consensus();
+    if (now != held) {
+      held = now;
+      consensus_start = interactions_;
+      ++metrics_.consensus_flips;
+    }
+    if (held.has_value() &&
+        interactions_ - consensus_start >= options.stable_window) {
+      result.stabilised = true;
+      result.output = *held;
+      result.consensus_since = consensus_start;
+      break;
+    }
+  }
+  result.interactions = interactions_;
+  result.parallel_time =
+      static_cast<double>(interactions_) / static_cast<double>(population());
+  metrics_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return result;
+}
+
+std::optional<pp::State> CountSimulator::remove_random_agent(
+    const std::function<bool(pp::State)>& eligible) {
+  if (counts_.total() <= 2) return std::nullopt;
+  std::uint64_t eligible_total = 0;
+  for (pp::State q = 0; q < counts_.num_states(); ++q)
+    if (counts_[q] != 0 && (!eligible || eligible(q)))
+      eligible_total += counts_[q];
+  if (eligible_total == 0) return std::nullopt;
+  std::uint64_t target = rng_.below(eligible_total);
+  for (pp::State q = 0; q < counts_.num_states(); ++q) {
+    if (counts_[q] == 0 || (eligible && !eligible(q))) continue;
+    if (target < counts_[q]) {
+      change_count(q, -1);
+      return q;
+    }
+    target -= counts_[q];
+  }
+  return std::nullopt;  // unreachable
+}
+
+}  // namespace ppde::engine

@@ -1,0 +1,176 @@
+// Count-based simulation of population protocols (DESIGN.md S21).
+//
+// pp::Simulator stores one array slot per agent and spends one RNG draw per
+// meeting — almost all of which are no-ops on the converted Czerner
+// protocols, where a handful of pointer agents do all the work while the
+// counted register agents idle. CountSimulator steps directly on the
+// configuration's count vector in O(|Q|) memory and, optionally, skips
+// whole runs of null meetings in closed form:
+//
+//   * A meeting of an ordered state pair (q, r) is drawn with the exact
+//     hypergeometric weight C(q)·(C(r) − [q=r]) / (m·(m−1)) — the
+//     probability that a uniform ordered pair of distinct agents has the
+//     initiator in q and the responder in r.
+//   * Call (q, r) *active* if some transition for (q, r) changes a state.
+//     With W = Σ_active C(q)·(C(r) − [q=r]) and T = m·(m−1), each meeting
+//     is active with probability p = W/T independently, so the number of
+//     null meetings before the next active one is Geometric(p):
+//     k = ⌊ln U / ln(1−p)⌋ for U uniform on (0, 1]. The engine advances k
+//     meetings with a single RNG draw, then samples one active pair with
+//     weight proportional to C(q)·(C(r) − [q=r]) restricted to active
+//     pairs, and fires a uniformly chosen candidate transition — exactly
+//     the per-agent scheduler's law marginalised over the null meetings.
+//
+// The sequence of *configurations* (and hence every verdict and every
+// firing statistic) is distributed identically to pp::Simulator's; only
+// the interaction indices between firings are resampled, from the same
+// geometric law (evaluated in double precision — the one approximation in
+// the engine, and it never touches the state evolution).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+#include "pp/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::engine {
+
+/// Precomputed activity structure of a finalized protocol: which ordered
+/// state pairs (q, r) have at least one non-silent transition. Immutable
+/// after construction and safe to share across threads — ensemble runs
+/// build one PairIndex and hand it to every trial's CountSimulator.
+class PairIndex {
+ public:
+  explicit PairIndex(const pp::Protocol& protocol);
+
+  /// States r such that (q, r) is active, q as the initiator.
+  std::span<const pp::State> partners_of(pp::State q) const {
+    return {out_flat_.data() + out_begin_[q],
+            out_flat_.data() + out_begin_[q + 1]};
+  }
+  /// States q such that (q, r) is active, r as the responder.
+  std::span<const pp::State> initiators_meeting(pp::State r) const {
+    return {in_flat_.data() + in_begin_[r],
+            in_flat_.data() + in_begin_[r + 1]};
+  }
+  /// True iff (q, q) is active.
+  bool self_active(pp::State q) const { return self_active_[q] != 0; }
+
+  std::size_t num_states() const { return self_active_.size(); }
+  std::size_t num_active_pairs() const { return out_flat_.size(); }
+
+ private:
+  std::vector<std::uint32_t> out_begin_;  ///< CSR offsets, size |Q|+1
+  std::vector<pp::State> out_flat_;
+  std::vector<std::uint32_t> in_begin_;
+  std::vector<pp::State> in_flat_;
+  std::vector<std::uint8_t> self_active_;
+};
+
+struct CountSimOptions {
+  /// Batch-skip runs of null meetings in closed form (see file comment).
+  /// When false, every meeting costs one pair sample — still O(|Q|) memory,
+  /// useful as the middle rung of the engine-comparison benchmarks.
+  bool null_skip = true;
+};
+
+/// Drop-in counterpart of pp::Simulator that never materialises agents.
+/// The protocol (and the PairIndex, if supplied) must outlive the
+/// simulator.
+class CountSimulator {
+ public:
+  CountSimulator(const pp::Protocol& protocol, const pp::Config& initial,
+                 std::uint64_t seed = 1, CountSimOptions options = {});
+  /// Shares a prebuilt PairIndex (one per protocol, reused across trials).
+  CountSimulator(const pp::Protocol& protocol, const PairIndex& index,
+                 const pp::Config& initial, std::uint64_t seed = 1,
+                 CountSimOptions options = {});
+
+  /// Advance to the next meeting and execute it. With null_skip this first
+  /// jumps past the (geometrically many) null meetings, so one call can
+  /// advance interactions() by far more than 1. Returns true if a
+  /// transition fired. If the simulation is frozen() the call advances a
+  /// single (null) meeting and returns false — check frozen() in unbounded
+  /// loops.
+  bool step();
+
+  /// Same stopping rule as pp::Simulator::run_until_stable: consensus must
+  /// persist for options.stable_window meetings within
+  /// options.max_interactions (options.seed is ignored; seeding happens at
+  /// construction). Null runs are truncated exactly at the window/budget
+  /// boundary, so the reported interaction indices agree with the
+  /// per-agent semantics.
+  pp::SimulationResult run_until_stable(const pp::SimulationOptions& options);
+
+  std::uint64_t accepting_agents() const { return accepting_; }
+  std::uint64_t population() const { return counts_.total(); }
+  std::uint64_t interactions() const { return interactions_; }
+
+  /// True iff all agents agree on an output right now.
+  std::optional<bool> consensus() const;
+
+  /// True iff no meeting can ever change the configuration again (the
+  /// total active-pair weight is zero). A frozen run's consensus — or lack
+  /// of one — is permanent.
+  bool frozen() const;
+
+  /// Current configuration — O(1), unlike pp::Simulator::config().
+  const pp::Config& config() const { return counts_; }
+
+  /// Remove one uniformly random agent among those whose state satisfies
+  /// `eligible` (default: any agent); mirrors
+  /// pp::Simulator::remove_random_agent.
+  std::optional<pp::State> remove_random_agent(
+      const std::function<bool(pp::State)>& eligible = nullptr);
+
+  const RunMetrics& metrics() const { return metrics_; }
+
+ private:
+  CountSimulator(std::unique_ptr<const PairIndex> owned,
+                 const pp::Protocol& protocol, const pp::Config& initial,
+                 std::uint64_t seed, CountSimOptions options);
+
+  /// Recompute the total active weight W, filling weight_by_state_.
+  std::uint64_t active_weight();
+  /// Geometric number of null meetings before the next active one.
+  std::uint64_t sample_null_run(std::uint64_t active);
+  /// Account `count` meetings skipped without individual RNG draws.
+  void advance_nulls(std::uint64_t count);
+  /// Sample an active (q, r) by weight and fire a candidate. `active` must
+  /// be the current active_weight() (> 0).
+  void apply_active_meeting(std::uint64_t active);
+  /// One plain meeting: hypergeometric pair sample, fire if enabled.
+  bool step_meeting();
+  void change_count(pp::State state, std::int64_t delta);
+  void fire(pp::State q, pp::State r);
+
+  const pp::Protocol* protocol_;
+  std::unique_ptr<const PairIndex> owned_index_;
+  const PairIndex* index_;
+  CountSimOptions options_;
+  pp::Config counts_;
+  /// rout_[q] = Σ_{r : (q,r) active} C(r), maintained incrementally.
+  std::vector<std::uint64_t> rout_;
+  /// States with non-zero count, unordered; keeps every per-firing scan
+  /// O(#populated states) instead of O(|Q|) — on the converted Czerner
+  /// protocols only a few dozen of the ~1.8k states are ever occupied.
+  std::vector<pp::State> populated_;
+  std::vector<std::uint32_t> position_;  ///< state -> index in populated_
+  std::vector<std::uint64_t> weights_;   ///< scratch parallel to populated_
+  std::uint64_t accepting_ = 0;
+  std::uint64_t interactions_ = 0;
+  RunMetrics metrics_;
+  support::Rng rng_;
+
+  static constexpr std::uint32_t kNoPosition = 0xffffffffu;
+};
+
+}  // namespace ppde::engine

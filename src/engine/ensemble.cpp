@@ -1,0 +1,179 @@
+#include "engine/ensemble.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace ppde::engine {
+
+std::uint64_t derive_trial_seed(std::uint64_t master_seed,
+                                std::uint64_t trial) {
+  std::uint64_t x = master_seed + (trial + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPerAgent: return "per-agent";
+    case EngineKind::kCount: return "count";
+    case EngineKind::kCountNullSkip: return "count+null-skip";
+  }
+  return "?";
+}
+
+std::vector<TrialResult> run_trial_fleet(
+    std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
+    const std::function<TrialResult(std::uint64_t, std::uint64_t)>& body) {
+  std::vector<TrialResult> results(trials);
+  if (trials == 0) return results;
+  unsigned workers = threads != 0 ? threads
+                                  : std::max(1u,
+                                             std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, trials));
+
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (std::uint64_t trial;
+         (trial = next.fetch_add(1, std::memory_order_relaxed)) < trials;) {
+      try {
+        results[trial] = body(trial, derive_trial_seed(master_seed, trial));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+namespace {
+
+Quantiles quantiles_of(std::vector<double> values) {
+  Quantiles q;
+  if (values.empty()) return q;
+  std::sort(values.begin(), values.end());
+  const auto at = [&](double fraction) {
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(index, values.size() - 1)];
+  };
+  q.p50 = at(0.5);
+  q.p90 = at(0.9);
+  q.max = values.back();
+  return q;
+}
+
+}  // namespace
+
+EnsembleStats aggregate(const std::vector<TrialResult>& results) {
+  EnsembleStats stats;
+  stats.trials = results.size();
+  std::vector<double> interactions;
+  std::vector<double> parallel_time;
+  interactions.reserve(results.size());
+  parallel_time.reserve(results.size());
+  for (const TrialResult& trial : results) {
+    if (trial.sim.stabilised) {
+      ++stats.stabilised;
+      if (trial.sim.output) ++stats.accepted;
+    }
+    interactions.push_back(static_cast<double>(trial.sim.interactions));
+    parallel_time.push_back(trial.sim.parallel_time);
+    stats.totals.merge(trial.metrics);
+  }
+  stats.interactions = quantiles_of(std::move(interactions));
+  stats.parallel_time = quantiles_of(std::move(parallel_time));
+  return stats;
+}
+
+EnsembleStats run_ensemble(const pp::Protocol& protocol,
+                           const pp::Config& initial,
+                           const EnsembleOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+  // One shared activity index for all count-based trials; read-only after
+  // construction, so safe across the pool.
+  std::optional<PairIndex> index;
+  if (options.engine != EngineKind::kPerAgent) index.emplace(protocol);
+
+  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+    TrialResult trial;
+    trial.seed = seed;
+    if (options.engine == EngineKind::kPerAgent) {
+      pp::Simulator simulator(protocol, initial, seed);
+      trial.sim = simulator.run_until_stable(options.sim);
+      trial.metrics = simulator.metrics();
+    } else {
+      CountSimOptions sim_options;
+      sim_options.null_skip = options.engine == EngineKind::kCountNullSkip;
+      CountSimulator simulator(protocol, *index, initial, seed, sim_options);
+      trial.sim = simulator.run_until_stable(options.sim);
+      trial.metrics = simulator.metrics();
+    }
+    return trial;
+  };
+
+  const std::vector<TrialResult> results =
+      run_trial_fleet(options.trials, options.threads, options.master_seed,
+                      body);
+  EnsembleStats stats = aggregate(results);
+  // Report what the fleet actually ran with: the pool never spawns more
+  // workers than there are trials.
+  const unsigned requested =
+      options.threads != 0 ? options.threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+  stats.threads_used = static_cast<unsigned>(
+      std::min<std::uint64_t>(requested, std::max<std::uint64_t>(
+                                             options.trials, 1)));
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return stats;
+}
+
+std::string describe(const EnsembleStats& stats) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "trials ............ %llu (%u threads)\n"
+      "stabilised ........ %.3f  (accept fraction %.3f)\n"
+      "interactions ...... p50 %.3g  p90 %.3g  max %.3g\n"
+      "parallel time ..... p50 %.3g  p90 %.3g  max %.3g\n"
+      "meetings/sec ...... %.3g effective (%llu firings, %llu skip batches)\n"
+      "wall .............. %.3fs\n",
+      static_cast<unsigned long long>(stats.trials), stats.threads_used,
+      stats.stabilised_fraction(), stats.accept_fraction(),
+      stats.interactions.p50, stats.interactions.p90, stats.interactions.max,
+      stats.parallel_time.p50, stats.parallel_time.p90,
+      stats.parallel_time.max,
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.totals.meetings) / stats.wall_seconds
+          : 0.0,
+      static_cast<unsigned long long>(stats.totals.firings),
+      static_cast<unsigned long long>(stats.totals.null_skip_batches),
+      stats.wall_seconds);
+  return buffer;
+}
+
+}  // namespace ppde::engine

@@ -1,5 +1,6 @@
 #include "pp/simulator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace ppde::pp {
@@ -20,6 +21,7 @@ Simulator::Simulator(const Protocol& protocol, const Config& initial,
 
 bool Simulator::step() {
   ++interactions_;
+  ++metrics_.meetings;
   const std::uint64_t m = agents_.size();
   const std::uint64_t i = rng_.below(m);
   std::uint64_t j = rng_.below(m - 1);
@@ -29,6 +31,7 @@ bool Simulator::step() {
   const State r = agents_[j];
   const auto candidates = protocol_.transitions_for(q, r);
   if (candidates.empty()) return false;
+  ++metrics_.firings;
   const std::uint32_t pick =
       candidates.size() == 1
           ? candidates[0]
@@ -53,8 +56,12 @@ std::optional<bool> Simulator::consensus() const {
 }
 
 SimulationResult Simulator::run_until_stable(const SimulationOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
   SimulationResult result;
-  std::uint64_t consensus_start = 0;
+  // The window starts at the current interaction count, so calling
+  // run_until_stable after manual step()s does not count the warm-up
+  // interactions towards the stability window.
+  std::uint64_t consensus_start = interactions_;
   std::optional<bool> held = consensus();
 
   while (interactions_ < options.max_interactions) {
@@ -63,6 +70,7 @@ SimulationResult Simulator::run_until_stable(const SimulationOptions& options) {
     if (now != held) {
       held = now;
       consensus_start = interactions_;
+      ++metrics_.consensus_flips;
     }
     if (held.has_value() &&
         interactions_ - consensus_start >= options.stable_window) {
@@ -75,6 +83,10 @@ SimulationResult Simulator::run_until_stable(const SimulationOptions& options) {
   result.interactions = interactions_;
   result.parallel_time =
       static_cast<double>(interactions_) / static_cast<double>(population());
+  metrics_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
   return result;
 }
 

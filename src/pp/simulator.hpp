@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "engine/metrics.hpp"  // dependency-free counters shared with S21
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
 #include "support/rng.hpp"
@@ -31,11 +32,18 @@ struct SimulationOptions {
 };
 
 struct SimulationResult {
+  /// Sentinel for consensus_since: the run never stabilised. (0 cannot
+  /// serve as the sentinel — a run that is in consensus from its first
+  /// interaction legitimately reports consensus_since == 0.)
+  static constexpr std::uint64_t kNeverStabilised = ~std::uint64_t{0};
+
   bool stabilised = false;
   bool output = false;  ///< Valid only if stabilised.
   std::uint64_t interactions = 0;
-  /// Interaction index after which the final consensus held (0 if never).
-  std::uint64_t consensus_since = 0;
+  /// Interaction index after which the final consensus held, measured from
+  /// the start of the run (0 = consensus held from the very beginning);
+  /// kNeverStabilised iff !stabilised.
+  std::uint64_t consensus_since = kNeverStabilised;
   /// interactions / population size — "parallel time" in the literature.
   double parallel_time = 0.0;
 };
@@ -73,11 +81,16 @@ class Simulator {
   std::optional<State> remove_random_agent(
       const std::function<bool(State)>& eligible = nullptr);
 
+  /// Per-run counters (meetings, firings, consensus flips, wall time spent
+  /// in run_until_stable) — same record the count-based engine fills.
+  const engine::RunMetrics& metrics() const { return metrics_; }
+
  private:
   const Protocol& protocol_;
   std::vector<State> agents_;
   std::uint64_t accepting_agents_ = 0;
   std::uint64_t interactions_ = 0;
+  engine::RunMetrics metrics_;
   support::Rng rng_;
 };
 

@@ -1,0 +1,413 @@
+// Tests for the ensemble simulation engine (DESIGN.md S21):
+// distributional equivalence of CountSimulator against the per-agent
+// pp::Simulator, exact count conservation, thread-count-independent
+// determinism of ensemble statistics, and the consensus_since sentinel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "baselines/flock.hpp"
+#include "baselines/majority.hpp"
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "engine/count_sim.hpp"
+#include "engine/ensemble.hpp"
+#include "pp/simulator.hpp"
+
+namespace ppde::engine {
+namespace {
+
+// Two-opinion "initiator wins" protocol: (T,F -> T,T), (F,T -> F,F).
+// From a mixed start the absorbing opinion is genuinely random, which makes
+// it the right workload for comparing acceptance *distributions*.
+pp::Protocol make_opinion_protocol() {
+  pp::Protocol protocol;
+  const pp::State t = protocol.add_state("T");
+  const pp::State f = protocol.add_state("F");
+  protocol.mark_input(t);
+  protocol.mark_input(f);
+  protocol.mark_accepting(t);
+  protocol.add_transition(t, f, t, t);
+  protocol.add_transition(f, t, f, f);
+  protocol.finalize();
+  return protocol;
+}
+
+pp::Config opinion_initial(const pp::Protocol& protocol, std::uint32_t t,
+                           std::uint32_t f) {
+  pp::Config config(protocol.num_states());
+  config.add(protocol.state("T"), t);
+  config.add(protocol.state("F"), f);
+  return config;
+}
+
+struct SampleStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t stabilised = 0;
+  std::vector<double> interactions;
+};
+
+template <typename MakeSim>
+SampleStats sample_runs(std::uint64_t trials, std::uint64_t seed_stream,
+                        const pp::SimulationOptions& options,
+                        MakeSim make_sim) {
+  SampleStats stats;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    auto sim = make_sim(derive_trial_seed(seed_stream, trial));
+    const pp::SimulationResult result = sim.run_until_stable(options);
+    if (result.stabilised) {
+      ++stats.stabilised;
+      if (result.output) ++stats.accepted;
+    }
+    stats.interactions.push_back(static_cast<double>(result.interactions));
+  }
+  return stats;
+}
+
+// Two-sample chi-squared statistic over quantile bins of the combined
+// sample (equal sample sizes). Heavily tied samples collapse bins; the
+// statistic stays valid because both samples share the tie structure.
+double chi_squared(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  std::vector<double> combined = a;
+  combined.insert(combined.end(), b.begin(), b.end());
+  std::sort(combined.begin(), combined.end());
+  std::vector<double> edges;
+  for (int i = 1; i <= 5; ++i) {
+    const double edge = combined[combined.size() * i / 6];
+    if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+  }
+  const auto histogram = [&](const std::vector<double>& values) {
+    std::vector<double> bins(edges.size() + 1, 0.0);
+    for (double v : values)
+      bins[std::upper_bound(edges.begin(), edges.end(), v) - edges.begin()] +=
+          1.0;
+    return bins;
+  };
+  const std::vector<double> bins_a = histogram(a);
+  const std::vector<double> bins_b = histogram(b);
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < bins_a.size(); ++i) {
+    const double total = bins_a[i] + bins_b[i];
+    if (total == 0.0) continue;
+    const double diff = bins_a[i] - bins_b[i];
+    statistic += diff * diff / total;
+  }
+  return statistic;
+}
+
+TEST(PairIndex, MarksExactlyTheNonSilentPairs) {
+  const pp::Protocol majority = baselines::make_majority();
+  const PairIndex index(majority);
+  const pp::State big_a = majority.state("A");
+  const pp::State big_b = majority.state("B");
+  const pp::State small_a = majority.state("a");
+  const pp::State small_b = majority.state("b");
+  EXPECT_EQ(index.num_active_pairs(), 4u);
+  EXPECT_EQ(index.partners_of(big_a).size(), 2u);  // B and b
+  EXPECT_EQ(index.partners_of(big_b).size(), 1u);  // a
+  EXPECT_EQ(index.partners_of(small_a).size(), 1u);  // b
+  EXPECT_EQ(index.partners_of(small_b).size(), 0u);
+  EXPECT_EQ(index.initiators_meeting(small_b).size(), 2u);  // A and a
+  for (pp::State q : {big_a, big_b, small_a, small_b})
+    EXPECT_FALSE(index.self_active(q));
+}
+
+TEST(PairIndex, AllSilentPairsAreNull) {
+  pp::Protocol protocol;
+  const pp::State x = protocol.add_state("x");
+  const pp::State y = protocol.add_state("y");
+  protocol.mark_accepting(x);
+  protocol.add_transition(x, y, x, y);  // silent: cannot change anything
+  protocol.finalize();
+  const PairIndex index(protocol);
+  EXPECT_EQ(index.num_active_pairs(), 0u);
+}
+
+TEST(CountSimulator, ConservesCountsExactly) {
+  const pp::Protocol majority = baselines::make_majority();
+  for (const bool null_skip : {false, true}) {
+    CountSimOptions options;
+    options.null_skip = null_skip;
+    CountSimulator sim(majority, baselines::majority_initial(majority, 50, 50),
+                       17, options);
+    for (int step = 0; step < 20'000 && !sim.frozen(); ++step) {
+      sim.step();
+      if (step % 1'000 != 0) continue;
+      EXPECT_EQ(sim.population(), 100u);
+      std::uint64_t total = 0;
+      for (std::uint32_t c : sim.config().counts()) total += c;
+      EXPECT_EQ(total, 100u);
+      EXPECT_EQ(sim.accepting_agents(),
+                sim.config().accepting_count(majority));
+    }
+    EXPECT_EQ(sim.metrics().meetings, sim.interactions());
+    EXPECT_LE(sim.metrics().firings, sim.metrics().meetings);
+  }
+}
+
+TEST(CountSimulator, MatchesPerAgentDistribution) {
+  const pp::Protocol opinion = make_opinion_protocol();
+  const pp::Config initial = opinion_initial(opinion, 3, 3);
+  pp::SimulationOptions options;
+  options.stable_window = 200;
+  options.max_interactions = 1'000'000;
+  const std::uint64_t trials = 600;
+
+  const SampleStats per_agent =
+      sample_runs(trials, 1, options, [&](std::uint64_t seed) {
+        return pp::Simulator(opinion, initial, seed);
+      });
+  const SampleStats count_skip =
+      sample_runs(trials, 2, options, [&](std::uint64_t seed) {
+        return CountSimulator(opinion, initial, seed);
+      });
+
+  // Every run of this protocol absorbs.
+  EXPECT_EQ(per_agent.stabilised, trials);
+  EXPECT_EQ(count_skip.stabilised, trials);
+
+  // Acceptance fractions agree within 4 binomial standard errors of the
+  // symmetric p = 1/2 (se = sqrt(2 * 0.25 / 600) ≈ 0.029).
+  const double accept_a =
+      static_cast<double>(per_agent.accepted) / static_cast<double>(trials);
+  const double accept_b =
+      static_cast<double>(count_skip.accepted) / static_cast<double>(trials);
+  EXPECT_NEAR(accept_a, accept_b, 0.115);
+
+  // Interactions-to-stabilisation distributions agree: chi-squared over
+  // quantile bins, df <= 5, generous critical value (p < 0.001 is ~20.5).
+  EXPECT_LT(chi_squared(per_agent.interactions, count_skip.interactions),
+            25.0);
+}
+
+TEST(CountSimulator, NullSkipMatchesPlainCountStepping) {
+  const pp::Protocol opinion = make_opinion_protocol();
+  const pp::Config initial = opinion_initial(opinion, 4, 4);
+  pp::SimulationOptions options;
+  options.stable_window = 300;
+  options.max_interactions = 1'000'000;
+  const std::uint64_t trials = 400;
+
+  CountSimOptions no_skip;
+  no_skip.null_skip = false;
+  const SampleStats plain =
+      sample_runs(trials, 5, options, [&](std::uint64_t seed) {
+        return CountSimulator(opinion, initial, seed, no_skip);
+      });
+  const SampleStats skip =
+      sample_runs(trials, 6, options, [&](std::uint64_t seed) {
+        return CountSimulator(opinion, initial, seed);
+      });
+  EXPECT_EQ(plain.stabilised, trials);
+  EXPECT_EQ(skip.stabilised, trials);
+  EXPECT_LT(chi_squared(plain.interactions, skip.interactions), 25.0);
+}
+
+TEST(CountSimulator, MatchesPerAgentOnOneSidedConvergence) {
+  const pp::Protocol flock = baselines::make_flock_of_birds(3);
+  const pp::Config initial = baselines::flock_initial(flock, 8);
+  pp::SimulationOptions options;
+  options.stable_window = 500;
+  options.max_interactions = 1'000'000;
+  const std::uint64_t trials = 400;
+
+  const SampleStats per_agent =
+      sample_runs(trials, 3, options, [&](std::uint64_t seed) {
+        return pp::Simulator(flock, initial, seed);
+      });
+  const SampleStats count_skip =
+      sample_runs(trials, 4, options, [&](std::uint64_t seed) {
+        return CountSimulator(flock, initial, seed);
+      });
+  EXPECT_EQ(per_agent.stabilised, trials);
+  EXPECT_EQ(per_agent.accepted, trials);  // 8 >= 3
+  EXPECT_EQ(count_skip.accepted, trials);
+  EXPECT_LT(chi_squared(per_agent.interactions, count_skip.interactions),
+            25.0);
+}
+
+TEST(CountSimulator, FrozenConsensusStabilises) {
+  // No transitions at all: the initial consensus is permanent and must be
+  // reported after exactly stable_window meetings, from both engines.
+  pp::Protocol protocol;
+  const pp::State g = protocol.add_state("g");
+  protocol.mark_input(g);
+  protocol.mark_accepting(g);
+  protocol.finalize();
+  const pp::Config initial = pp::Config::single(1, g, 5);
+  pp::SimulationOptions options;
+  options.stable_window = 1'000;
+  options.max_interactions = 50'000;
+
+  CountSimulator count(protocol, initial, 9);
+  EXPECT_TRUE(count.frozen());
+  const pp::SimulationResult from_count = count.run_until_stable(options);
+  pp::Simulator per_agent(protocol, initial, 9);
+  const pp::SimulationResult from_agents =
+      per_agent.run_until_stable(options);
+
+  for (const pp::SimulationResult& result : {from_count, from_agents}) {
+    EXPECT_TRUE(result.stabilised);
+    EXPECT_TRUE(result.output);
+    EXPECT_EQ(result.consensus_since, 0u);  // held from the very start
+    EXPECT_EQ(result.interactions, 1'000u);
+  }
+}
+
+TEST(CountSimulator, FrozenWithoutConsensusExhaustsBudget) {
+  pp::Protocol protocol;
+  const pp::State g = protocol.add_state("g");
+  const pp::State h = protocol.add_state("h");
+  protocol.mark_accepting(g);
+  protocol.finalize();
+  pp::Config initial(2);
+  initial.add(g, 1);
+  initial.add(h, 1);
+  pp::SimulationOptions options;
+  options.stable_window = 100;
+  options.max_interactions = 5'000;
+
+  CountSimulator sim(protocol, initial, 11);
+  const pp::SimulationResult result = sim.run_until_stable(options);
+  EXPECT_FALSE(result.stabilised);
+  EXPECT_EQ(result.interactions, 5'000u);
+  EXPECT_EQ(result.consensus_since, pp::SimulationResult::kNeverStabilised);
+}
+
+TEST(Simulator, ConsensusSinceSentinelIsUnambiguous) {
+  const pp::Protocol majority = baselines::make_majority();
+  pp::SimulationOptions options;
+  options.stable_window = 100;
+  options.max_interactions = 0;  // no budget: cannot stabilise
+  pp::Simulator sim(majority, baselines::majority_initial(majority, 3, 3), 1);
+  const pp::SimulationResult result = sim.run_until_stable(options);
+  EXPECT_FALSE(result.stabilised);
+  EXPECT_EQ(result.consensus_since, pp::SimulationResult::kNeverStabilised);
+  EXPECT_EQ(pp::SimulationResult{}.consensus_since,
+            pp::SimulationResult::kNeverStabilised);
+}
+
+TEST(CountSimulator, RemoveRandomAgentRespectsEligibility) {
+  const pp::Protocol majority = baselines::make_majority();
+  CountSimulator sim(majority, baselines::majority_initial(majority, 5, 5),
+                     23);
+  const pp::State big_a = majority.state("A");
+  const auto removed = sim.remove_random_agent(
+      [&](pp::State q) { return q == big_a; });
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, big_a);
+  EXPECT_EQ(sim.population(), 9u);
+  EXPECT_EQ(sim.config()[big_a], 4u);
+  // Nobody is in state "b"; requesting one must fail without side effects.
+  const pp::State small_b = majority.state("b");
+  EXPECT_FALSE(sim.remove_random_agent(
+                      [&](pp::State q) { return q == small_b; })
+                   .has_value());
+  EXPECT_EQ(sim.population(), 9u);
+}
+
+TEST(Ensemble, SeedDerivationIsStableAndCollisionFree) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t trial = 0; trial < 1'000; ++trial)
+    seeds.insert(derive_trial_seed(42, trial));
+  EXPECT_EQ(seeds.size(), 1'000u);
+  // Pinned: the scheme (SplitMix64 stream) is part of the repository's
+  // reproducibility contract — changing it silently would invalidate every
+  // recorded ensemble experiment.
+  EXPECT_EQ(derive_trial_seed(42, 0), derive_trial_seed(42, 0));
+  EXPECT_NE(derive_trial_seed(42, 0), derive_trial_seed(43, 0));
+}
+
+TEST(Ensemble, StatsAreIndependentOfThreadCount) {
+  const pp::Protocol flock = baselines::make_flock_of_birds(3);
+  const pp::Config initial = baselines::flock_initial(flock, 10);
+  EnsembleOptions options;
+  options.trials = 24;
+  options.master_seed = 7;
+  options.sim.stable_window = 1'000;
+  options.sim.max_interactions = 1'000'000;
+
+  std::vector<EnsembleStats> runs;
+  for (const unsigned threads : {1u, 4u, 3u, 8u}) {
+    options.threads = threads;
+    runs.push_back(run_ensemble(flock, initial, options));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].trials, runs[0].trials);
+    EXPECT_EQ(runs[i].stabilised, runs[0].stabilised);
+    EXPECT_EQ(runs[i].accepted, runs[0].accepted);
+    EXPECT_EQ(runs[i].interactions.p50, runs[0].interactions.p50);
+    EXPECT_EQ(runs[i].interactions.p90, runs[0].interactions.p90);
+    EXPECT_EQ(runs[i].interactions.max, runs[0].interactions.max);
+    EXPECT_EQ(runs[i].parallel_time.p50, runs[0].parallel_time.p50);
+    EXPECT_EQ(runs[i].parallel_time.max, runs[0].parallel_time.max);
+    EXPECT_EQ(runs[i].totals.meetings, runs[0].totals.meetings);
+    EXPECT_EQ(runs[i].totals.firings, runs[0].totals.firings);
+    EXPECT_EQ(runs[i].totals.null_skip_batches,
+              runs[0].totals.null_skip_batches);
+    EXPECT_EQ(runs[i].totals.skipped_meetings,
+              runs[0].totals.skipped_meetings);
+    EXPECT_EQ(runs[i].totals.consensus_flips,
+              runs[0].totals.consensus_flips);
+  }
+}
+
+TEST(Ensemble, EnginesAgreeOnVerdicts) {
+  const pp::Protocol flock = baselines::make_flock_of_birds(3);
+  const pp::Config initial = baselines::flock_initial(flock, 10);
+  EnsembleOptions options;
+  options.trials = 8;
+  options.threads = 2;
+  options.master_seed = 3;
+  options.sim.stable_window = 1'000;
+  options.sim.max_interactions = 1'000'000;
+  for (const EngineKind engine :
+       {EngineKind::kPerAgent, EngineKind::kCount,
+        EngineKind::kCountNullSkip}) {
+    options.engine = engine;
+    const EnsembleStats stats = run_ensemble(flock, initial, options);
+    EXPECT_EQ(stats.stabilised, options.trials) << to_string(engine);
+    EXPECT_EQ(stats.accepted, options.trials) << to_string(engine);
+    EXPECT_GT(stats.totals.meetings, 0u) << to_string(engine);
+  }
+}
+
+TEST(Ensemble, FleetRethrowsBodyExceptions) {
+  EXPECT_THROW(
+      run_trial_fleet(8, 4, 1,
+                      [](std::uint64_t trial, std::uint64_t) -> TrialResult {
+                        if (trial == 5) throw std::runtime_error("boom");
+                        return {};
+                      }),
+      std::runtime_error);
+}
+
+TEST(CountSimulator, CzernerPipelineSmoke) {
+  // The engine's target workload: the converted n=1 construction, where
+  // almost every meeting is null. Checks invariants and that null-skip
+  // actually skips.
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::uint64_t m = conv.num_pointers + 6;
+  CountSimulator sim(conv.protocol, conv.initial_config(m), 31);
+  for (int firing = 0; firing < 20'000 && !sim.frozen(); ++firing)
+    sim.step();
+  EXPECT_EQ(sim.population(), m);
+  std::uint64_t total = 0;
+  for (std::uint32_t c : sim.config().counts()) total += c;
+  EXPECT_EQ(total, m);
+  EXPECT_EQ(sim.accepting_agents(),
+            sim.config().accepting_count(conv.protocol));
+  EXPECT_EQ(sim.metrics().meetings, sim.interactions());
+  EXPECT_GT(sim.metrics().skipped_meetings, 0u);
+  EXPECT_GT(sim.metrics().null_skip_batches, 0u);
+}
+
+}  // namespace
+}  // namespace ppde::engine

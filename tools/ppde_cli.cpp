@@ -6,6 +6,10 @@
 //   ppde protocol <n> [--dot]        converted protocol stats (n = 1..2)
 //   ppde simulate <n> <extra> [seed] run the full protocol with |F|+extra
 //                                    agents until consensus
+//   ppde ensemble <n> <extra> <trials> [threads] [seed]
+//                                    run a fleet of independent trials on
+//                                    the count+null-skip engine (S21) and
+//                                    report aggregate statistics
 //   ppde verify <n> <m_regs>         exact fair-run verdict from pi(C)
 //   ppde decide <n> <m>              program-level exhaustive decision
 //   ppde window <lo> <hi> <m>        decide lo <= m < hi with a Figure-1
@@ -21,6 +25,7 @@
 #include "compile/lower.hpp"
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
+#include "engine/ensemble.hpp"
 #include "machine/interp.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
@@ -86,6 +91,28 @@ int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed) {
               static_cast<double>(result.interactions) / 1e6,
               static_cast<double>(result.consensus_since) / 1e6);
   return 0;
+}
+
+int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
+                 unsigned threads, std::uint64_t seed) {
+  const auto lowered = compile::lower_program(build(n, false).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::uint64_t m = conv.num_pointers + extra;
+  std::printf("ensemble n=%d with m = |F| + %u = %llu agents, %llu trials "
+              "(master seed %llu)\n",
+              n, extra, (unsigned long long)m, (unsigned long long)trials,
+              (unsigned long long)seed);
+  engine::EnsembleOptions options;
+  options.trials = trials;
+  options.threads = threads;
+  options.master_seed = seed;
+  options.engine = engine::EngineKind::kCountNullSkip;
+  options.sim.stable_window = 90'000'000;
+  options.sim.max_interactions = 2'000'000'000;
+  const engine::EnsembleStats stats =
+      engine::run_ensemble(conv.protocol, conv.initial_config(m), options);
+  std::printf("%s", engine::describe(stats).c_str());
+  return stats.stabilised == stats.trials ? 0 : 1;
 }
 
 int cmd_verify(int n, std::uint64_t m_regs, bool equality) {
@@ -154,6 +181,7 @@ int usage() {
       "  machine <n> [--equality]\n"
       "  protocol <n> [--dot]\n"
       "  simulate <n> <extra-agents> [seed]\n"
+      "  ensemble <n> <extra-agents> <trials> [threads] [seed]\n"
       "  verify <n> <m_regs> [--equality]\n"
       "  decide <n> <m> [--equality]\n"
       "  window <lo> <hi> <m>\n");
@@ -204,6 +232,12 @@ int main(int argc, char** argv) {
       return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(argv[3])),
                           argc >= 5 ? std::strtoull(argv[4], nullptr, 10)
                                     : 42);
+    if (command == "ensemble" && argc >= 5)
+      return cmd_ensemble(
+          n, static_cast<std::uint32_t>(std::atoi(argv[3])),
+          std::strtoull(argv[4], nullptr, 10),
+          argc >= 6 ? static_cast<unsigned>(std::atoi(argv[5])) : 0,
+          argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 42);
     if (command == "verify" && argc >= 4)
       return cmd_verify(n, std::strtoull(argv[3], nullptr, 10), equality);
     if (command == "decide" && argc >= 4)
