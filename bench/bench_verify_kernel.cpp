@@ -1,0 +1,122 @@
+// Exhaustive-verification scale on the S22 kernel.
+//
+// Workload: exact fair-run verification of the converted czerner n=1
+// protocol from pi(C) with m_regs agents in the input register — the same
+// state spaces `ppde verify 1 <m>` explores. Reports wall time and
+// explored nodes/edges at 1, 4 and 8 threads for a sweep of m_regs, plus
+// the largest m_regs that completes within the 8M-node budget. Feeds the
+// EXPERIMENTS.md verification-scale table.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "machine/interp.hpp"
+#include "pp/verifier.hpp"
+
+namespace {
+
+using namespace ppde;
+
+struct Workload {
+  czerner::Construction c;
+  compile::LoweredMachine lowered;
+  compile::ProtocolConversion conv;
+};
+
+/// Built in place: the conversion keeps a pointer to `lowered.machine`, so
+/// the workload must never be moved after conversion.
+const Workload& workload() {
+  static Workload* w = [] {
+    auto* workload = new Workload;
+    workload->c = czerner::build_construction(1);
+    workload->lowered = compile::lower_program(workload->c.program);
+    compile::ConversionOptions nb;
+    nb.with_broadcast = false;
+    workload->conv =
+        compile::machine_to_protocol(workload->lowered.machine, nb);
+    return workload;
+  }();
+  return *w;
+}
+
+pp::Config initial_for(const Workload& w, std::uint64_t m_regs) {
+  std::vector<std::uint64_t> regs(w.c.num_registers(), 0);
+  regs[w.c.R()] = m_regs;
+  return w.conv.pi(machine::initial_state(w.lowered.machine, regs), false);
+}
+
+void BM_VerifyConvertedN1(benchmark::State& state) {
+  const Workload& w = workload();
+  const std::uint64_t m_regs = static_cast<std::uint64_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const pp::Config initial = initial_for(w, m_regs);
+  pp::VerifierOptions options;
+  options.witness_mode = true;
+  options.max_configs = 8'000'000;
+  options.threads = threads;
+  pp::VerificationResult result;
+  for (auto _ : state) {
+    result = pp::Verifier(w.conv.protocol).verify(initial, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["configs"] = static_cast<double>(result.explored_configs);
+  state.counters["edges"] = static_cast<double>(result.explored_edges);
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(result.explored_configs),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void configure(benchmark::internal::Benchmark* bench) {
+  for (const int m : {4, 6, 8})
+    for (const int threads : {1, 4, 8}) bench->Args({m, threads});
+  bench->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+      ->UseRealTime();
+}
+
+BENCHMARK(BM_VerifyConvertedN1)->Apply(configure);
+
+/// Not a google-benchmark timing loop: finds the largest m_regs whose full
+/// graph is verified within the 8M-node budget AND a per-population
+/// wall-clock allowance — the headline number for EXPERIMENTS.md ("how big
+/// a population can we verify exactly?"). Stops at the first population
+/// that misses the allowance or trips the node budget.
+void BM_FrontierWithinBudget(benchmark::State& state) {
+  const Workload& w = workload();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const double allowance_seconds = 12.0;
+  std::uint64_t frontier = 0;
+  for (auto _ : state) {
+    frontier = 0;
+    for (std::uint64_t m = 1;; ++m) {
+      pp::VerifierOptions options;
+      options.witness_mode = true;
+      options.max_configs = 8'000'000;
+      options.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const pp::VerificationResult result =
+          pp::Verifier(w.conv.protocol).verify(initial_for(w, m), options);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!result.stabilises() || elapsed > allowance_seconds) break;
+      frontier = m;
+    }
+  }
+  state.counters["max_m_regs"] = static_cast<double>(frontier);
+}
+
+BENCHMARK(BM_FrontierWithinBudget)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

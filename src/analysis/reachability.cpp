@@ -5,25 +5,38 @@ namespace ppde::analysis {
 std::vector<bool> reachable_states(const pp::Protocol& protocol,
                                    const pp::Config& initial) {
   std::vector<bool> occupiable(protocol.num_states(), false);
-  for (pp::State q = 0; q < initial.num_states(); ++q)
-    if (initial[q] != 0) occupiable[q] = true;
 
-  // Chaotic iteration to fixpoint; the transition list is scanned until no
-  // new state lights up (protocol transition counts are the bottleneck, so
-  // the simple O(rounds * |delta|) loop is fine).
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const pp::Transition& t : protocol.transitions()) {
+  // Worklist fixpoint: index transitions by reactant state and fire each at
+  // most once, when its second reactant lights up. Each transition is
+  // visited O(1) times from each side — O(|Q| + |delta|) total, versus the
+  // former chaotic whole-list rescan at O(rounds * |delta|), which was
+  // quadratic on the deep conversion chains the compiler emits.
+  std::vector<std::vector<std::uint32_t>> by_reactant(protocol.num_states());
+  const std::vector<pp::Transition>& transitions = protocol.transitions();
+  for (std::uint32_t index = 0; index < transitions.size(); ++index) {
+    const pp::Transition& t = transitions[index];
+    by_reactant[t.q].push_back(index);
+    if (t.r != t.q) by_reactant[t.r].push_back(index);
+  }
+
+  std::vector<pp::State> worklist;
+  const auto mark = [&](pp::State q) {
+    if (!occupiable[q]) {
+      occupiable[q] = true;
+      worklist.push_back(q);
+    }
+  };
+  for (pp::State q = 0; q < initial.num_states(); ++q)
+    if (initial[q] != 0) mark(q);
+
+  while (!worklist.empty()) {
+    const pp::State q = worklist.back();
+    worklist.pop_back();
+    for (const std::uint32_t index : by_reactant[q]) {
+      const pp::Transition& t = transitions[index];
       if (!occupiable[t.q] || !occupiable[t.r]) continue;
-      if (!occupiable[t.q2]) {
-        occupiable[t.q2] = true;
-        changed = true;
-      }
-      if (!occupiable[t.r2]) {
-        occupiable[t.r2] = true;
-        changed = true;
-      }
+      mark(t.q2);
+      mark(t.r2);
     }
   }
   return occupiable;

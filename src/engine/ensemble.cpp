@@ -1,14 +1,13 @@
 #include "engine/ensemble.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
+
+#include "engine/pool.hpp"
 
 namespace ppde::engine {
 
@@ -40,30 +39,13 @@ std::vector<TrialResult> run_trial_fleet(
   workers = static_cast<unsigned>(
       std::min<std::uint64_t>(workers, trials));
 
-  std::atomic<std::uint64_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (std::uint64_t trial;
-         (trial = next.fetch_add(1, std::memory_order_relaxed)) < trials;) {
-      try {
-        results[trial] = body(trial, derive_trial_seed(master_seed, trial));
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  if (workers == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  // The shared worker pool (engine/pool.hpp) preserves this function's
+  // contract: results indexed by trial, first exception rethrown after all
+  // workers drain, never more workers than trials.
+  WorkerPool pool(workers);
+  pool.parallel_for(trials, [&](std::uint64_t trial) {
+    results[trial] = body(trial, derive_trial_seed(master_seed, trial));
+  });
   return results;
 }
 

@@ -1,11 +1,8 @@
 #include "machine/interp.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "support/hash.hpp"
-#include "support/scc.hpp"
+#include "verify/kernel.hpp"
 
 namespace ppde::machine {
 
@@ -101,11 +98,85 @@ namespace {
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 
-// Node encoding: [regs..., ptrs...] as u64s.
-struct VecHash {
-  u64 operator()(const std::vector<u64>& v) const {
-    return support::hash_range(v);
+/// Successor generator over machine configurations for the verification
+/// kernel. Node encoding: [regs..., ptrs...] as u64s. Hangs (blocked move,
+/// running off the last instruction) are self-loops, exactly as in the
+/// pre-kernel explorer, so a hung configuration forms a bottom SCC.
+class MachineDomain {
+ public:
+  explicit MachineDomain(const Machine& machine)
+      : machine_(machine), regs_n_(machine.num_registers()) {}
+
+  void expand(std::span<const u64> node, verify::Emitter& emit) const {
+    const auto reg_of = [&](RegId r) { return node[r]; };
+    const auto ptr_of = [&](PtrId p) {
+      return static_cast<u32>(node[regs_n_ + p]);
+    };
+
+    const u32 ip = ptr_of(machine_.ip);
+    const Instr& instr = machine_.instrs[ip];
+    const bool last = ip + 1 == machine_.num_instructions();
+
+    std::vector<u64> next;
+    const auto fresh = [&] { next.assign(node.begin(), node.end()); };
+
+    switch (instr.kind) {
+      case Instr::Kind::kMove: {
+        const RegId src = ptr_of(machine_.v_reg[instr.x]);
+        const RegId dst = ptr_of(machine_.v_reg[instr.y]);
+        if (reg_of(src) == 0 || last) {
+          emit.emit_self();
+          break;
+        }
+        fresh();
+        --next[src];
+        ++next[dst];
+        ++next[regs_n_ + machine_.ip];
+        emit.emit(next);
+        break;
+      }
+      case Instr::Kind::kDetect: {
+        if (last) {
+          emit.emit_self();
+          break;
+        }
+        const RegId src = ptr_of(machine_.v_reg[instr.x]);
+        fresh();
+        next[regs_n_ + machine_.cf] = 0;
+        ++next[regs_n_ + machine_.ip];
+        emit.emit(next);
+        if (reg_of(src) > 0) {
+          fresh();
+          next[regs_n_ + machine_.cf] = 1;
+          ++next[regs_n_ + machine_.ip];
+          emit.emit(next);
+        }
+        break;
+      }
+      case Instr::Kind::kAssign: {
+        const auto mapped = instr.map(ptr_of(instr.source));
+        if (!mapped)
+          throw std::logic_error("decide_machine: assign map not covering");
+        if (instr.target == machine_.ip) {
+          fresh();
+          next[regs_n_ + machine_.ip] = *mapped;
+          emit.emit(next);
+        } else if (last) {
+          emit.emit_self();
+        } else {
+          fresh();
+          next[regs_n_ + instr.target] = *mapped;
+          ++next[regs_n_ + machine_.ip];
+          emit.emit(next);
+        }
+        break;
+      }
+    }
   }
+
+ private:
+  const Machine& machine_;
+  std::size_t regs_n_;
 };
 
 }  // namespace
@@ -114,143 +185,38 @@ MachineDecision decide_machine(const Machine& machine,
                                const std::vector<std::uint64_t>& initial_regs,
                                const MachineExploreLimits& limits) {
   const std::size_t regs_n = machine.num_registers();
-  const std::size_t ptrs_n = machine.num_pointers();
   const MachineState start = initial_state(machine, initial_regs);
 
-  std::unordered_map<std::vector<u64>, u32, VecHash> ids;
-  std::vector<const std::vector<u64>*> nodes;
-  std::vector<std::vector<u32>> successors;
+  std::vector<u64> root;
+  root.reserve(regs_n + machine.num_pointers());
+  root.insert(root.end(), start.regs.begin(), start.regs.end());
+  for (const u32 p : start.ptrs) root.push_back(p);
 
-  auto encode = [&](const MachineState& state) {
-    std::vector<u64> node;
-    node.reserve(regs_n + ptrs_n);
-    node.insert(node.end(), state.regs.begin(), state.regs.end());
-    for (u32 p : state.ptrs) node.push_back(p);
-    return node;
-  };
-  auto intern = [&](std::vector<u64> node) {
-    auto [it, inserted] =
-        ids.try_emplace(std::move(node), static_cast<u32>(nodes.size()));
-    if (inserted) {
-      nodes.push_back(&it->first);
-      successors.emplace_back();
-    }
-    return it->second;
-  };
-
-  intern(encode(start));
+  verify::KernelOptions options;
+  options.max_nodes = limits.max_nodes;
+  options.threads = limits.threads;
+  const MachineDomain domain(machine);
+  verify::Kernel<MachineDomain> kernel(domain, options);
+  const std::vector<std::vector<u64>> roots = {std::move(root)};
+  const verify::KernelStats& stats = kernel.run(roots);
 
   MachineDecision result;
-  for (u32 id = 0; id < nodes.size(); ++id) {
-    if (nodes.size() > limits.max_nodes) {
-      result.verdict = MachineDecision::Verdict::kLimit;
-      result.explored_nodes = nodes.size();
-      return result;
-    }
-    // Decode (copy: intern may rehash).
-    const std::vector<u64> node = *nodes[id];
-    auto reg_of = [&](RegId r) { return node[r]; };
-    auto ptr_of = [&](PtrId p) { return static_cast<u32>(node[regs_n + p]); };
-
-    const u32 ip = ptr_of(machine.ip);
-    const Instr& instr = machine.instrs[ip];
-    const bool last = ip + 1 == machine.num_instructions();
-
-    // NB: intern() may reallocate `successors`; never hold a reference to
-    // successors[id] across it. Collect locally, then assign.
-    std::vector<u32> succs;
-    auto push_succ = [&](std::vector<u64> next) {
-      succs.push_back(intern(std::move(next)));
-    };
-    auto hang = [&] { succs.push_back(id); };
-
-    switch (instr.kind) {
-      case Instr::Kind::kMove: {
-        const RegId src = ptr_of(machine.v_reg[instr.x]);
-        const RegId dst = ptr_of(machine.v_reg[instr.y]);
-        if (reg_of(src) == 0 || last) {
-          hang();
-          break;
-        }
-        std::vector<u64> next = node;
-        --next[src];
-        ++next[dst];
-        ++next[regs_n + machine.ip];
-        push_succ(std::move(next));
-        break;
-      }
-      case Instr::Kind::kDetect: {
-        if (last) {
-          hang();
-          break;
-        }
-        const RegId src = ptr_of(machine.v_reg[instr.x]);
-        {
-          std::vector<u64> next = node;
-          next[regs_n + machine.cf] = 0;
-          ++next[regs_n + machine.ip];
-          push_succ(std::move(next));
-        }
-        if (reg_of(src) > 0) {
-          std::vector<u64> next = node;
-          next[regs_n + machine.cf] = 1;
-          ++next[regs_n + machine.ip];
-          push_succ(std::move(next));
-        }
-        break;
-      }
-      case Instr::Kind::kAssign: {
-        const auto mapped = instr.map(ptr_of(instr.source));
-        if (!mapped)
-          throw std::logic_error("decide_machine: assign map not covering");
-        if (instr.target == machine.ip) {
-          std::vector<u64> next = node;
-          next[regs_n + machine.ip] = *mapped;
-          push_succ(std::move(next));
-        } else if (last) {
-          hang();
-        } else {
-          std::vector<u64> next = node;
-          next[regs_n + instr.target] = *mapped;
-          ++next[regs_n + machine.ip];
-          push_succ(std::move(next));
-        }
-        break;
-      }
-    }
-    std::sort(succs.begin(), succs.end());
-    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
-    successors[id] = std::move(succs);
+  result.explored_nodes = stats.nodes;
+  if (!stats.complete) {
+    result.verdict = MachineDecision::Verdict::kLimit;
+    return result;
   }
 
-  const support::SccResult scc = support::tarjan_scc(successors);
-  const std::vector<std::uint8_t> is_bottom = scc.bottom(successors);
-  std::vector<std::uint8_t> saw_true(scc.scc_count, 0);
-  std::vector<std::uint8_t> saw_false(scc.scc_count, 0);
-  for (u32 id = 0; id < nodes.size(); ++id) {
-    const u32 component = scc.scc_of[id];
-    if (!is_bottom[component]) continue;
-    const bool of = (*nodes[id])[regs_n + machine.of] != 0;
-    (of ? saw_true : saw_false)[component] = 1;
-  }
-  bool any_true = false, any_false = false, any_mixed = false;
-  for (u32 component = 0; component < scc.scc_count; ++component) {
-    if (!is_bottom[component]) continue;
-    const bool t = saw_true[component];
-    const bool f = saw_false[component];
-    if (t && f)
-      any_mixed = true;
-    else if (t)
-      any_true = true;
-    else if (f)
-      any_false = true;
-  }
-
-  result.explored_nodes = nodes.size();
+  const verify::ConsensusReport report = verify::classify_bottom(
+      kernel.analyse(), kernel.num_nodes(), [&](u32 id) {
+        const bool of = kernel.state(id)[regs_n + machine.of] != 0;
+        return of ? verify::NodeOutput::kTrue : verify::NodeOutput::kFalse;
+      });
   using Verdict = MachineDecision::Verdict;
-  if (any_mixed || (any_true && any_false))
+  if (report.any_mixed_bscc ||
+      (report.any_true_bscc && report.any_false_bscc))
     result.verdict = Verdict::kDoesNotStabilise;
-  else if (any_true)
+  else if (report.any_true_bscc)
     result.verdict = Verdict::kStabilisesTrue;
   else
     result.verdict = Verdict::kStabilisesFalse;

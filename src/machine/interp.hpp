@@ -82,6 +82,9 @@ struct MachineDecision {
 
 struct MachineExploreLimits {
   std::uint64_t max_nodes = 2'000'000;
+  /// Worker threads for frontier expansion (0 = hardware concurrency).
+  /// Results are identical at every thread count (DESIGN.md S22).
+  unsigned threads = 1;
 };
 
 MachineDecision decide_machine(const Machine& machine,

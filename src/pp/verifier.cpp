@@ -1,187 +1,146 @@
 #include "pp/verifier.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "support/hash.hpp"
-#include "support/scc.hpp"
+#include "analysis/reachability.hpp"
+#include "verify/kernel.hpp"
 
 namespace ppde::pp {
 
 namespace {
 
-/// Sparse configuration: sorted (state, count) pairs. Much smaller than the
-/// dense vector for compiler-produced protocols, where only ~|F| + a few
-/// register states are occupied out of hundreds.
-using Sparse = std::vector<std::pair<State, std::uint32_t>>;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
 
-Sparse to_sparse(const Config& config) {
-  Sparse sparse;
+// Sparse configuration encoding for the kernel: one word per occupied
+// state, (state << 32) | count, sorted by state. Much smaller than the
+// dense count vector for compiler-produced protocols, where only ~|F| + a
+// few register states are occupied out of hundreds.
+constexpr u64 encode(State q, u32 count) {
+  return (static_cast<u64>(q) << 32) | count;
+}
+constexpr State state_of(u64 word) { return static_cast<State>(word >> 32); }
+constexpr u32 count_of(u64 word) { return static_cast<u32>(word); }
+
+std::vector<u64> to_sparse(const Config& config) {
+  std::vector<u64> sparse;
   for (State q = 0; q < config.num_states(); ++q)
-    if (config[q] != 0) sparse.emplace_back(q, config[q]);
+    if (config[q] != 0) sparse.push_back(encode(q, config[q]));
   return sparse;
 }
 
-Config to_dense(const Sparse& sparse, std::size_t num_states) {
+Config to_dense(std::span<const u64> sparse, std::size_t num_states) {
   Config config(num_states);
-  for (const auto& [q, count] : sparse) config.add(q, count);
+  for (const u64 word : sparse) config.add(state_of(word), count_of(word));
   return config;
 }
 
-struct SparseHash {
-  std::uint64_t operator()(const Sparse& sparse) const {
-    std::uint64_t h = 0x51ed270b4d2f9c11ULL;
-    for (const auto& [q, count] : sparse) {
-      h = support::hash_combine(h, q);
-      h = support::hash_combine(h, count);
+/// Successor generator over sparse configurations: iterate over ordered
+/// pairs of *present* states and apply each enabled transition. The pair
+/// (q, q) needs at least two agents in q.
+class ConfigDomain {
+ public:
+  explicit ConfigDomain(const Protocol& protocol) : protocol_(protocol) {}
+
+  void expand(std::span<const u64> sparse, verify::Emitter& emit) const {
+    std::vector<u64> scratch;
+    for (const u64 word_q : sparse) {
+      const State q = state_of(word_q);
+      for (const u64 word_r : sparse) {
+        const State r = state_of(word_r);
+        if (q == r && count_of(word_q) < 2) continue;
+        for (const u32 index : protocol_.transitions_for(q, r)) {
+          const Transition& t = protocol_.transitions()[index];
+          scratch.assign(sparse.begin(), sparse.end());
+          adjust(scratch, t.q, -1);
+          adjust(scratch, t.r, -1);
+          adjust(scratch, t.q2, +1);
+          adjust(scratch, t.r2, +1);
+          emit.emit(scratch);
+        }
+      }
     }
-    return h;
   }
+
+ private:
+  static void adjust(std::vector<u64>& sparse, State q, std::int32_t delta) {
+    const auto it = std::lower_bound(
+        sparse.begin(), sparse.end(), q,
+        [](u64 word, State state) { return state_of(word) < state; });
+    if (it != sparse.end() && state_of(*it) == q) {
+      const u32 count = static_cast<u32>(
+          static_cast<std::int64_t>(count_of(*it)) + delta);
+      if (count == 0)
+        sparse.erase(it);
+      else
+        *it = encode(q, count);
+    } else {
+      sparse.insert(it, encode(q, static_cast<u32>(delta)));
+    }
+  }
+
+  const Protocol& protocol_;
 };
 
 /// Outputs of a sparse configuration, mirroring Config::output; in witness
 /// mode the output is simply "some accepting agent present".
-Config::Output sparse_output(const Protocol& protocol, const Sparse& sparse,
-                             bool witness_mode) {
+verify::NodeOutput sparse_output(const Protocol& protocol,
+                                 std::span<const u64> sparse,
+                                 bool witness_mode) {
   bool any_accepting = false;
   bool any_rejecting = false;
-  for (const auto& [q, count] : sparse) {
-    (void)count;
-    (protocol.is_accepting(q) ? any_accepting : any_rejecting) = true;
+  for (const u64 word : sparse) {
+    (protocol.is_accepting(state_of(word)) ? any_accepting : any_rejecting) =
+        true;
     if (!witness_mode && any_accepting && any_rejecting)
-      return Config::Output::kUndefined;
+      return verify::NodeOutput::kMixed;
   }
-  return any_accepting ? Config::Output::kTrue : Config::Output::kFalse;
+  return any_accepting ? verify::NodeOutput::kTrue
+                       : verify::NodeOutput::kFalse;
 }
 
-class Exploration {
- public:
-  Exploration(const Protocol& protocol, const VerifierOptions& options)
-      : protocol_(protocol), options_(options) {}
+VerificationResult verify_on(const Protocol& protocol, const Config& initial,
+                             const VerifierOptions& options) {
+  verify::KernelOptions kernel_options;
+  kernel_options.max_nodes = options.max_configs;
+  kernel_options.max_edges = options.max_edges;
+  kernel_options.max_bytes = options.max_bytes;
+  kernel_options.threads = options.threads;
 
-  /// Enumerate all configurations reachable from `initial`; returns false if
-  /// the resource limit was hit.
-  bool explore(const Config& initial) {
-    intern(to_sparse(initial));
-    for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
-      if (nodes_.size() > options_.max_configs) return false;
-      expand(id);
-    }
-    return true;
-  }
+  const ConfigDomain domain(protocol);
+  verify::Kernel<ConfigDomain> kernel(domain, kernel_options);
+  const std::vector<std::vector<u64>> roots = {to_sparse(initial)};
+  const verify::KernelStats& stats = kernel.run(roots);
 
-  VerificationResult analyse() {
-    VerificationResult result;
-    result.explored_configs = nodes_.size();
-    result.explored_edges = edge_count_;
-    const support::SccResult scc = support::tarjan_scc(successors_);
-    const std::vector<std::uint32_t>& scc_of_ = scc.scc_of;
-    const std::uint32_t scc_count_ = scc.scc_count;
-    result.num_sccs = scc_count_;
-    const std::vector<std::uint8_t> is_bottom = scc.bottom(successors_);
-
-    // Verdict: all bottom SCCs must be output-constant and agree.
-    bool seen_true = false;
-    bool seen_false = false;
-    std::optional<std::uint32_t> offending;
-    std::vector<std::uint8_t> scc_seen(scc_count_, 0);
-    for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
-      const std::uint32_t scc = scc_of_[id];
-      if (!is_bottom[scc]) continue;
-      if (!scc_seen[scc]) {
-        scc_seen[scc] = 1;
-        ++result.num_bottom_sccs;
-      }
-      switch (sparse_output(protocol_, *nodes_[id], options_.witness_mode)) {
-        case Config::Output::kTrue:
-          seen_true = true;
-          break;
-        case Config::Output::kFalse:
-          seen_false = true;
-          break;
-        case Config::Output::kUndefined:
-          seen_true = seen_false = true;  // BSCC not output-constant
-          break;
-      }
-      if (seen_true && seen_false && !offending) offending = id;
-    }
-
-    using Verdict = VerificationResult::Verdict;
-    if (seen_true && seen_false) {
-      result.verdict = Verdict::kDoesNotStabilise;
-      result.counterexample =
-          to_dense(*nodes_[*offending], protocol_.num_states());
-    } else if (seen_true) {
-      result.verdict = Verdict::kStabilisesTrue;
-    } else {
-      result.verdict = Verdict::kStabilisesFalse;
-    }
+  VerificationResult result;
+  result.explored_configs = stats.nodes;
+  result.explored_edges = stats.edges;
+  if (!stats.complete) {
+    result.verdict = VerificationResult::Verdict::kResourceLimit;
     return result;
   }
 
- private:
-  std::uint32_t intern(Sparse sparse) {
-    auto [it, inserted] =
-        ids_.try_emplace(std::move(sparse), static_cast<std::uint32_t>(
-                                                nodes_.size()));
-    if (inserted) {
-      nodes_.push_back(&it->first);
-      successors_.emplace_back();
-    }
-    return it->second;
-  }
+  const verify::SccAnalysis analysis = kernel.analyse();
+  const verify::ConsensusReport report = verify::classify_bottom(
+      analysis, kernel.num_nodes(), [&](u32 id) {
+        return sparse_output(protocol, kernel.state(id),
+                             options.witness_mode);
+      });
+  result.num_sccs = report.num_sccs;
+  result.num_bottom_sccs = report.num_bottom_sccs;
 
-  void expand(std::uint32_t id) {
-    // Iterate over ordered pairs of *present* states; apply each enabled
-    // transition. The pair (q, q) needs at least two agents in q.
-    const Sparse& sparse = *nodes_[id];
-    std::vector<std::uint32_t> succs;
-    for (const auto& [q, count_q] : sparse) {
-      for (const auto& [r, count_r] : sparse) {
-        if (q == r && count_q < 2) continue;
-        (void)count_r;
-        for (std::uint32_t index : protocol_.transitions_for(q, r)) {
-          const Transition& t = protocol_.transitions()[index];
-          succs.push_back(intern(apply_sparse(sparse, t)));
-        }
-      }
-    }
-    std::sort(succs.begin(), succs.end());
-    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
-    edge_count_ += succs.size();
-    successors_[id] = std::move(succs);
+  using Verdict = VerificationResult::Verdict;
+  if (report.aggregate_true && report.aggregate_false) {
+    result.verdict = Verdict::kDoesNotStabilise;
+    result.counterexample =
+        to_dense(kernel.state(*report.offending_node), protocol.num_states());
+  } else if (report.aggregate_true) {
+    result.verdict = Verdict::kStabilisesTrue;
+  } else {
+    result.verdict = Verdict::kStabilisesFalse;
   }
-
-  static Sparse apply_sparse(const Sparse& sparse, const Transition& t) {
-    // Small fixed-size delta over a sorted sparse vector.
-    Sparse result = sparse;
-    auto adjust = [&result](State q, std::int32_t delta) {
-      auto it = std::lower_bound(
-          result.begin(), result.end(), q,
-          [](const auto& entry, State state) { return entry.first < state; });
-      if (it != result.end() && it->first == q) {
-        it->second = static_cast<std::uint32_t>(
-            static_cast<std::int64_t>(it->second) + delta);
-        if (it->second == 0) result.erase(it);
-      } else {
-        result.insert(it, {q, static_cast<std::uint32_t>(delta)});
-      }
-    };
-    adjust(t.q, -1);
-    adjust(t.r, -1);
-    adjust(t.q2, +1);
-    adjust(t.r2, +1);
-    return result;
-  }
-
-  const Protocol& protocol_;
-  const VerifierOptions& options_;
-  std::unordered_map<Sparse, std::uint32_t, SparseHash> ids_;
-  std::vector<const Sparse*> nodes_;
-  std::vector<std::vector<std::uint32_t>> successors_;
-  std::uint64_t edge_count_ = 0;
-};
+  return result;
+}
 
 }  // namespace
 
@@ -192,13 +151,28 @@ Verifier::Verifier(const Protocol& protocol) : protocol_(protocol) {
 
 VerificationResult Verifier::verify(const Config& initial,
                                     const VerifierOptions& options) const {
-  Exploration exploration(protocol_, options);
-  if (!exploration.explore(initial)) {
-    VerificationResult result;
-    result.verdict = VerificationResult::Verdict::kResourceLimit;
-    return result;
+  if (!options.prune) return verify_on(protocol_, initial, options);
+
+  // Explore the pruned state space directly: states no run can occupy are
+  // dropped up front (with every transition touching one), so expansions
+  // scan a smaller transition relation. The reachable configuration graph
+  // is isomorphic to the unpruned one — every state occupied by a
+  // reachable configuration is occupiable by definition — so the verdict
+  // and all statistics are unchanged; only a counterexample needs mapping
+  // back into the original state space.
+  const analysis::PrunedProtocol pruned =
+      analysis::prune_protocol(protocol_, initial);
+  VerificationResult result = verify_on(pruned.protocol, pruned.initial,
+                                        options);
+  if (result.counterexample) {
+    Config original(protocol_.num_states());
+    const Config& reduced = *result.counterexample;
+    for (State q = 0; q < reduced.num_states(); ++q)
+      if (reduced[q] != 0)
+        original.add(protocol_.state(pruned.protocol.name(q)), reduced[q]);
+    result.counterexample = std::move(original);
   }
-  return exploration.analyse();
+  return result;
 }
 
 std::string to_string(VerificationResult::Verdict verdict) {

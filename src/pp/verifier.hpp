@@ -6,10 +6,11 @@
 // *every* fair run from C0 stabilises to b — iff every bottom SCC reachable
 // from C0 consists solely of configurations with output b. This module
 // enumerates the reachable configuration graph (configurations of a fixed
-// population size form a finite set), runs Tarjan's SCC algorithm, and
-// checks exactly that criterion. Unlike simulation it certifies the
-// universally-quantified fair-run property, which is what the paper's
-// lemmas and theorems claim.
+// population size form a finite set) on the shared verification kernel
+// (src/verify, DESIGN.md S22) — optionally in parallel, with results
+// independent of the thread count — and checks exactly that criterion.
+// Unlike simulation it certifies the universally-quantified fair-run
+// property, which is what the paper's lemmas and theorems claim.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +31,19 @@ struct VerifierOptions {
   /// verify pre-broadcast conversions, where acceptance is witnessed by the
   /// OF pointer agent alone.
   bool witness_mode = false;
+  /// Abort with kResourceLimit once this many edges are recorded.
+  std::uint64_t max_edges = UINT64_MAX;
+  /// Abort with kResourceLimit once the configuration store exceeds this
+  /// many bytes.
+  std::uint64_t max_bytes = UINT64_MAX;
+  /// Worker threads for frontier expansion (0 = hardware concurrency).
+  /// Results are identical at every thread count.
+  unsigned threads = 1;
+  /// Drop states no run can occupy (analysis::prune_protocol) before
+  /// exploring. The verdict and all graph statistics are unchanged — the
+  /// reachable configuration graphs are isomorphic — but each expansion
+  /// scans a smaller transition relation.
+  bool prune = false;
 };
 
 struct VerificationResult {
@@ -41,6 +55,8 @@ struct VerificationResult {
   };
 
   Verdict verdict = Verdict::kResourceLimit;
+  /// Explored counts. Populated also on kResourceLimit (partial result):
+  /// how far exploration got before the budget tripped.
   std::uint64_t explored_configs = 0;
   std::uint64_t explored_edges = 0;
   std::uint64_t num_sccs = 0;

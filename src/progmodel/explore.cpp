@@ -1,11 +1,10 @@
 #include "progmodel/explore.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "support/hash.hpp"
-#include "support/scc.hpp"
+#include "verify/kernel.hpp"
 
 namespace ppde::progmodel {
 
@@ -16,298 +15,181 @@ using u64 = std::uint64_t;
 
 // Node encoding: [regs (R entries), meta, stack...] with
 // meta = pc | cf << 32 | of << 33.
-struct VecHash {
-  u64 operator()(const std::vector<u64>& v) const {
-    return support::hash_range(v);
-  }
-};
-
 constexpr u64 kCfBit = u64{1} << 32;
 constexpr u64 kOfBit = u64{1} << 33;
 
-enum class Terminal : std::uint8_t { kNone, kReturn, kRestart };
+// Terminal tags (kernel terminal_tag values; see verify::kNoTerminal).
+constexpr u32 kTagRestart = 0;
+constexpr u32 kTagReturnVoid = 1;   ///< ret -1
+constexpr u32 kTagReturnFalse = 2;  ///< ret 0
+constexpr u32 kTagReturnTrue = 3;   ///< ret 1
 
-class Engine {
+constexpr bool is_return_tag(u32 tag) {
+  return tag >= kTagReturnVoid && tag <= kTagReturnTrue;
+}
+constexpr int ret_of_tag(u32 tag) {
+  return tag == kTagReturnVoid ? -1 : (tag == kTagReturnFalse ? 0 : 1);
+}
+constexpr u32 tag_of_ret(int ret) {
+  return ret < 0 ? kTagReturnVoid
+                 : (ret == 0 ? kTagReturnFalse : kTagReturnTrue);
+}
+
+enum class Mode { kPost, kMain, kDecide };
+
+/// Successor generator over flattened-program nodes for the verification
+/// kernel. Stateless apart from the blocked-move flag, so concurrent
+/// expansion from the kernel's wave workers is safe.
+class ProgramDomain {
  public:
-  enum class Mode { kPost, kMain, kDecide };
-
-  Engine(const FlatProgram& flat, Mode mode, const ExploreLimits& limits)
-      : flat_(flat), mode_(mode), limits_(limits) {}
-
-  /// Returns false if the node limit was hit.
-  bool explore(const std::vector<u64>& regs, u32 entry_pc) {
-    if (regs.size() != flat_.num_registers)
-      throw std::invalid_argument("explore: wrong number of registers");
-    total_ = 0;
-    for (u64 r : regs) total_ += r;
-    if (mode_ == Mode::kDecide)
-      compositions_ = all_compositions(total_, flat_.num_registers);
-
-    std::vector<u64> start = regs;
-    start.push_back(entry_pc);  // meta: cf = of = false
-    intern(std::move(start));
-
-    for (u32 id = 0; id < nodes_.size(); ++id) {
-      if (nodes_.size() > limits_.max_nodes) return false;
-      expand(id);
-    }
-    return true;
+  ProgramDomain(const FlatProgram& flat, Mode mode, u64 total)
+      : flat_(flat), mode_(mode) {
+    if (mode == Mode::kDecide)
+      compositions_ = all_compositions(total, flat.num_registers);
   }
 
-  PostResult finish_post() {
-    PostResult result;
-    result.explored_nodes = nodes_.size();
-    result.can_hang = can_hang_;
-    for (u32 id = 0; id < nodes_.size(); ++id) {
-      if (terminal_[id] == Terminal::kRestart) result.can_restart = true;
-      if (terminal_[id] == Terminal::kReturn) {
-        PostResult::Outcome outcome;
-        const std::vector<u64>& node = *nodes_[id];
-        outcome.regs.assign(node.begin(), node.begin() + flat_.num_registers);
-        outcome.ret = return_value_[id];
-        if (std::find(result.outcomes.begin(), result.outcomes.end(),
-                      outcome) == result.outcomes.end())
-          result.outcomes.push_back(std::move(outcome));
-      }
-    }
-    compute_scc();
-    result.can_diverge = has_nonterminal_bscc();
-    return result;
+  bool can_hang() const {
+    return can_hang_.load(std::memory_order_relaxed);
   }
 
-  MainAnalysis finish_main() {
-    MainAnalysis result;
-    result.explored_nodes = nodes_.size();
-    for (u32 id = 0; id < nodes_.size(); ++id)
-      if (terminal_[id] == Terminal::kRestart) result.can_restart = true;
-    compute_scc();
-    classify_bsccs([&](bool saw_true, bool saw_false) {
-      if (saw_true && saw_false)
-        result.has_mixed_bscc = true;
-      else if (saw_true)
-        result.may_stabilise_true = true;
-      else
-        result.may_stabilise_false = true;
-    });
-    return result;
-  }
-
-  DecisionResult finish_decide() {
-    DecisionResult result;
-    result.explored_nodes = nodes_.size();
-    compute_scc();
-    bool any_true = false, any_false = false, any_mixed = false;
-    classify_bsccs([&](bool saw_true, bool saw_false) {
-      if (saw_true && saw_false)
-        any_mixed = true;
-      else if (saw_true)
-        any_true = true;
-      else
-        any_false = true;
-    });
-    using Verdict = DecisionResult::Verdict;
-    if (any_mixed || (any_true && any_false))
-      result.verdict = Verdict::kDoesNotStabilise;
-    else if (any_true)
-      result.verdict = Verdict::kStabilisesTrue;
-    else if (any_false)
-      result.verdict = Verdict::kStabilisesFalse;
-    else
-      result.verdict = Verdict::kDoesNotStabilise;  // no BSCC: impossible
-    return result;
-  }
-
- private:
-  u32 intern(std::vector<u64> node) {
-    auto [it, inserted] =
-        ids_.try_emplace(std::move(node), static_cast<u32>(nodes_.size()));
-    if (inserted) {
-      nodes_.push_back(&it->first);
-      successors_.emplace_back();
-      terminal_.push_back(Terminal::kNone);
-      return_value_.push_back(-1);
-    }
-    return it->second;
-  }
-
-  void expand(u32 id) {
-    // Decode. Copy the node: intern() may rehash the map while we hold it.
-    const std::vector<u64> node = *nodes_[id];
+  void expand(std::span<const u64> node, verify::Emitter& emit) const {
     const u32 regs_n = flat_.num_registers;
     const u64 meta = node[regs_n];
     const u32 pc = static_cast<u32>(meta & 0xffffffffu);
     const bool cf = (meta & kCfBit) != 0;
     const bool of = (meta & kOfBit) != 0;
 
-    auto make = [&](u32 new_pc, bool new_cf, bool new_of,
-                    const std::vector<u64>* new_regs,
-                    int stack_delta /* -1 pop, 0, +1 push */,
-                    u32 push_value) {
-      std::vector<u64> next;
-      next.reserve(node.size() + 1);
+    std::vector<u64> scratch;
+    const auto make = [&](u32 new_pc, bool new_cf, bool new_of,
+                          const u64* new_regs,
+                          int stack_delta /* -1 pop, 0, +1 push */,
+                          u32 push_value) {
+      scratch.clear();
+      scratch.reserve(node.size() + 1);
       if (new_regs != nullptr)
-        next.insert(next.end(), new_regs->begin(), new_regs->end());
+        scratch.insert(scratch.end(), new_regs, new_regs + regs_n);
       else
-        next.insert(next.end(), node.begin(), node.begin() + regs_n);
-      next.push_back(u64{new_pc} | (new_cf ? kCfBit : 0) |
-                     (new_of ? kOfBit : 0));
+        scratch.insert(scratch.end(), node.begin(), node.begin() + regs_n);
+      scratch.push_back(u64{new_pc} | (new_cf ? kCfBit : 0) |
+                        (new_of ? kOfBit : 0));
       const std::size_t stack_begin = regs_n + 1;
-      const std::size_t stack_end = node.size();
-      std::size_t copy_end = stack_end;
+      std::size_t copy_end = node.size();
       if (stack_delta < 0) --copy_end;
-      next.insert(next.end(), node.begin() + stack_begin,
-                  node.begin() + copy_end);
-      if (stack_delta > 0) next.push_back(push_value);
-      return intern(std::move(next));
+      scratch.insert(scratch.end(), node.begin() + stack_begin,
+                     node.begin() + copy_end);
+      if (stack_delta > 0) scratch.push_back(push_value);
+      emit.emit(scratch);
     };
 
-    std::vector<u32> succs;
     const FlatOp& op = flat_.ops[pc];
     switch (op.kind) {
       case FlatOp::Kind::kMove: {
         if (node[op.a] == 0) {
-          can_hang_ = true;
-          succs.push_back(id);  // blocked: self-loop
+          can_hang_.store(true, std::memory_order_relaxed);
+          emit.emit_self();  // blocked: self-loop
           break;
         }
         std::vector<u64> regs(node.begin(), node.begin() + regs_n);
         --regs[op.a];
         ++regs[op.b];
-        succs.push_back(make(pc + 1, cf, of, &regs, 0, 0));
+        make(pc + 1, cf, of, regs.data(), 0, 0);
         break;
       }
       case FlatOp::Kind::kSwap: {
         std::vector<u64> regs(node.begin(), node.begin() + regs_n);
         std::swap(regs[op.a], regs[op.b]);
-        succs.push_back(make(pc + 1, cf, of, &regs, 0, 0));
+        make(pc + 1, cf, of, regs.data(), 0, 0);
         break;
       }
       case FlatOp::Kind::kSetOF:
-        succs.push_back(make(pc + 1, cf, op.a != 0, nullptr, 0, 0));
+        make(pc + 1, cf, op.a != 0, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kRestart:
         if (mode_ == Mode::kDecide) {
           // Expand to every fresh initial configuration with the same total.
           for (const std::vector<u64>& regs : compositions_) {
-            std::vector<u64> next = regs;
-            next.push_back(u64{0} | (of ? kOfBit : 0));  // pc=0, cf=false
-            succs.push_back(intern(std::move(next)));
+            scratch.assign(regs.begin(), regs.end());
+            scratch.push_back(u64{0} | (of ? kOfBit : 0));  // pc=0, cf=false
+            emit.emit(scratch);
           }
         } else {
-          terminal_[id] = Terminal::kRestart;
+          emit.set_terminal(kTagRestart);
         }
         break;
       case FlatOp::Kind::kDetect:
-        succs.push_back(make(pc + 1, false, of, nullptr, 0, 0));
-        if (node[op.a] > 0)
-          succs.push_back(make(pc + 1, true, of, nullptr, 0, 0));
+        make(pc + 1, false, of, nullptr, 0, 0);
+        if (node[op.a] > 0) make(pc + 1, true, of, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kSetCF:
-        succs.push_back(make(pc + 1, op.a != 0, of, nullptr, 0, 0));
+        make(pc + 1, op.a != 0, of, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kNotCF:
-        succs.push_back(make(pc + 1, !cf, of, nullptr, 0, 0));
+        make(pc + 1, !cf, of, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kJump:
-        succs.push_back(make(op.a, cf, of, nullptr, 0, 0));
+        make(op.a, cf, of, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kBranch:
-        succs.push_back(make(cf ? op.a : op.b, cf, of, nullptr, 0, 0));
+        make(cf ? op.a : op.b, cf, of, nullptr, 0, 0);
         break;
       case FlatOp::Kind::kCall:
-        succs.push_back(
-            make(flat_.proc_entry[op.a], cf, of, nullptr, +1, pc + 1));
+        make(flat_.proc_entry[op.a], cf, of, nullptr, +1, pc + 1);
         break;
       case FlatOp::Kind::kReturn: {
         const bool new_cf = op.a == 2 ? cf : op.a != 0;
         const bool stack_empty = node.size() == regs_n + 1;
         if (stack_empty) {
           if (mode_ == Mode::kPost) {
-            terminal_[id] = Terminal::kReturn;
-            return_value_[id] = op.a == 2 ? -1 : static_cast<int>(op.a);
+            emit.set_terminal(tag_of_ret(op.a == 2 ? -1
+                                                   : static_cast<int>(op.a)));
           } else {
-            succs.push_back(make(1 /* halt */, new_cf, of, nullptr, 0, 0));
+            make(1 /* halt */, new_cf, of, nullptr, 0, 0);
           }
         } else {
           const u32 return_pc = static_cast<u32>(node.back());
-          succs.push_back(make(return_pc, new_cf, of, nullptr, -1, 0));
+          make(return_pc, new_cf, of, nullptr, -1, 0);
         }
         break;
       }
       case FlatOp::Kind::kHalt:
-        succs.push_back(id);
+        emit.emit_self();
         break;
     }
-
-    std::sort(succs.begin(), succs.end());
-    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
-    successors_[id] = std::move(succs);
   }
 
-  void compute_scc() {
-    const support::SccResult scc = support::tarjan_scc(successors_);
-    scc_of_ = scc.scc_of;
-    scc_count_ = scc.scc_count;
-  }
-
-  /// Invoke fn(saw_true, saw_false) once per bottom SCC made of
-  /// non-terminal nodes, with the OF values present in that SCC.
-  template <typename Fn>
-  void classify_bsccs(const Fn& fn) {
-    std::vector<std::uint8_t> is_bottom(scc_count_, 1);
-    for (u32 id = 0; id < nodes_.size(); ++id) {
-      if (terminal_[id] != Terminal::kNone) {
-        is_bottom[scc_of_[id]] = 0;  // terminal events are not stabilisation
-        continue;
-      }
-      for (u32 succ : successors_[id])
-        if (scc_of_[succ] != scc_of_[id]) is_bottom[scc_of_[id]] = 0;
-    }
-    std::vector<std::uint8_t> saw_true(scc_count_, 0);
-    std::vector<std::uint8_t> saw_false(scc_count_, 0);
-    for (u32 id = 0; id < nodes_.size(); ++id) {
-      const u32 scc = scc_of_[id];
-      if (!is_bottom[scc]) continue;
-      const bool of = (((*nodes_[id])[flat_.num_registers]) & kOfBit) != 0;
-      (of ? saw_true : saw_false)[scc] = 1;
-    }
-    for (u32 scc = 0; scc < scc_count_; ++scc)
-      if (is_bottom[scc] && (saw_true[scc] || saw_false[scc]))
-        fn(saw_true[scc] != 0, saw_false[scc] != 0);
-  }
-
-  bool has_nonterminal_bscc() {
-    std::vector<std::uint8_t> is_bottom(scc_count_, 1);
-    std::vector<std::uint8_t> has_nonterminal(scc_count_, 0);
-    for (u32 id = 0; id < nodes_.size(); ++id) {
-      if (terminal_[id] != Terminal::kNone) {
-        is_bottom[scc_of_[id]] = 0;
-        continue;
-      }
-      has_nonterminal[scc_of_[id]] = 1;
-      for (u32 succ : successors_[id])
-        if (scc_of_[succ] != scc_of_[id]) is_bottom[scc_of_[id]] = 0;
-    }
-    for (u32 scc = 0; scc < scc_count_; ++scc)
-      if (is_bottom[scc] && has_nonterminal[scc]) return true;
-    return false;
-  }
-
+ private:
   const FlatProgram& flat_;
   Mode mode_;
-  ExploreLimits limits_;
-  u64 total_ = 0;
   std::vector<std::vector<u64>> compositions_;
-
-  std::unordered_map<std::vector<u64>, u32, VecHash> ids_;
-  std::vector<const std::vector<u64>*> nodes_;
-  std::vector<std::vector<u32>> successors_;
-  std::vector<Terminal> terminal_;
-  std::vector<int> return_value_;
-  std::vector<u32> scc_of_;
-  u32 scc_count_ = 0;
-  bool can_hang_ = false;
+  mutable std::atomic<bool> can_hang_{false};
 };
+
+using ProgramKernel = verify::Kernel<ProgramDomain>;
+
+/// Run the kernel from (regs, entry_pc); throws on malformed input.
+verify::KernelStats explore(ProgramKernel& kernel, const FlatProgram& flat,
+                            const std::vector<u64>& regs, u32 entry_pc) {
+  if (regs.size() != flat.num_registers)
+    throw std::invalid_argument("explore: wrong number of registers");
+  std::vector<u64> start = regs;
+  start.push_back(entry_pc);  // meta: cf = of = false
+  const std::vector<std::vector<u64>> roots = {std::move(start)};
+  return kernel.run(roots);
+}
+
+verify::KernelOptions kernel_options(const ExploreLimits& limits) {
+  verify::KernelOptions options;
+  options.max_nodes = limits.max_nodes;
+  options.threads = limits.threads;
+  return options;
+}
+
+/// OF flag of a node, the output classification all modes share.
+verify::NodeOutput of_output(const ProgramKernel& kernel, u32 regs_n,
+                             u32 id) {
+  const bool of = (kernel.state(id)[regs_n] & kOfBit) != 0;
+  return of ? verify::NodeOutput::kTrue : verify::NodeOutput::kFalse;
+}
 
 }  // namespace
 
@@ -321,37 +203,85 @@ bool PostResult::contains(const std::vector<std::uint64_t>& regs,
 PostResult explore_post(const FlatProgram& flat, ProcId proc,
                         const std::vector<std::uint64_t>& regs,
                         const ExploreLimits& limits) {
-  Engine engine(flat, Engine::Mode::kPost, limits);
-  if (!engine.explore(regs, flat.proc_entry[proc])) {
-    PostResult result;
+  const ProgramDomain domain(flat, Mode::kPost, 0);
+  ProgramKernel kernel(domain, kernel_options(limits));
+  const verify::KernelStats& stats =
+      explore(kernel, flat, regs, flat.proc_entry[proc]);
+  PostResult result;
+  result.explored_nodes = stats.nodes;
+  if (!stats.complete) {
     result.limit_hit = true;
     return result;
   }
-  return engine.finish_post();
+  result.can_hang = domain.can_hang();
+  for (u32 id = 0; id < kernel.num_nodes(); ++id) {
+    const u32 tag = kernel.terminal_tag(id);
+    if (tag == kTagRestart) result.can_restart = true;
+    if (is_return_tag(tag)) {
+      PostResult::Outcome outcome;
+      const std::span<const u64> node = kernel.state(id);
+      outcome.regs.assign(node.begin(), node.begin() + flat.num_registers);
+      outcome.ret = ret_of_tag(tag);
+      if (std::find(result.outcomes.begin(), result.outcomes.end(),
+                    outcome) == result.outcomes.end())
+        result.outcomes.push_back(std::move(outcome));
+    }
+  }
+  result.can_diverge = verify::any_bottom(kernel.analyse());
+  return result;
 }
 
 MainAnalysis analyse_main(const FlatProgram& flat,
                           const std::vector<std::uint64_t>& regs,
                           const ExploreLimits& limits) {
-  Engine engine(flat, Engine::Mode::kMain, limits);
-  if (!engine.explore(regs, 0)) {
-    MainAnalysis result;
+  const ProgramDomain domain(flat, Mode::kMain, 0);
+  ProgramKernel kernel(domain, kernel_options(limits));
+  const verify::KernelStats& stats = explore(kernel, flat, regs, 0);
+  MainAnalysis result;
+  result.explored_nodes = stats.nodes;
+  if (!stats.complete) {
     result.limit_hit = true;
     return result;
   }
-  return engine.finish_main();
+  for (u32 id = 0; id < kernel.num_nodes(); ++id)
+    if (kernel.terminal_tag(id) == kTagRestart) result.can_restart = true;
+  const verify::ConsensusReport report = verify::classify_bottom(
+      kernel.analyse(), kernel.num_nodes(),
+      [&](u32 id) { return of_output(kernel, flat.num_registers, id); });
+  result.has_mixed_bscc = report.any_mixed_bscc;
+  result.may_stabilise_true = report.any_true_bscc;
+  result.may_stabilise_false = report.any_false_bscc;
+  return result;
 }
 
 DecisionResult decide(const FlatProgram& flat,
                       const std::vector<std::uint64_t>& initial_regs,
                       const ExploreLimits& limits) {
-  Engine engine(flat, Engine::Mode::kDecide, limits);
-  if (!engine.explore(initial_regs, 0)) {
-    DecisionResult result;
+  u64 total = 0;
+  for (const u64 r : initial_regs) total += r;
+  const ProgramDomain domain(flat, Mode::kDecide, total);
+  ProgramKernel kernel(domain, kernel_options(limits));
+  const verify::KernelStats& stats = explore(kernel, flat, initial_regs, 0);
+  DecisionResult result;
+  result.explored_nodes = stats.nodes;
+  if (!stats.complete) {
     result.verdict = DecisionResult::Verdict::kLimit;
     return result;
   }
-  return engine.finish_decide();
+  const verify::ConsensusReport report = verify::classify_bottom(
+      kernel.analyse(), kernel.num_nodes(),
+      [&](u32 id) { return of_output(kernel, flat.num_registers, id); });
+  using Verdict = DecisionResult::Verdict;
+  if (report.any_mixed_bscc ||
+      (report.any_true_bscc && report.any_false_bscc))
+    result.verdict = Verdict::kDoesNotStabilise;
+  else if (report.any_true_bscc)
+    result.verdict = Verdict::kStabilisesTrue;
+  else if (report.any_false_bscc)
+    result.verdict = Verdict::kStabilisesFalse;
+  else
+    result.verdict = Verdict::kDoesNotStabilise;  // no BSCC: impossible
+  return result;
 }
 
 std::vector<std::vector<std::uint64_t>> all_compositions(

@@ -33,6 +33,9 @@ namespace ppde::progmodel {
 
 struct ExploreLimits {
   std::uint64_t max_nodes = 2'000'000;
+  /// Worker threads for frontier expansion (0 = hardware concurrency).
+  /// Results are identical at every thread count (DESIGN.md S22).
+  unsigned threads = 1;
 };
 
 /// Result of exhaustively running one procedure (paper: post(C, f)).

@@ -1,0 +1,95 @@
+// Arena-backed sharded state interner for the verification kernel (S22).
+//
+// Every exhaustive explorer in this library maps variable-length encoded
+// states (sparse protocol configurations, program nodes, machine nodes —
+// all sequences of u64 words) to dense u32 node ids. The previous
+// per-layer `unordered_map<vector, u32>` interners paid one heap
+// allocation plus ~48 bytes of map-node overhead per state; this interner
+// stores all state words back to back in one growing arena and keeps only
+// (offset, length, hash) per node, with open-addressing id tables sharded
+// by the high hash bits.
+//
+// Concurrency contract (what the kernel's wave discipline relies on):
+//   * intern() must only be called from one thread at a time (the kernel
+//     calls it from the sequential merge pass of each wave);
+//   * find() and state() are safe to call concurrently with each other
+//     and with nothing else — i.e. during the parallel expansion phase,
+//     when the interner is immutable. They are NOT safe concurrently
+//     with intern().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace ppde::verify {
+
+/// Hash of an encoded state; the seed matches support::hash_range so the
+/// same words hash identically regardless of container type.
+inline std::uint64_t hash_words(std::span<const std::uint64_t> words) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const std::uint64_t w : words) h = support::hash_combine(h, w);
+  return h;
+}
+
+class Interner {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  Interner();
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// The stored words of node `id`. Spans stay valid until the next
+  /// intern() call (the arena may grow).
+  std::span<const std::uint64_t> state(std::uint32_t id) const {
+    const Node& node = nodes_[id];
+    return {arena_.data() + node.offset, node.length};
+  }
+
+  /// Id of `words` if already interned, else kNotFound. Read-only.
+  std::uint32_t find(std::span<const std::uint64_t> words,
+                     std::uint64_t hash) const;
+
+  /// Id of `words`, interning it if new; second = inserted.
+  std::pair<std::uint32_t, bool> intern(std::span<const std::uint64_t> words,
+                                        std::uint64_t hash);
+
+  /// Approximate heap footprint in bytes (arena + node table + shards).
+  std::uint64_t bytes() const;
+
+ private:
+  struct Node {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  struct Shard {
+    /// Open addressing, linear probing; slot holds id + 1, 0 = empty.
+    std::vector<std::uint32_t> slots;
+    std::uint32_t count = 0;
+  };
+  static constexpr unsigned kShardBits = 4;
+  static constexpr unsigned kNumShards = 1u << kShardBits;
+
+  Shard& shard_of(std::uint64_t hash) {
+    return shards_[hash >> (64 - kShardBits)];
+  }
+  const Shard& shard_of(std::uint64_t hash) const {
+    return shards_[hash >> (64 - kShardBits)];
+  }
+  bool equals(std::uint32_t id, std::span<const std::uint64_t> words,
+              std::uint64_t hash) const;
+  void grow(Shard& shard);
+
+  std::vector<std::uint64_t> arena_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint64_t> hashes_;  ///< per node, for probe & resize
+  Shard shards_[kNumShards];
+};
+
+}  // namespace ppde::verify

@@ -10,7 +10,9 @@
 //                                    run a fleet of independent trials on
 //                                    the count+null-skip engine (S21) and
 //                                    report aggregate statistics
-//   ppde verify <n> <m_regs>         exact fair-run verdict from pi(C)
+//   ppde verify <n> <m_regs> [--threads=T] [--max-configs=N] [--max-edges=E]
+//                  [--prune]         exact fair-run verdict from pi(C) on
+//                                    the parallel verification kernel (S22)
 //   ppde decide <n> <m>              program-level exhaustive decision
 //   ppde window <lo> <hi> <m>        decide lo <= m < hi with a Figure-1
 //                                    style program (exhaustive)
@@ -41,6 +43,17 @@ bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
+}
+
+/// Value of `--flag=<u64>` if present, else `fallback`.
+std::uint64_t flag_value(int argc, char** argv, const char* flag,
+                         std::uint64_t fallback) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=')
+      return std::strtoull(argv[i] + flag_len + 1, nullptr, 10);
+  return fallback;
 }
 
 czerner::Construction build(int n, bool equality) {
@@ -115,7 +128,8 @@ int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
   return stats.stabilised == stats.trials ? 0 : 1;
 }
 
-int cmd_verify(int n, std::uint64_t m_regs, bool equality) {
+int cmd_verify(int argc, char** argv, int n, std::uint64_t m_regs,
+               bool equality) {
   const czerner::Construction c = build(n, equality);
   const auto lowered = compile::lower_program(c.program);
   compile::ConversionOptions nb;
@@ -125,7 +139,12 @@ int cmd_verify(int n, std::uint64_t m_regs, bool equality) {
   regs[c.R()] = m_regs;
   pp::VerifierOptions options;
   options.witness_mode = true;
-  options.max_configs = 8'000'000;
+  options.max_configs = flag_value(argc, argv, "--max-configs", 8'000'000);
+  options.max_edges = flag_value(argc, argv, "--max-edges", UINT64_MAX);
+  // Default 0 = all hardware threads; results are thread-count-independent.
+  options.threads = static_cast<unsigned>(
+      flag_value(argc, argv, "--threads", 0));
+  options.prune = has_flag(argc, argv, "--prune");
   const auto verdict =
       pp::Verifier(conv.protocol)
           .verify(conv.pi(machine::initial_state(lowered.machine, regs),
@@ -133,6 +152,9 @@ int cmd_verify(int n, std::uint64_t m_regs, bool equality) {
                   options);
   std::printf("n=%d, m_regs=%llu: %s\n", n, (unsigned long long)m_regs,
               to_string(verdict.verdict).c_str());
+  std::printf("  explored %llu configurations, %llu edges\n",
+              (unsigned long long)verdict.explored_configs,
+              (unsigned long long)verdict.explored_edges);
   return verdict.stabilises() ? 0 : 1;
 }
 
@@ -182,7 +204,11 @@ int usage() {
       "  protocol <n> [--dot]\n"
       "  simulate <n> <extra-agents> [seed]\n"
       "  ensemble <n> <extra-agents> <trials> [threads] [seed]\n"
-      "  verify <n> <m_regs> [--equality]\n"
+      "  verify <n> <m_regs> [--equality] [--threads=T] [--max-configs=N]\n"
+      "         [--max-edges=E] [--prune]\n"
+      "         T=0 (default) uses all hardware threads; the verdict is\n"
+      "         identical at every thread count. --prune drops states no\n"
+      "         run can occupy before exploring.\n"
       "  decide <n> <m> [--equality]\n"
       "  window <lo> <hi> <m>\n");
   return 1;
@@ -239,7 +265,8 @@ int main(int argc, char** argv) {
           argc >= 6 ? static_cast<unsigned>(std::atoi(argv[5])) : 0,
           argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 42);
     if (command == "verify" && argc >= 4)
-      return cmd_verify(n, std::strtoull(argv[3], nullptr, 10), equality);
+      return cmd_verify(argc, argv, n, std::strtoull(argv[3], nullptr, 10),
+                        equality);
     if (command == "decide" && argc >= 4)
       return cmd_decide(n, std::strtoull(argv[3], nullptr, 10), equality);
     if (command == "window" && argc >= 5)
