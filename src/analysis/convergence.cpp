@@ -17,9 +17,16 @@ std::vector<ConvergenceSample> sample_convergence(
     sample.stabilised = result.stabilised;
     sample.output = result.output;
     // Count the interactions up to the *start* of the final consensus — the
-    // window afterwards is measurement overhead, not convergence time.
+    // window afterwards is measurement overhead, not convergence time. The
+    // explicit sentinel check mirrors the CLI's: consensus_since is
+    // kNeverStabilised (~1.8e19) unless the run stabilised, and that value
+    // must never leak into the statistics.
     sample.interactions =
-        result.stabilised ? result.consensus_since : result.interactions;
+        result.stabilised &&
+                result.consensus_since !=
+                    pp::SimulationResult::kNeverStabilised
+            ? result.consensus_since
+            : result.interactions;
     sample.parallel_time = static_cast<double>(sample.interactions) /
                            static_cast<double>(initial.total());
     samples.push_back(sample);

@@ -111,4 +111,61 @@ RobustnessResult sweep_simulated(const pp::Protocol& protocol,
   return result;
 }
 
+smc::Certificate sweep_certified(const pp::Protocol& protocol,
+                                 const pp::Config& base,
+                                 std::uint32_t max_noise,
+                                 const TotalPredicate& predicate,
+                                 const smc::CertifyOptions& options,
+                                 engine::EngineKind kind,
+                                 const std::vector<pp::State>* noise_pool) {
+  std::optional<engine::PairIndex> index;
+  if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
+
+  // Unlike sweep_simulated the trial count is not known up front (the SPRT
+  // decides it), so noise cannot be drawn from one sequential stream.
+  // Instead trial i expands its own noise from its derived seed — still a
+  // pure function of (options.seed, i), hence reproducible at any thread
+  // count and under any budget escalation.
+  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+    support::Rng rng(seed);
+    const auto agents =
+        static_cast<std::uint32_t>(rng.below(max_noise + 1));
+    const pp::Config config =
+        with_noise(base, random_noise(protocol, agents, rng, noise_pool));
+
+    pp::SimulationResult sim;
+    smc::TrialOutcome outcome;
+    // The scheduler continues on the same per-trial stream the noise came
+    // from; distinct trials stay decorrelated by seed derivation.
+    if (kind == engine::EngineKind::kPerAgent) {
+      pp::Simulator simulator(protocol, config, rng());
+      sim = simulator.run_until_stable(options.sim);
+      outcome.metrics = simulator.metrics();
+    } else {
+      engine::CountSimOptions sim_options;
+      sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
+      engine::CountSimulator simulator(protocol, *index, config, rng(),
+                                       sim_options);
+      sim = simulator.run_until_stable(options.sim);
+      outcome.metrics = simulator.metrics();
+    }
+    outcome.stabilised =
+        sim.stabilised &&
+        sim.consensus_since != pp::SimulationResult::kNeverStabilised;
+    outcome.success =
+        outcome.stabilised && sim.output == predicate(config.total());
+    if (outcome.stabilised)
+      outcome.convergence_parallel_time =
+          static_cast<double>(sim.consensus_since) /
+          static_cast<double>(config.total());
+    return outcome;
+  };
+
+  smc::Certificate cert = smc::certify_trials(body, options);
+  cert.protocol_fingerprint = protocol.fingerprint();
+  cert.population = base.total();
+  cert.expected_output = true;  // "correct" is per-trial, vs predicate
+  return cert;
+}
+
 }  // namespace ppde::analysis

@@ -23,6 +23,7 @@
 #include "pp/protocol.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
+#include "smc/certify.hpp"
 #include "support/rng.hpp"
 
 namespace ppde::analysis {
@@ -69,5 +70,22 @@ RobustnessResult sweep_simulated(
     const TotalPredicate& predicate, const pp::SimulationOptions& options,
     std::uint64_t seed, unsigned threads = 1,
     engine::EngineKind engine = engine::EngineKind::kPerAgent);
+
+/// SMC-certified statistical sweep (S23): instead of a fixed trial count,
+/// the sweep runs Wald's SPRT on the statement "a run from base + random
+/// noise stabilises to predicate(total agents) with probability
+/// >= 1 - delta" — the probability is over both the noise draw and the
+/// scheduler. Trial i derives its noise configuration AND its scheduler
+/// seed from derive_trial_seed(options.seed, i), so the certificate (and
+/// its digest) is identical at every thread count. The trial budget cap in
+/// `options` downgrades the verdict to kInconclusive rather than
+/// overstating the evidence. certificate.population reports the *base*
+/// population (each trial adds up to max_noise agents on top).
+smc::Certificate sweep_certified(
+    const pp::Protocol& protocol, const pp::Config& base,
+    std::uint32_t max_noise, const TotalPredicate& predicate,
+    const smc::CertifyOptions& options,
+    engine::EngineKind engine = engine::EngineKind::kPerAgent,
+    const std::vector<pp::State>* noise_pool = nullptr);
 
 }  // namespace ppde::analysis

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/hash.hpp"
+
 namespace ppde::pp {
 
 State Protocol::add_state(std::string name) {
@@ -57,6 +59,20 @@ void Protocol::finalize() {
     pair_index_[pair_key(t.q, t.r)].push_back(i);
   }
   finalized_ = true;
+}
+
+std::uint64_t Protocol::fingerprint() const {
+  std::uint64_t h = support::hash_combine(0x5323u /* "S23" */, names_.size());
+  for (const Transition& t : transitions_) {
+    h = support::hash_combine(h, (static_cast<std::uint64_t>(t.q) << 32) |
+                                     t.r);
+    h = support::hash_combine(h, (static_cast<std::uint64_t>(t.q2) << 32) |
+                                     t.r2);
+  }
+  for (State q : input_states_) h = support::hash_combine(h, q);
+  for (std::size_t q = 0; q < accepting_.size(); ++q)
+    if (accepting_[q]) h = support::hash_combine(h, q);
+  return h;
 }
 
 std::span<const std::uint32_t> Protocol::transitions_for(State q,

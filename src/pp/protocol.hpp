@@ -79,6 +79,12 @@ class Protocol {
   /// Intended for small protocols; emits at most `max_transitions` edges.
   std::string to_dot(std::size_t max_transitions = 500) const;
 
+  /// Stable structural hash of (|Q|, delta, I, O) — state *indices*, not
+  /// names, so two protocols built the same way hash equal regardless of
+  /// diagnostic labels. SMC certificates (S23) embed it so a certificate
+  /// can be matched against the protocol it talks about.
+  std::uint64_t fingerprint() const;
+
  private:
   static std::uint64_t pair_key(State q, State r) {
     return (static_cast<std::uint64_t>(q) << 32) | r;

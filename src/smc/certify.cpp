@@ -1,0 +1,195 @@
+#include "smc/certify.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "engine/count_sim.hpp"
+#include "engine/pool.hpp"
+
+namespace ppde::smc {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kCertified: return "CERTIFIED";
+    case Verdict::kRefuted: return "REFUTED";
+    case Verdict::kInconclusive: return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+SprtOptions CertifyOptions::sprt() const {
+  SprtOptions options;
+  options.p1 = 1.0 - delta;
+  options.p0 = 1.0 - delta - indifference;
+  options.alpha = alpha;
+  options.beta = beta;
+  options.validate();
+  return options;
+}
+
+Certificate certify_trials(const TrialFn& body,
+                           const CertifyOptions& options) {
+  if (options.batch == 0)
+    throw std::invalid_argument("certify_trials: batch must be positive");
+  const auto start_time = std::chrono::steady_clock::now();
+
+  Certificate cert;
+  cert.delta = options.delta;
+  cert.indifference = options.indifference;
+  cert.alpha = options.alpha;
+  cert.beta = options.beta;
+  cert.ci_confidence = options.ci_confidence;
+  cert.seed = options.seed;
+  cert.max_trials = options.max_trials;
+  cert.interaction_budget = options.sim.max_interactions;
+
+  Sprt sprt(options.sprt());
+  QuantileTails tails;
+  engine::RunMetrics totals;
+
+  const unsigned requested =
+      options.threads != 0
+          ? options.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
+      requested, std::max<std::uint64_t>(options.batch, 1)));
+  engine::WorkerPool pool(workers);
+  cert.threads_used = workers;
+
+  // The one outcome buffer the whole certification reuses: per-trial data
+  // never outlives its batch, so memory stays O(batch) no matter how many
+  // trials the SPRT ends up needing.
+  std::vector<TrialOutcome> outcomes(options.batch);
+
+  std::uint64_t next_trial = 0;
+  while (!sprt.decided() && next_trial < options.max_trials) {
+    const std::uint64_t batch =
+        std::min(options.batch, options.max_trials - next_trial);
+    const std::uint64_t base = next_trial;
+    pool.parallel_for(batch, [&](std::uint64_t i) {
+      const std::uint64_t trial = base + i;
+      outcomes[i] = body(trial, engine::derive_trial_seed(options.seed, trial));
+    });
+    // Fold in trial order; stop at the SPRT's decision point so that every
+    // statistic covers exactly the trials the sequential test consumed —
+    // the tail of the last batch ran but is not part of the certificate.
+    for (std::uint64_t i = 0; i < batch && !sprt.decided(); ++i) {
+      const TrialOutcome& outcome = outcomes[i];
+      sprt.update(outcome.success);
+      if (outcome.stabilised) {
+        ++cert.stabilised;
+        if (outcome.success) tails.add(outcome.convergence_parallel_time);
+      }
+      totals.merge(outcome.metrics);
+    }
+    next_trial = base + batch;
+  }
+
+  cert.trials = sprt.trials();
+  cert.successes = sprt.successes();
+  cert.llr = sprt.llr();
+  switch (sprt.decision()) {
+    case Sprt::Decision::kAcceptH1: cert.verdict = Verdict::kCertified; break;
+    case Sprt::Decision::kAcceptH0: cert.verdict = Verdict::kRefuted; break;
+    case Sprt::Decision::kContinue:
+      cert.verdict = Verdict::kInconclusive;
+      break;
+  }
+  cert.interval =
+      clopper_pearson(cert.successes, cert.trials, options.ci_confidence);
+  cert.time_p50 = tails.p50();
+  cert.time_p90 = tails.p90();
+  cert.time_p99 = tails.p99();
+  cert.total_meetings = totals.meetings;
+  cert.total_firings = totals.firings;
+  cert.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return cert;
+}
+
+Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
+                    bool expected_output, const CertifyOptions& options) {
+  // One shared activity index for all count-based trials (read-only after
+  // construction, exactly as in engine::run_ensemble).
+  std::optional<engine::PairIndex> index;
+  if (options.engine != engine::EngineKind::kPerAgent)
+    index.emplace(protocol);
+
+  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+    pp::SimulationResult sim;
+    TrialOutcome outcome;
+    if (options.engine == engine::EngineKind::kPerAgent) {
+      pp::Simulator simulator(protocol, initial, seed);
+      sim = simulator.run_until_stable(options.sim);
+      outcome.metrics = simulator.metrics();
+    } else {
+      engine::CountSimOptions sim_options;
+      sim_options.null_skip =
+          options.engine == engine::EngineKind::kCountNullSkip;
+      engine::CountSimulator simulator(protocol, *index, initial, seed,
+                                       sim_options);
+      sim = simulator.run_until_stable(options.sim);
+      outcome.metrics = simulator.metrics();
+    }
+    outcome.stabilised =
+        sim.stabilised &&
+        sim.consensus_since != pp::SimulationResult::kNeverStabilised;
+    outcome.success = outcome.stabilised && sim.output == expected_output;
+    if (outcome.stabilised)
+      outcome.convergence_parallel_time =
+          static_cast<double>(sim.consensus_since) /
+          static_cast<double>(initial.total());
+    return outcome;
+  };
+
+  Certificate cert = certify_trials(body, options);
+  cert.protocol_fingerprint = protocol.fingerprint();
+  cert.population = initial.total();
+  cert.expected_output = expected_output;
+  return cert;
+}
+
+std::string describe(const Certificate& cert) {
+  char buffer[768];
+  const bool have_tails = cert.successes > 0 && !std::isnan(cert.time_p50);
+  char tails[128];
+  if (have_tails)
+    std::snprintf(tails, sizeof tails, "p50 %.3g  p90 %.3g  p99 %.3g",
+                  cert.time_p50, cert.time_p90, cert.time_p99);
+  else
+    std::snprintf(tails, sizeof tails, "(no successful trials)");
+  std::snprintf(
+      buffer, sizeof buffer,
+      "verdict ........... %s\n"
+      "statement ......... P(stabilise to %s) >= %.4g at m = %llu\n"
+      "errors ............ alpha %.3g  beta %.3g  indifference %.3g\n"
+      "trials ............ %llu (%llu successes, %llu stabilised; "
+      "budget %llu)\n"
+      "llr ............... %.4g\n"
+      "correctness CI .... [%.6g, %.6g] at %.4g (Clopper-Pearson)\n"
+      "convergence time .. %s (parallel time)\n"
+      "fingerprint ....... %016llx  seed %llu\n"
+      "wall .............. %.3fs (%u threads)\n",
+      to_string(cert.verdict), cert.expected_output ? "ACCEPT" : "REJECT",
+      1.0 - cert.delta, static_cast<unsigned long long>(cert.population),
+      cert.alpha, cert.beta, cert.indifference,
+      static_cast<unsigned long long>(cert.trials),
+      static_cast<unsigned long long>(cert.successes),
+      static_cast<unsigned long long>(cert.stabilised),
+      static_cast<unsigned long long>(cert.max_trials), cert.llr,
+      cert.interval.lower, cert.interval.upper, cert.ci_confidence, tails,
+      static_cast<unsigned long long>(cert.protocol_fingerprint),
+      static_cast<unsigned long long>(cert.seed), cert.wall_seconds,
+      cert.threads_used);
+  return buffer;
+}
+
+}  // namespace ppde::smc

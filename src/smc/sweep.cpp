@@ -1,0 +1,69 @@
+#include "smc/sweep.hpp"
+
+#include <stdexcept>
+
+namespace ppde::smc {
+
+namespace {
+
+/// Certify one population, escalating the trial budget while the SPRT is
+/// undecided. Appends every attempt's final certificate to `sweep`.
+Certificate certify_point(
+    const pp::Protocol& protocol,
+    const std::function<pp::Config(std::uint64_t)>& initial_for,
+    std::uint64_t population, const SweepOptions& options,
+    ThresholdSweep& sweep) {
+  CertifyOptions point = options.certify;
+  // Decorrelate populations; engine::derive_trial_seed is just the
+  // SplitMix64 stream, reused here as a seed mixer.
+  point.seed = engine::derive_trial_seed(options.certify.seed, population);
+  const pp::Config initial = initial_for(population);
+  Certificate cert;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    cert = certify(protocol, initial, /*expected_output=*/true, point);
+    sweep.total_trials += cert.trials;
+    if (cert.verdict != Verdict::kInconclusive ||
+        attempt >= options.max_escalations)
+      break;
+    point.max_trials *= options.escalation;
+  }
+  sweep.points.push_back({population, cert});
+  return cert;
+}
+
+}  // namespace
+
+ThresholdSweep sweep_threshold(
+    const pp::Protocol& protocol,
+    const std::function<pp::Config(std::uint64_t)>& initial_for,
+    std::uint64_t lo, std::uint64_t hi, const SweepOptions& options) {
+  if (lo >= hi)
+    throw std::invalid_argument("sweep_threshold: need lo < hi");
+  ThresholdSweep sweep;
+
+  const Certificate at_lo =
+      certify_point(protocol, initial_for, lo, options, sweep);
+  const Certificate at_hi =
+      certify_point(protocol, initial_for, hi, options, sweep);
+  if (at_lo.verdict != Verdict::kRefuted ||
+      at_hi.verdict != Verdict::kCertified)
+    return sweep;  // threshold not inside [lo, hi] (or undecidable there)
+
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const Certificate at_mid =
+        certify_point(protocol, initial_for, mid, options, sweep);
+    if (at_mid.verdict == Verdict::kCertified)
+      hi = mid;
+    else if (at_mid.verdict == Verdict::kRefuted)
+      lo = mid;
+    else
+      return sweep;  // escalation cap hit at the boundary; stay honest
+  }
+  sweep.bracketed = true;
+  sweep.below = lo;
+  sweep.above = hi;
+  return sweep;
+}
+
+}  // namespace ppde::smc

@@ -1,0 +1,67 @@
+// Adaptive population sweep: bisect for the empirical threshold (S23).
+//
+// A threshold protocol's observable behaviour over populations is
+// monotone: below the threshold every run stabilises to reject, at or
+// above it to accept. The sweep certifies "stabilises to ACCEPT w.p.
+// >= 1 - delta" at individual populations and bisects on the verdict —
+// kRefuted moves the lower end up, kCertified moves the upper end down —
+// until the threshold is bracketed by two adjacent populations. Trials are
+// allocated where the SPRT is undecided: a kInconclusive point gets its
+// trial budget escalated (geometrically, up to a cap) and is re-certified
+// before the bisection proceeds, so easy populations cost a handful of
+// trials and only the boundary neighbourhood pays for precision.
+//
+// Every certificate in the sweep derives its seed from (master seed,
+// population), so the whole sweep — points visited, budgets, verdicts,
+// digests — is reproducible from one number at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pp/config.hpp"
+#include "pp/protocol.hpp"
+#include "smc/certify.hpp"
+
+namespace ppde::smc {
+
+struct SweepOptions {
+  /// Per-point certification parameters. certify.seed is the sweep's
+  /// master seed; certify.max_trials is each point's *initial* budget.
+  CertifyOptions certify;
+  /// Budget multiplier applied when a point comes back kInconclusive.
+  std::uint64_t escalation = 4;
+  /// Give up on a point after this many escalations (it stays
+  /// kInconclusive in the result and the sweep stops).
+  std::uint64_t max_escalations = 2;
+};
+
+struct SweepPoint {
+  std::uint64_t population = 0;
+  Certificate certificate;
+};
+
+struct ThresholdSweep {
+  /// Every certification performed, in evaluation order (escalated retries
+  /// replace the point's earlier attempt).
+  std::vector<SweepPoint> points;
+  /// True once `below` and `above` are adjacent populations with verdicts
+  /// kRefuted resp. kCertified.
+  bool bracketed = false;
+  std::uint64_t below = 0;  ///< largest population certified to reject
+  std::uint64_t above = 0;  ///< smallest population certified to accept
+  std::uint64_t total_trials = 0;
+};
+
+/// Bisect for the empirical threshold of `protocol` on populations in
+/// [lo, hi], `initial_for(m)` supplying the size-m initial configuration.
+/// Requires lo < hi. If the endpoints do not come back (kRefuted at lo,
+/// kCertified at hi) the sweep returns unbracketed with the endpoint
+/// certificates as evidence.
+ThresholdSweep sweep_threshold(
+    const pp::Protocol& protocol,
+    const std::function<pp::Config(std::uint64_t)>& initial_for,
+    std::uint64_t lo, std::uint64_t hi, const SweepOptions& options);
+
+}  // namespace ppde::smc

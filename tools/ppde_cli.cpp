@@ -6,10 +6,19 @@
 //   ppde protocol <n> [--dot]        converted protocol stats (n = 1..2)
 //   ppde simulate <n> <extra> [seed] run the full protocol with |F|+extra
 //                                    agents until consensus
-//   ppde ensemble <n> <extra> <trials> [threads] [seed]
+//   ppde ensemble <n> <extra> <trials> [threads] [seed] [--json]
 //                                    run a fleet of independent trials on
 //                                    the count+null-skip engine (S21) and
 //                                    report aggregate statistics
+//   ppde certify <n> <extra> [--trials=N] [--threads=T] [--seed=S]
+//                  [--delta=D] [--alpha=A] [--beta=B] [--indifference=E]
+//                  [--window=W] [--budget=I] [--json]
+//                                    statistical model checking (S23): SPRT
+//                                    certificate that the full protocol
+//                                    stabilises to the correct output with
+//                                    probability >= 1-delta at |F|+extra
+//                                    agents; reproducible at any thread
+//                                    count from (seed, alpha, beta, budget)
 //   ppde verify <n> <m_regs> [--threads=T] [--max-configs=N] [--max-edges=E]
 //                  [--prune]         exact fair-run verdict from pi(C) on
 //                                    the parallel verification kernel (S22)
@@ -19,11 +28,14 @@
 //
 // Exit code: 0 on success (for verify/decide: also when the verdict was
 // computed, regardless of accept/reject), 1 on usage or resource errors.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "bignum/nat.hpp"
 #include "compile/lower.hpp"
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
@@ -34,6 +46,8 @@
 #include "progmodel/explore.hpp"
 #include "progmodel/flat.hpp"
 #include "progmodel/sample_programs.hpp"
+#include "smc/certify.hpp"
+#include "smc/json.hpp"
 
 namespace {
 
@@ -53,6 +67,16 @@ std::uint64_t flag_value(int argc, char** argv, const char* flag,
     if (std::strncmp(argv[i], flag, flag_len) == 0 &&
         argv[i][flag_len] == '=')
       return std::strtoull(argv[i] + flag_len + 1, nullptr, 10);
+  return fallback;
+}
+
+/// Value of `--flag=<double>` if present, else `fallback`.
+double flag_double(int argc, char** argv, const char* flag, double fallback) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=')
+      return std::strtod(argv[i] + flag_len + 1, nullptr);
   return fallback;
 }
 
@@ -99,22 +123,25 @@ int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed) {
                 (unsigned long long)options.max_interactions);
     return 1;
   }
-  std::printf("%s after %.1fM interactions (consensus since %.1fM)\n",
+  // consensus_since is kNeverStabilised (~1.8e19) for non-stabilised runs;
+  // never feed the sentinel into arithmetic.
+  char since[32];
+  if (result.consensus_since == pp::SimulationResult::kNeverStabilised)
+    std::snprintf(since, sizeof since, "never");
+  else
+    std::snprintf(since, sizeof since, "%.1fM",
+                  static_cast<double>(result.consensus_since) / 1e6);
+  std::printf("%s after %.1fM interactions (consensus since %s)\n",
               result.output ? "ACCEPT" : "reject (one-sided: see README)",
-              static_cast<double>(result.interactions) / 1e6,
-              static_cast<double>(result.consensus_since) / 1e6);
+              static_cast<double>(result.interactions) / 1e6, since);
   return 0;
 }
 
 int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
-                 unsigned threads, std::uint64_t seed) {
+                 unsigned threads, std::uint64_t seed, bool json) {
   const auto lowered = compile::lower_program(build(n, false).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
   const std::uint64_t m = conv.num_pointers + extra;
-  std::printf("ensemble n=%d with m = |F| + %u = %llu agents, %llu trials "
-              "(master seed %llu)\n",
-              n, extra, (unsigned long long)m, (unsigned long long)trials,
-              (unsigned long long)seed);
   engine::EnsembleOptions options;
   options.trials = trials;
   options.threads = threads;
@@ -124,8 +151,58 @@ int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
   options.sim.max_interactions = 2'000'000'000;
   const engine::EnsembleStats stats =
       engine::run_ensemble(conv.protocol, conv.initial_config(m), options);
-  std::printf("%s", engine::describe(stats).c_str());
+  if (json) {
+    std::printf("%s\n",
+                smc::to_jsonl(stats, m, seed, options.engine).c_str());
+  } else {
+    std::printf("ensemble n=%d with m = |F| + %u = %llu agents, %llu trials "
+                "(master seed %llu)\n",
+                n, extra, (unsigned long long)m, (unsigned long long)trials,
+                (unsigned long long)seed);
+    std::printf("%s", engine::describe(stats).c_str());
+  }
   return stats.stabilised == stats.trials ? 0 : 1;
+}
+
+int cmd_certify(int argc, char** argv, int n, std::uint32_t extra,
+                bool json) {
+  const czerner::Construction c = build(n, false);
+  const auto lowered = compile::lower_program(c.program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const std::uint64_t m = conv.num_pointers + extra;
+  // Theorem 5's shift: the protocol decides phi'(m) <=> m >= |F| and
+  // phi(m - |F|); with m = |F| + extra that is phi(extra) = extra >= k(n).
+  const bool expected =
+      bignum::Nat(extra) >= czerner::Construction::threshold(n);
+
+  smc::CertifyOptions options;
+  options.delta = flag_double(argc, argv, "--delta", 0.01);
+  options.indifference = flag_double(argc, argv, "--indifference", 0.05);
+  options.alpha = flag_double(argc, argv, "--alpha", 0.01);
+  options.beta = flag_double(argc, argv, "--beta", 0.01);
+  options.max_trials = flag_value(argc, argv, "--trials", 4096);
+  options.batch = flag_value(argc, argv, "--batch", 8);
+  options.threads =
+      static_cast<unsigned>(flag_value(argc, argv, "--threads", 0));
+  options.seed = flag_value(argc, argv, "--seed", 42);
+  options.sim.stable_window =
+      flag_value(argc, argv, "--window", 90'000'000);
+  options.sim.max_interactions =
+      flag_value(argc, argv, "--budget", 2'000'000'000);
+
+  const smc::Certificate cert =
+      smc::certify(conv.protocol, conv.initial_config(m), expected, options);
+  if (json) {
+    std::printf("%s\n", smc::to_jsonl(cert).c_str());
+  } else {
+    std::printf("certify n=%d with m = |F| + %u = %llu agents (expected "
+                "%s: k(%d) = %s)\n",
+                n, extra, (unsigned long long)m,
+                expected ? "ACCEPT" : "REJECT", n,
+                czerner::Construction::threshold(n).to_decimal().c_str());
+    std::printf("%s", smc::describe(cert).c_str());
+  }
+  return cert.verdict == smc::Verdict::kCertified ? 0 : 1;
 }
 
 int cmd_verify(int argc, char** argv, int n, std::uint64_t m_regs,
@@ -203,7 +280,14 @@ int usage() {
       "  machine <n> [--equality]\n"
       "  protocol <n> [--dot]\n"
       "  simulate <n> <extra-agents> [seed]\n"
-      "  ensemble <n> <extra-agents> <trials> [threads] [seed]\n"
+      "  ensemble <n> <extra-agents> <trials> [threads] [seed] [--json]\n"
+      "  certify <n> <extra-agents> [--trials=N] [--batch=K] [--threads=T]\n"
+      "          [--seed=S] [--delta=D] [--alpha=A] [--beta=B]\n"
+      "          [--indifference=E] [--window=W] [--budget=I] [--json]\n"
+      "          SPRT certificate that the protocol stabilises to the\n"
+      "          correct output with probability >= 1-D at |F|+extra\n"
+      "          agents; identical certificate digest at every thread\n"
+      "          count for fixed (seed, alpha, beta, trials budget).\n"
       "  verify <n> <m_regs> [--equality] [--threads=T] [--max-configs=N]\n"
       "         [--max-edges=E] [--prune]\n"
       "         T=0 (default) uses all hardware threads; the verdict is\n"
@@ -217,10 +301,16 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string command = argv[1];
+  // Positional arguments with the --flags filtered out, so flags may
+  // appear anywhere on the line (e.g. `ppde ensemble 1 2 16 --json`).
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--", 2) != 0) pos.push_back(argv[i]);
+  if (pos.size() < 2) return usage();
+  const std::string command = pos[0];
   const bool equality = has_flag(argc, argv, "--equality");
-  const int n = std::atoi(argv[2]);
+  const bool json = has_flag(argc, argv, "--json");
+  const int n = std::atoi(pos[1]);
   if (n < 1 && command != "window") return usage();
 
   try {
@@ -254,25 +344,28 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (command == "simulate" && argc >= 4)
-      return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(argv[3])),
-                          argc >= 5 ? std::strtoull(argv[4], nullptr, 10)
-                                    : 42);
-    if (command == "ensemble" && argc >= 5)
+    if (command == "simulate" && pos.size() >= 3)
+      return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(pos[2])),
+                          pos.size() >= 4 ? std::strtoull(pos[3], nullptr, 10)
+                                          : 42);
+    if (command == "ensemble" && pos.size() >= 4)
       return cmd_ensemble(
-          n, static_cast<std::uint32_t>(std::atoi(argv[3])),
-          std::strtoull(argv[4], nullptr, 10),
-          argc >= 6 ? static_cast<unsigned>(std::atoi(argv[5])) : 0,
-          argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 42);
-    if (command == "verify" && argc >= 4)
-      return cmd_verify(argc, argv, n, std::strtoull(argv[3], nullptr, 10),
+          n, static_cast<std::uint32_t>(std::atoi(pos[2])),
+          std::strtoull(pos[3], nullptr, 10),
+          pos.size() >= 5 ? static_cast<unsigned>(std::atoi(pos[4])) : 0,
+          pos.size() >= 6 ? std::strtoull(pos[5], nullptr, 10) : 42, json);
+    if (command == "certify" && pos.size() >= 3)
+      return cmd_certify(argc, argv, n,
+                         static_cast<std::uint32_t>(std::atoi(pos[2])), json);
+    if (command == "verify" && pos.size() >= 3)
+      return cmd_verify(argc, argv, n, std::strtoull(pos[2], nullptr, 10),
                         equality);
-    if (command == "decide" && argc >= 4)
-      return cmd_decide(n, std::strtoull(argv[3], nullptr, 10), equality);
-    if (command == "window" && argc >= 5)
-      return cmd_window(static_cast<std::uint32_t>(std::atoi(argv[2])),
-                        static_cast<std::uint32_t>(std::atoi(argv[3])),
-                        std::strtoull(argv[4], nullptr, 10));
+    if (command == "decide" && pos.size() >= 3)
+      return cmd_decide(n, std::strtoull(pos[2], nullptr, 10), equality);
+    if (command == "window" && pos.size() >= 4)
+      return cmd_window(static_cast<std::uint32_t>(std::atoi(pos[1])),
+                        static_cast<std::uint32_t>(std::atoi(pos[2])),
+                        std::strtoull(pos[3], nullptr, 10));
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
