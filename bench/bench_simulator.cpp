@@ -7,10 +7,15 @@
 // prints two engine reports (DESIGN.md S21): per-agent vs count-based vs
 // count+null-skip effective throughput on the converted n=1 Czerner
 // protocol, and ensemble wall-clock scaling over thread counts.
+//
+// With --json[=path] the binary instead writes a machine-readable engine
+// report (default BENCH_engine.json) and exits — the CI perf-smoke job's
+// regression artefact.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 
 #include "baselines/flock.hpp"
 #include "baselines/majority.hpp"
@@ -48,8 +53,20 @@ std::uint64_t run_for(double budget_seconds, const Step& step) {
   return batches;
 }
 
-void print_engine_comparison(std::uint32_t extra_agents,
-                             double budget_seconds) {
+struct EngineRow {
+  const char* name;
+  std::uint64_t interactions;
+  std::uint64_t firings;
+  double seconds;
+};
+
+struct EngineComparison {
+  std::uint32_t m;
+  EngineRow rows[3];
+};
+
+EngineComparison measure_engines(std::uint32_t extra_agents,
+                                 double budget_seconds) {
   const auto lowered =
       compile::lower_program(czerner::build_construction(1).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
@@ -57,13 +74,8 @@ void print_engine_comparison(std::uint32_t extra_agents,
       conv.initial_config(conv.num_pointers + extra_agents);
   const engine::PairIndex index(conv.protocol);
 
-  struct Row {
-    const char* name;
-    std::uint64_t interactions;
-    std::uint64_t firings;
-    double seconds;
-  };
-  Row rows[3];
+  EngineComparison result;
+  result.m = conv.num_pointers + extra_agents;
 
   {
     pp::Simulator sim(conv.protocol, initial, 13);
@@ -73,8 +85,8 @@ void print_engine_comparison(std::uint32_t extra_agents,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    rows[0] = {"per-agent", sim.interactions(), sim.metrics().firings,
-               elapsed};
+    result.rows[0] = {"per-agent", sim.interactions(), sim.metrics().firings,
+                      elapsed};
   }
   for (int skip = 0; skip <= 1; ++skip) {
     engine::CountSimOptions options;
@@ -86,19 +98,27 @@ void print_engine_comparison(std::uint32_t extra_agents,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    rows[1 + skip] = {skip ? "count+null-skip" : "count-based",
-                      sim.interactions(), sim.metrics().firings, elapsed};
+    result.rows[1 + skip] = {skip ? "count+null-skip" : "count-based",
+                             sim.interactions(), sim.metrics().firings,
+                             elapsed};
   }
+  return result;
+}
 
+void print_engine_comparison(std::uint32_t extra_agents,
+                             double budget_seconds) {
+  const EngineComparison comparison =
+      measure_engines(extra_agents, budget_seconds);
   std::printf(
       "\n=== Engine comparison: converted Czerner n=1, m = %u agents, "
       "%.1fs budget per engine ===\n",
-      conv.num_pointers + extra_agents, budget_seconds);
+      comparison.m, budget_seconds);
   std::printf("%-16s %18s %14s %20s %10s\n", "engine", "interactions",
               "firings", "eff. interactions/s", "speedup");
-  const double base = static_cast<double>(rows[0].interactions) /
-                      rows[0].seconds;
-  for (const Row& row : rows) {
+  const double base =
+      static_cast<double>(comparison.rows[0].interactions) /
+      comparison.rows[0].seconds;
+  for (const EngineRow& row : comparison.rows) {
     const double rate =
         static_cast<double>(row.interactions) / row.seconds;
     std::printf("%-16s %18llu %14llu %20.3e %9.1fx\n", row.name,
@@ -106,6 +126,47 @@ void print_engine_comparison(std::uint32_t extra_agents,
                 static_cast<unsigned long long>(row.firings), rate,
                 rate / base);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf regression report (--json[=path]). One row per
+// (m, engine mode) on the converted Czerner n=1 protocol; the perf-smoke CI
+// job validates the schema and archives the file so throughput trends stay
+// visible across commits. firings_per_sec is the regression metric (work
+// actually done); effective_meetings_per_sec counts closed-form-skipped
+// null meetings too and is the figure comparable across engine modes.
+// ---------------------------------------------------------------------------
+
+int write_json_report(const char* path, double budget_seconds) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_simulator: cannot open %s for writing\n",
+                 path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench_engine_v\": 1,\n  \"rows\": [");
+  bool first = true;
+  for (const std::uint32_t extra : {10'000u, 100'000u}) {
+    const EngineComparison comparison =
+        measure_engines(extra, budget_seconds);
+    for (const EngineRow& row : comparison.rows) {
+      const double eff =
+          static_cast<double>(row.interactions) / row.seconds;
+      const double firings =
+          static_cast<double>(row.firings) / row.seconds;
+      std::fprintf(out,
+                   "%s\n    {\"protocol\": \"czerner-n1-converted\", "
+                   "\"m\": %u, \"mode\": \"%s\", "
+                   "\"firings_per_sec\": %.6e, "
+                   "\"effective_meetings_per_sec\": %.6e, \"threads\": 1}",
+                   first ? "" : ",", comparison.m, row.name, firings, eff);
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench_simulator: wrote %s\n", path);
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +319,22 @@ BENCHMARK(BM_VerifierCzernerPipeline)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip our own flags before google-benchmark sees (and rejects) them.
+  const char* json_path = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_engine.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (json_path != nullptr)
+    return write_json_report(json_path, /*budget_seconds=*/2.0);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   print_engine_comparison(/*extra_agents=*/10'000, /*budget_seconds=*/1.0);

@@ -1,5 +1,6 @@
 #include "analysis/robustness.hpp"
 
+#include <memory>
 #include <optional>
 
 namespace ppde::analysis {
@@ -76,9 +77,15 @@ RobustnessResult sweep_simulated(const pp::Protocol& protocol,
 
   std::optional<engine::PairIndex> index;
   if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
+  // One reusable simulator per worker (reset between trials); outcomes
+  // stay pure functions of (trial, seed).
+  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
+      engine::fleet_workers(trials, threads));
+  engine::CountSimOptions sim_options;
+  sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
   const std::vector<engine::TrialResult> outcomes = engine::run_trial_fleet(
       trials, threads, seed,
-      [&](std::uint64_t trial, std::uint64_t trial_seed) {
+      [&](unsigned worker, std::uint64_t trial, std::uint64_t trial_seed) {
         engine::TrialResult outcome;
         outcome.seed = trial_seed;
         if (kind == engine::EngineKind::kPerAgent) {
@@ -86,13 +93,14 @@ RobustnessResult sweep_simulated(const pp::Protocol& protocol,
           outcome.sim = simulator.run_until_stable(options);
           outcome.metrics = simulator.metrics();
         } else {
-          engine::CountSimOptions sim_options;
-          sim_options.null_skip =
-              kind == engine::EngineKind::kCountNullSkip;
-          engine::CountSimulator simulator(protocol, *index, configs[trial],
-                                           trial_seed, sim_options);
-          outcome.sim = simulator.run_until_stable(options);
-          outcome.metrics = simulator.metrics();
+          std::unique_ptr<engine::CountSimulator>& sim = sims[worker];
+          if (!sim)
+            sim = std::make_unique<engine::CountSimulator>(
+                protocol, *index, configs[trial], trial_seed, sim_options);
+          else
+            sim->reset(configs[trial], trial_seed);
+          outcome.sim = sim->run_until_stable(options);
+          outcome.metrics = sim->metrics();
         }
         return outcome;
       });
@@ -120,13 +128,17 @@ smc::Certificate sweep_certified(const pp::Protocol& protocol,
                                  const std::vector<pp::State>* noise_pool) {
   std::optional<engine::PairIndex> index;
   if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
+  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
+      engine::fleet_workers(options.batch, options.threads));
+  engine::CountSimOptions sim_options;
+  sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
 
   // Unlike sweep_simulated the trial count is not known up front (the SPRT
   // decides it), so noise cannot be drawn from one sequential stream.
   // Instead trial i expands its own noise from its derived seed — still a
   // pure function of (options.seed, i), hence reproducible at any thread
   // count and under any budget escalation.
-  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
     support::Rng rng(seed);
     const auto agents =
         static_cast<std::uint32_t>(rng.below(max_noise + 1));
@@ -142,12 +154,14 @@ smc::Certificate sweep_certified(const pp::Protocol& protocol,
       sim = simulator.run_until_stable(options.sim);
       outcome.metrics = simulator.metrics();
     } else {
-      engine::CountSimOptions sim_options;
-      sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
-      engine::CountSimulator simulator(protocol, *index, config, rng(),
-                                       sim_options);
-      sim = simulator.run_until_stable(options.sim);
-      outcome.metrics = simulator.metrics();
+      std::unique_ptr<engine::CountSimulator>& simulator = sims[worker];
+      if (!simulator)
+        simulator = std::make_unique<engine::CountSimulator>(
+            protocol, *index, config, rng(), sim_options);
+      else
+        simulator->reset(config, rng());
+      sim = simulator->run_until_stable(options.sim);
+      outcome.metrics = simulator->metrics();
     }
     outcome.stabilised =
         sim.stabilised &&

@@ -1,6 +1,7 @@
 #include "engine/count_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -42,6 +43,35 @@ PairIndex::PairIndex(const pp::Protocol& protocol) {
     out_flat_.insert(out_flat_.end(), out[q].begin(), out[q].end());
     in_flat_.insert(in_flat_.end(), in[q].begin(), in[q].end());
   }
+  if (n <= kBitsetStates) {
+    pair_bits_.assign((n * n + 63) / 64, 0);
+    for (pp::State q = 0; q < n; ++q)
+      for (pp::State r : partners_of(q)) {
+        const std::size_t bit = static_cast<std::size_t>(q) * n + r;
+        pair_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      }
+    // Any candidate at all, silent ones included — lets step_meeting reject
+    // a silent pair without a transition-table hash lookup.
+    any_bits_.assign((n * n + 63) / 64, 0);
+    for (const pp::Transition& t : protocol.transitions()) {
+      const std::size_t bit = static_cast<std::size_t>(t.q) * n + t.r;
+      any_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    }
+  }
+  // Candidate CSR, one row per active pair in pair-position order. Each row
+  // is a verbatim copy of Protocol::transitions_for — same indices, same
+  // order — so a candidate pick through it consumes the RNG identically.
+  cand_begin_.assign(out_flat_.size() + 1, 0);
+  std::uint32_t pos = 0;
+  for (pp::State q = 0; q < n; ++q)
+    for (pp::State r : partners_of(q)) {
+      const auto candidates = protocol.transitions_for(q, r);
+      cand_begin_[pos + 1] =
+          cand_begin_[pos] + static_cast<std::uint32_t>(candidates.size());
+      cand_flat_.insert(cand_flat_.end(), candidates.begin(),
+                        candidates.end());
+      ++pos;
+    }
 }
 
 CountSimulator::CountSimulator(const pp::Protocol& protocol,
@@ -66,51 +96,102 @@ CountSimulator::CountSimulator(const pp::Protocol& protocol,
       index_(&index),
       options_(options),
       counts_(protocol.num_states()),
-      rout_(protocol.num_states(), 0),
       position_(protocol.num_states(), kNoPosition),
+      active_(protocol.num_states()),
+      pair_counts_(options.null_skip ? 0 : protocol.num_states()),
       rng_(seed) {
   if (!protocol.finalized())
     throw std::logic_error("CountSimulator: protocol not finalized");
   if (index.num_states() != protocol.num_states())
     throw std::invalid_argument("CountSimulator: index/protocol mismatch");
-  if (initial.total() < 2)
-    throw std::invalid_argument("CountSimulator: need at least two agents");
-  if (initial.num_states() > protocol.num_states())
+  load(initial);
+}
+
+void CountSimulator::load(const pp::Config& initial) {
+  if (initial.num_states() > protocol_->num_states())
     throw std::invalid_argument("CountSimulator: config has unknown states");
   for (pp::State q = 0; q < initial.num_states(); ++q)
     if (initial[q] != 0) counts_.add(q, initial[q]);
   for (pp::State q = 0; q < counts_.num_states(); ++q) {
     if (counts_[q] == 0) continue;
-    if (protocol.is_accepting(q)) accepting_ += counts_[q];
-    for (pp::State p : index_->initiators_meeting(q)) rout_[p] += counts_[q];
+    if (protocol_->is_accepting(q)) accepting_ += counts_[q];
     position_[q] = static_cast<std::uint32_t>(populated_.size());
     populated_.push_back(q);
   }
-  weights_.resize(populated_.size());
+  sorted_populated_ = populated_;  // built in ascending state order above
+  const auto filled = static_cast<std::uint32_t>(populated_.size());
+  matrix_ok_ = filled <= kMatrixSlots;
+  if (matrix_ok_) {
+    if (act_.empty()) act_.assign(kMatrixSlots * kMatrixSlots, 0);
+    col_mask_.fill(0);
+    // Populated list is ascending here, so slot index == sorted rank.
+    for (std::uint32_t i = 0; i < filled; ++i)
+      rank_[i] = static_cast<std::uint8_t>(i);
+  }
+  partner_sum_.resize(filled);
+  for (std::uint32_t slot = 0; slot < filled; ++slot) {
+    const pp::State q = populated_[slot];
+    partner_sum_[slot] = matrix_ok_ ? build_matrix_row(slot, /*ranked=*/true)
+                                    : fresh_partner_sum(q);
+    active_.push_back(counts_[q] * partner_sum_[slot]);
+    if (!options_.null_skip) pair_counts_.push_back(counts_[q]);
+  }
 }
 
-std::uint64_t CountSimulator::active_weight() {
-  std::uint64_t total = 0;
-  weights_.resize(populated_.size());
-  for (std::size_t i = 0; i < populated_.size(); ++i) {
-    const pp::State q = populated_[i];
-    // Ordered pairs with initiator q: Σ_{r active} C(q)·(C(r) − [r=q]) =
-    // C(q)·(rout_[q] − [(q,q) active]).
-    const std::uint64_t weight =
-        counts_[q] * (rout_[q] - (index_->self_active(q) ? 1 : 0));
-    weights_[i] = weight;
-    total += weight;
+void CountSimulator::reset(const pp::Config& initial, std::uint64_t seed) {
+  for (const pp::State q : populated_) {
+    counts_.remove(q, counts_[q]);
+    position_[q] = kNoPosition;
   }
-  return total;
+  populated_.clear();
+  partner_sum_.clear();
+  active_.clear();
+  if (!options_.null_skip) pair_counts_.clear();
+  sorted_populated_.clear();
+  cached_active_ = 0;  // sample_null_run never sees W == 0; forces recompute
+  accepting_ = 0;
+  interactions_ = 0;
+  metrics_ = RunMetrics{};
+  rng_.reseed(seed);
+  load(initial);
+}
+
+std::uint64_t CountSimulator::fresh_partner_sum(pp::State q) const {
+  // Zero-count partners contribute nothing, so the sum may run over either
+  // the partner list or the populated list — whichever is shorter.
+  std::uint64_t sum = index_->self_active(q) ? ~std::uint64_t{0} : 0;  // −1
+  const auto partners = index_->partners_of(q);
+  if (partners.size() <= populated_.size()) {
+    for (pp::State r : partners) sum += counts_[r];
+  } else {
+    for (pp::State r : populated_)
+      if (index_->pair_active(q, r)) sum += counts_[r];
+  }
+  return sum;
+}
+
+void CountSimulator::refresh_weight(std::uint32_t slot) {
+  // A(q) >= 0 whenever C(q) >= 1 (a populated self-active state counts
+  // itself); the only transiently "negative" A belongs to a slot whose
+  // count just hit zero, where the product is zero anyway.
+  ++metrics_.weight_updates;
+  active_.set(slot, counts_[populated_[slot]] * partner_sum_[slot]);
 }
 
 std::uint64_t CountSimulator::sample_null_run(std::uint64_t active) {
-  const double m = static_cast<double>(counts_.total());
-  const double p = static_cast<double>(active) / (m * (m - 1.0));
-  if (p >= 1.0) return 0;
+  // active > 0 implies m >= 2 (an active pair needs two distinct agents,
+  // or C(q) >= 2 on a self-pair), so m·(m−1) never vanishes here.
+  if (active != cached_active_ || counts_.total() != cached_m_) {
+    cached_active_ = active;
+    cached_m_ = counts_.total();
+    const double m = static_cast<double>(cached_m_);
+    cached_p_ = static_cast<double>(active) / (m * (m - 1.0));
+    cached_log1p_ = cached_p_ < 1.0 ? std::log1p(-cached_p_) : 0.0;
+  }
+  if (cached_p_ >= 1.0) return 0;
   // U uniform on (0, 1]; 53-bit mantissa draw, shifted off zero.
   const double u = (static_cast<double>(rng_() >> 11) + 1.0) * 0x1.0p-53;
-  const double k = std::floor(std::log(u) / std::log1p(-p));
+  const double k = std::floor(std::log(u) / cached_log1p_);
   if (!(k >= 0.0)) return 0;
   if (k >= 1.8e19) return std::numeric_limits<std::uint64_t>::max() / 2;
   return static_cast<std::uint64_t>(k);
@@ -124,6 +205,86 @@ void CountSimulator::advance_nulls(std::uint64_t count) {
   ++metrics_.null_skip_batches;
 }
 
+std::uint64_t CountSimulator::build_matrix_row(std::uint32_t slot,
+                                               bool ranked) {
+  const pp::State q = populated_[slot];
+  const auto filled = static_cast<std::uint32_t>(populated_.size());
+  std::uint32_t* row = act_.data() + slot * kMatrixSlots;
+  // No row wipe: cells at inactive positions may hold stale codes from the
+  // slot's previous occupant, but every act_ read is gated by a mask bit
+  // (srow_mask_ in the responder walk, col_mask_ in the update walks), so
+  // stale cells are unreachable. Likewise bit `slot` cannot yet be set in
+  // any watcher mask — the list surgery strips bits at or above the live
+  // size — so no clearing pass is needed either.
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  std::uint64_t sum = index_->self_active(q) ? ~std::uint64_t{0} : 0;  // −1
+  std::uint64_t srow = 0;
+  const auto partners = index_->partners_of(q);
+  if (partners.size() <= std::size_t{16} * filled) {
+    // One walk over q's partner row fills the codes (pair positions come
+    // for free: row index k), the mask bits, and A(q); non-populated
+    // partners have count zero and contribute nothing.
+    const std::uint32_t base = index_->pair_offset(q);
+    for (std::uint32_t k = 0; k < partners.size(); ++k) {
+      const std::uint32_t j = position_[partners[k]];
+      if (j == kNoPosition) continue;
+      row[j] = base + k + 2;
+      col_mask_[j] |= bit;
+      if (j != slot || ranked) srow |= std::uint64_t{1} << rank_[j];
+      sum += counts_[partners[k]];
+    }
+  } else {
+    // Huge out-degree: probe per populated state instead.
+    for (std::uint32_t j = 0; j < filled; ++j) {
+      const pp::State r = populated_[j];
+      if (!index_->pair_active(q, r)) continue;
+      row[j] = index_->pair_pos(q, r) + 2;
+      col_mask_[j] |= bit;
+      if (j != slot || ranked) srow |= std::uint64_t{1} << rank_[j];
+      sum += counts_[r];
+    }
+  }
+  srow_mask_[slot] = srow;
+  return sum;
+}
+
+void CountSimulator::sorted_insert(pp::State state) {
+  const auto it = std::lower_bound(sorted_populated_.begin(),
+                                   sorted_populated_.end(), state);
+  const auto rank =
+      static_cast<std::uint32_t>(it - sorted_populated_.begin());
+  sorted_populated_.insert(it, state);
+  if (!matrix_ok_) return;
+  // Open rank `rank` in every live sorted-row mask (the new bit comes
+  // from the state's watcher column) and bump the ranks it displaced.
+  const std::uint64_t low = (std::uint64_t{1} << rank) - 1;
+  const std::uint64_t watchers = col_mask_[position_[state]];
+  const auto filled = static_cast<std::uint32_t>(populated_.size());
+  for (std::uint32_t i = 0; i < filled; ++i) {
+    const std::uint64_t m = srow_mask_[i];
+    srow_mask_[i] = (m & low) | ((m & ~low) << 1) |
+                    (((watchers >> i) & 1) << rank);
+    rank_[i] += rank_[i] >= rank ? 1 : 0;
+  }
+  rank_[position_[state]] = static_cast<std::uint8_t>(rank);
+}
+
+void CountSimulator::sorted_erase(pp::State state) {
+  const auto it = std::lower_bound(sorted_populated_.begin(),
+                                   sorted_populated_.end(), state);
+  const auto rank =
+      static_cast<std::uint32_t>(it - sorted_populated_.begin());
+  sorted_populated_.erase(it);
+  if (!matrix_ok_) return;
+  const std::uint64_t low = (std::uint64_t{1} << rank) - 1;
+  const auto filled = static_cast<std::uint32_t>(populated_.size());
+  for (std::uint32_t i = 0; i < filled; ++i) {
+    const std::uint64_t m = srow_mask_[i];
+    srow_mask_[i] = (m & low) | ((m >> 1) & ~low);
+    rank_[i] -= rank_[i] > rank ? 1 : 0;
+  }
+}
+
 void CountSimulator::change_count(pp::State state, std::int64_t delta) {
   if (delta > 0)
     counts_.add(state, static_cast<std::uint32_t>(delta));
@@ -131,72 +292,282 @@ void CountSimulator::change_count(pp::State state, std::int64_t delta) {
     counts_.remove(state, static_cast<std::uint32_t>(-delta));
   const auto shift = static_cast<std::uint64_t>(delta);  // two's complement
   if (protocol_->is_accepting(state)) accepting_ += shift;
-  for (pp::State p : index_->initiators_meeting(state)) rout_[p] += shift;
+
+  const auto filled = static_cast<std::uint32_t>(populated_.size());
+  const bool appearing = position_[state] == kNoPosition;  // delta > 0 then
+  if (matrix_ok_ && appearing && filled >= kMatrixSlots)
+    matrix_ok_ = false;  // populated list outgrew the matrix; until reset
+
+  // Every populated initiator q with (q, state) active sees its partner
+  // sum move by delta.
+  if (matrix_ok_) {
+    // Walk the set bits of state's watcher mask. A state entering the
+    // populated list gets its column built here, at the slot the append
+    // below will assign (the A-loop must run while the slot list still
+    // excludes `state` — its own partner sum comes fresh).
+    std::uint32_t col = position_[state];
+    if (appearing) {
+      col = filled;
+      std::uint64_t built = 0;
+      // Activity is static, so the new column is just state's in-partner
+      // list restricted to populated slots. Only active cells are written
+      // (stale inactive cells are unreachable behind the masks); walk
+      // whichever side is shorter.
+      if (const auto initiators = index_->initiators_meeting(state);
+          initiators.size() <= filled) {
+        for (pp::State p : initiators) {
+          const std::uint32_t i = position_[p];
+          if (i == kNoPosition) continue;
+          act_[i * kMatrixSlots + col] = 1;  // pair position resolved lazily
+          built |= std::uint64_t{1} << i;
+        }
+      } else {
+        for (std::uint32_t i = 0; i < filled; ++i)
+          if (index_->pair_active(populated_[i], state)) {
+            act_[i * kMatrixSlots + col] = 1;
+            built |= std::uint64_t{1} << i;
+          }
+      }
+      col_mask_[col] = built;
+    }
+    for (std::uint64_t mask = col_mask_[col]; mask != 0; mask &= mask - 1) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(mask));
+      partner_sum_[i] += shift;
+      refresh_weight(i);
+    }
+  } else if (const auto initiators = index_->initiators_meeting(state);
+             initiators.size() <= populated_.size()) {
+    // Matrix-less fallback: walk whichever side is shorter — the
+    // in-partner list of `state` or the populated list — the updated
+    // slots are the same.
+    for (pp::State p : initiators) {
+      const std::uint32_t slot = position_[p];
+      if (slot == kNoPosition) continue;
+      partner_sum_[slot] += shift;
+      refresh_weight(slot);
+    }
+  } else {
+    for (std::uint32_t slot = 0; slot < filled; ++slot) {
+      if (!index_->pair_active(populated_[slot], state)) continue;
+      partner_sum_[slot] += shift;
+      refresh_weight(slot);
+    }
+  }
+
   if (counts_[state] == 0) {
-    // Swap-remove from the populated list.
+    // Swap-remove from the populated list (same list surgery as the seed
+    // engine, so slot order — and with it every sampled index — evolves
+    // identically); the moved slot's tree entries travel with it.
     const std::uint32_t hole = position_[state];
-    const pp::State moved = populated_.back();
+    const auto last = static_cast<std::uint32_t>(populated_.size() - 1);
+    const pp::State moved = populated_[last];
     populated_[hole] = moved;
     position_[moved] = hole;
     populated_.pop_back();
     position_[state] = kNoPosition;
-  } else if (position_[state] == kNoPosition) {
-    position_[state] = static_cast<std::uint32_t>(populated_.size());
+    if (hole != last) {
+      partner_sum_[hole] = partner_sum_[last];
+      active_.set(hole, active_.get(last));
+      if (!options_.null_skip) pair_counts_.set(hole, pair_counts_.get(last));
+      if (matrix_ok_) {
+        // The moved slot's matrix row and column travel with it (codes are
+        // slot-independent); the diagonal corner is saved first because
+        // both loops write through the (hole, hole) cell. Cells at index
+        // `last` go stale, which is fine — the next append rebuilds them.
+        const std::uint32_t corner = act_[last * kMatrixSlots + last];
+        for (std::uint32_t j = 0; j < last; ++j)
+          act_[hole * kMatrixSlots + j] = act_[last * kMatrixSlots + j];
+        for (std::uint32_t i = 0; i < last; ++i)
+          act_[i * kMatrixSlots + hole] = act_[i * kMatrixSlots + last];
+        act_[hole * kMatrixSlots + hole] = corner;
+        // Relabel the watcher masks the same way: drop the removed slot's
+        // bit (`hole`), move bit `last` down to `hole`, and move column
+        // `last` to `hole`. Masks carry no bits at or above the new size.
+        const std::uint64_t keep =
+            ~((std::uint64_t{1} << hole) | (std::uint64_t{1} << last));
+        const auto relabel = [&](std::uint64_t m) {
+          return (m & keep) | (((m >> last) & 1) << hole);
+        };
+        col_mask_[hole] = relabel(col_mask_[last]);
+        for (std::uint32_t j = 0; j < last; ++j)
+          if (j != hole) col_mask_[j] = relabel(col_mask_[j]);
+        // Sorted-row masks are rank-indexed, so their *contents* survive
+        // the slot swap untouched — only the moved slot's mask changes
+        // home. The removed state's rank bit is dropped by sorted_erase.
+        srow_mask_[hole] = srow_mask_[last];
+        rank_[hole] = rank_[last];
+      }
+    } else if (matrix_ok_) {
+      // Removed the final slot: just drop its watcher bit everywhere.
+      const std::uint64_t keep = ~(std::uint64_t{1} << last);
+      for (std::uint32_t j = 0; j < last; ++j) col_mask_[j] &= keep;
+    }
+    partner_sum_.pop_back();
+    active_.pop_back();
+    if (!options_.null_skip) pair_counts_.pop_back();
+    sorted_erase(state);
+  } else if (appearing) {
+    const auto slot = static_cast<std::uint32_t>(populated_.size());
+    position_[state] = slot;
     populated_.push_back(state);
+    // Column `slot` was built before the A-loop; one fused walk builds the
+    // row (diagonal included) and the fresh partner sum.
+    partner_sum_.push_back(matrix_ok_ ? build_matrix_row(slot, /*ranked=*/false)
+                                      : fresh_partner_sum(state));
+    ++metrics_.weight_updates;
+    active_.push_back(counts_[state] * partner_sum_[slot]);
+    if (!options_.null_skip) pair_counts_.push_back(counts_[state]);
+    sorted_insert(state);
+  } else {
+    refresh_weight(position_[state]);
+    if (!options_.null_skip)
+      pair_counts_.set(position_[state], counts_[state]);
   }
 }
 
+void CountSimulator::shift_pair(pp::State from, pp::State to) {
+  // Fused fast path for the dominant firing shape on the converted
+  // protocols: one agent moves between two already-populated states and
+  // both stay populated, so no list or matrix surgery can occur. Beyond
+  // halving the fixed bookkeeping, the fusion makes the typical firing
+  // nearly update-free: an initiator active towards both `from` and `to`
+  // sees the two partner-sum shifts cancel exactly, leaving only the two
+  // moved slots' own weights to refresh — and a register state with no
+  // partners of its own keeps weight 0, a no-op tree update.
+  if (matrix_ok_ && counts_[from] > 1 && position_[to] != kNoPosition) {
+    counts_.remove(from, 1);
+    counts_.add(to, 1);
+    if (protocol_->is_accepting(from)) --accepting_;
+    if (protocol_->is_accepting(to)) ++accepting_;
+    const std::uint32_t slot_from = position_[from];
+    const std::uint32_t slot_to = position_[to];
+    // Slots watching exactly one of the two states are the XOR of the two
+    // watcher masks — empty for the typical firing, where the same
+    // initiators watch both registers.
+    const std::uint64_t gained = col_mask_[slot_to];
+    std::uint64_t changed = col_mask_[slot_from] ^ gained;
+    for (; changed != 0; changed &= changed - 1) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(changed));
+      partner_sum_[i] += (gained >> i) & 1 ? std::uint64_t{1}
+                                           : ~std::uint64_t{0};  // ±1
+      refresh_weight(i);
+    }
+    refresh_weight(slot_from);
+    refresh_weight(slot_to);
+    if (!options_.null_skip) {
+      pair_counts_.set(slot_from, counts_[from]);
+      pair_counts_.set(slot_to, counts_[to]);
+    }
+    return;
+  }
+  change_count(from, -1);
+  change_count(to, +1);
+}
+
 void CountSimulator::fire(pp::State q, pp::State r) {
-  const auto candidates = protocol_->transitions_for(q, r);
+  fire_candidates(q, r, protocol_->transitions_for(q, r));
+}
+
+void CountSimulator::fire_candidates(pp::State /*q*/, pp::State /*r*/,
+                                     std::span<const std::uint32_t> candidates) {
   ++metrics_.firings;
   const std::uint32_t pick =
       candidates.size() == 1 ? candidates[0]
                              : candidates[rng_.below(candidates.size())];
   const pp::Transition& t = protocol_->transitions()[pick];
   if (t.is_silent()) return;
-  if (t.q != t.q2) {
-    change_count(t.q, -1);
-    change_count(t.q2, +1);
-  }
-  if (t.r != t.r2) {
-    change_count(t.r, -1);
-    change_count(t.r2, +1);
-  }
+  if (t.q != t.q2) shift_pair(t.q, t.q2);
+  if (t.r != t.r2) shift_pair(t.r, t.r2);
 }
 
 void CountSimulator::apply_active_meeting(std::uint64_t active) {
-  std::uint64_t target = rng_.below(active);
+  const std::uint64_t target = rng_.below(active);
+  ++metrics_.tree_descents;
+  std::uint64_t remaining = 0;
   std::size_t slot = 0;
-  for (;; ++slot) {
-    if (target < weights_[slot]) break;
-    target -= weights_[slot];
+  if (populated_.size() <= 32) {
+    // Few slots: the seed's linear prefix scan beats the tree descent's
+    // serial chain of dependent loads. Same slot either way (the tree's
+    // find() is defined as this scan's fixpoint).
+    remaining = target;
+    while (remaining >= active_.get(slot)) remaining -= active_.get(slot++);
+  } else {
+    slot = active_.find(target, &remaining);
   }
   const pp::State q = populated_[slot];
   const std::uint64_t cq = counts_[q];
-  pp::State r = q;  // overwritten below; the loop must find a partner
-  for (pp::State partner : index_->partners_of(q)) {
-    const std::uint64_t weight =
-        cq * (counts_[partner] - (partner == q ? 1 : 0));
-    if (target < weight) {
-      r = partner;
-      break;
+  pp::State r = q;  // overwritten below; a walk must find a partner
+  if (matrix_ok_) {
+    // The seed engine's responder walk — q's partners in ascending state
+    // order, each absorbing its pair weight — restricted to the populated
+    // states: a zero-count partner carries zero weight and can never
+    // absorb the remainder, so the selected responder is identical. The
+    // sorted-rank mask makes the walk visit *only* the active populated
+    // partners (typically one or two set bits) in ascending state order;
+    // the selected cell's code hands the firing its candidate transitions
+    // (resolved on first use; the walk always selects, since
+    // remaining < the slot's total pair weight).
+    std::uint32_t* row = act_.data() + slot * kMatrixSlots;
+    std::uint32_t code = 0;
+    for (std::uint64_t mask = srow_mask_[slot]; mask != 0; mask &= mask - 1) {
+      const pp::State partner =
+          sorted_populated_[static_cast<std::uint32_t>(std::countr_zero(mask))];
+      const std::uint64_t weight =
+          cq * (counts_[partner] - (partner == q ? 1 : 0));
+      if (remaining < weight) {
+        r = partner;
+        const std::uint32_t j = position_[partner];
+        const std::uint32_t cell = row[j];
+        code = cell != 1 ? cell : (row[j] = index_->pair_pos(q, r) + 2);
+        break;
+      }
+      remaining -= weight;
     }
-    target -= weight;
+    fire_candidates(q, r, index_->pair_candidates(code - 2));
+    return;
+  }
+  if (const auto partners = index_->partners_of(q);
+             partners.size() <= populated_.size()) {
+    for (pp::State partner : partners) {
+      const std::uint64_t weight =
+          cq * (counts_[partner] - (partner == q ? 1 : 0));
+      if (remaining < weight) {
+        r = partner;
+        break;
+      }
+      remaining -= weight;
+    }
+  } else {
+    for (pp::State partner : sorted_populated_) {
+      if (!index_->pair_active(q, partner)) continue;
+      const std::uint64_t weight =
+          cq * (counts_[partner] - (partner == q ? 1 : 0));
+      if (remaining < weight) {
+        r = partner;
+        break;
+      }
+      remaining -= weight;
+    }
   }
   fire(q, r);
 }
 
 bool CountSimulator::step() {
   if (!options_.null_skip) return step_meeting();
-  const std::uint64_t active = active_weight();
+  const std::uint64_t active = active_.total();
   if (active == 0) {
     ++interactions_;
     ++metrics_.meetings;
     return false;
   }
-  advance_nulls(sample_null_run(active));
-  ++interactions_;
-  ++metrics_.meetings;
+  // One fused update for the null run plus the firing meeting itself.
+  const std::uint64_t skip = sample_null_run(active);
+  interactions_ += skip + 1;
+  metrics_.meetings += skip + 1;
+  if (skip != 0) {
+    metrics_.skipped_meetings += skip;
+    ++metrics_.null_skip_batches;
+  }
   apply_active_meeting(active);
   return true;
 }
@@ -205,25 +576,54 @@ bool CountSimulator::step_meeting() {
   ++interactions_;
   ++metrics_.meetings;
   const std::uint64_t m = counts_.total();
+  // Fewer than two agents: there is no ordered pair to meet, so every
+  // meeting is null by definition (and below(m−1) would be below(0)).
+  if (m < 2) return false;
   // Initiator uniform over agents, responder uniform over the rest — the
-  // same ordered-distinct-pair law as pp::Simulator, on counts.
-  std::uint64_t i = rng_.below(m);
-  std::size_t slot = 0;
-  while (i >= counts_[populated_[slot]]) i -= counts_[populated_[slot++]];
-  const pp::State q = populated_[slot];
-  std::uint64_t j = rng_.below(m - 1);
-  pp::State r = 0;
-  for (slot = 0;; ++slot) {
-    const pp::State candidate = populated_[slot];
-    const std::uint64_t c = counts_[candidate] - (candidate == q ? 1 : 0);
-    if (j < c) {
-      r = candidate;
-      break;
+  // same ordered-distinct-pair law as pp::Simulator, on counts. With few
+  // populated slots the seed engine's linear prefix scans beat the tree's
+  // exclusion dance (two point updates bracketing the second descent);
+  // both select the identical slots, so the trajectory does not depend on
+  // which branch runs.
+  pp::State q;
+  pp::State r;
+  if (populated_.size() <= kLinearSlots) {
+    std::uint64_t i = rng_.below(m);
+    std::uint32_t slot = 0;
+    while (i >= counts_[populated_[slot]]) i -= counts_[populated_[slot++]];
+    q = populated_[slot];
+    std::uint64_t j = rng_.below(m - 1);
+    std::uint32_t responder_slot = 0;
+    for (;; ++responder_slot) {
+      const std::uint64_t weight = counts_[populated_[responder_slot]] -
+                                   (responder_slot == slot ? 1 : 0);
+      if (j < weight) break;
+      j -= weight;
     }
-    j -= c;
+    r = populated_[responder_slot];
+  } else {
+    const std::uint64_t i = rng_.below(m);
+    ++metrics_.tree_descents;
+    std::uint64_t remaining = 0;
+    const std::size_t slot = pair_counts_.find(i, &remaining);
+    q = populated_[slot];
+    const std::uint64_t j = rng_.below(m - 1);
+    // Exclude the initiator by descending with q's slot count lowered by
+    // one — exactly the (candidate == q ? 1 : 0) correction the linear
+    // scan applied, so the selected responder slot is identical.
+    pair_counts_.set(slot, counts_[q] - 1);
+    ++metrics_.tree_descents;
+    const std::size_t responder_slot = pair_counts_.find(j, &remaining);
+    pair_counts_.set(slot, counts_[q]);
+    r = populated_[responder_slot];
   }
-  const auto candidates = protocol_->transitions_for(q, r);
-  if (candidates.empty()) return false;
+  // Most meetings are null; reject them with a bitset probe instead of a
+  // transition-table hash when the index carries the any-candidate bits.
+  if (index_->has_any_bits()) {
+    if (!index_->pair_any(q, r)) return false;
+  } else if (protocol_->transitions_for(q, r).empty()) {
+    return false;
+  }
   fire(q, r);
   return true;
 }
@@ -234,12 +634,7 @@ std::optional<bool> CountSimulator::consensus() const {
   return std::nullopt;
 }
 
-bool CountSimulator::frozen() const {
-  for (const pp::State q : populated_)
-    if (counts_[q] * (rout_[q] - (index_->self_active(q) ? 1 : 0)) != 0)
-      return false;
-  return true;
-}
+bool CountSimulator::frozen() const { return active_.total() == 0; }
 
 pp::SimulationResult CountSimulator::run_until_stable(
     const pp::SimulationOptions& options) {
@@ -250,12 +645,13 @@ pp::SimulationResult CountSimulator::run_until_stable(
 
   while (interactions_ < options.max_interactions) {
     if (options_.null_skip) {
-      const std::uint64_t active = active_weight();
+      const std::uint64_t active = active_.total();
       const std::uint64_t stable_at = consensus_start + options.stable_window;
       if (active == 0) {
-        // Frozen: every future meeting is null, so the current consensus
-        // (or its absence) is permanent. Realise just enough nulls to hit
-        // the window or the budget.
+        // Frozen (including any population of size < 2): every future
+        // meeting is null, so the current consensus (or its absence) is
+        // permanent. Realise just enough nulls to hit the window or the
+        // budget.
         if (held.has_value() && stable_at <= options.max_interactions) {
           advance_nulls(stable_at - interactions_);
           result.stabilised = true;
@@ -302,7 +698,10 @@ pp::SimulationResult CountSimulator::run_until_stable(
   }
   result.interactions = interactions_;
   result.parallel_time =
-      static_cast<double>(interactions_) / static_cast<double>(population());
+      population() != 0
+          ? static_cast<double>(interactions_) /
+                static_cast<double>(population())
+          : 0.0;
   metrics_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)

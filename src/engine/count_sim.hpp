@@ -21,13 +21,29 @@
 //     pairs, and fires a uniformly chosen candidate transition — exactly
 //     the per-agent scheduler's law marginalised over the null meetings.
 //
-// The sequence of *configurations* (and hence every verdict and every
-// firing statistic) is distributed identically to pp::Simulator's; only
-// the interaction indices between firings are resampled, from the same
-// geometric law (evaluated in double precision — the one approximation in
-// the engine, and it never touches the state evolution).
+// The weights are maintained *incrementally*: each populated state q
+// carries its partner sum A(q) = Σ_{r : (q,r) active} C(r) − [(q,q)
+// active], and the per-slot weight C(q)·A(q) lives in a Fenwick tree
+// (engine/weight_tree.hpp), so a firing — which changes at most four
+// counts, each touching only the populated states adjacent to it — costs
+// O(#populated · log #populated) instead of a full rescan plus an
+// O(in-degree) adjacency walk per count change. Sampling both meeting
+// partners is an O(log #populated) tree descent engineered to pick the
+// identical slot the seed engine's linear prefix scan picked, so the
+// sequence of *configurations*, firings and consensus times for a given
+// seed is bit-identical to the pre-Fenwick engine — and distributed
+// identically to pp::Simulator's; only the interaction indices between
+// firings are resampled, from the same geometric law (evaluated in double
+// precision — the one approximation in the engine, and it never touches
+// the state evolution).
+//
+// Populations of size < 2 have no ordered pairs: every meeting is vacuously
+// null, the simulator reports frozen() immediately, and run_until_stable
+// settles the (vacuous or single-agent) consensus in closed form.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,6 +52,7 @@
 #include <vector>
 
 #include "engine/metrics.hpp"
+#include "engine/weight_tree.hpp"
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
 #include "pp/simulator.hpp"
@@ -51,10 +68,27 @@ class PairIndex {
  public:
   explicit PairIndex(const pp::Protocol& protocol);
 
-  /// States r such that (q, r) is active, q as the initiator.
+  /// States r such that (q, r) is active, q as the initiator; ascending.
   std::span<const pp::State> partners_of(pp::State q) const {
     return {out_flat_.data() + out_begin_[q],
             out_flat_.data() + out_begin_[q + 1]};
+  }
+
+  /// Active pairs carry a dense *pair position*: pair (q, partners_of(q)[k])
+  /// sits at pair_offset(q) + k, in [0, num_active_pairs()). The position
+  /// keys a CSR copy of Protocol::transitions_for — identical indices in
+  /// identical order — so firing an active pair needs no hash lookup.
+  std::uint32_t pair_offset(pp::State q) const { return out_begin_[q]; }
+  /// Pair position of an active (q, r); r must be a partner of q.
+  std::uint32_t pair_pos(pp::State q, pp::State r) const {
+    const auto partners = partners_of(q);
+    const auto it = std::lower_bound(partners.begin(), partners.end(), r);
+    return out_begin_[q] + static_cast<std::uint32_t>(it - partners.begin());
+  }
+  /// The pair's candidate transitions, == Protocol::transitions_for on it.
+  std::span<const std::uint32_t> pair_candidates(std::uint32_t pos) const {
+    return {cand_flat_.data() + cand_begin_[pos],
+            cand_flat_.data() + cand_begin_[pos + 1]};
   }
   /// States q such that (q, r) is active, r as the responder.
   std::span<const pp::State> initiators_meeting(pp::State r) const {
@@ -64,8 +98,36 @@ class PairIndex {
   /// True iff (q, q) is active.
   bool self_active(pp::State q) const { return self_active_[q] != 0; }
 
+  /// True iff (q, r) is active. O(1) via a dense pair bitset for protocols
+  /// up to kBitsetStates states (97 KB at the converted Czerner n = 1's
+  /// 880 states), O(log out-degree) binary search beyond that.
+  bool pair_active(pp::State q, pp::State r) const {
+    if (!pair_bits_.empty()) {
+      const std::size_t bit =
+          static_cast<std::size_t>(q) * self_active_.size() + r;
+      return (pair_bits_[bit >> 6] >> (bit & 63)) & 1;
+    }
+    const auto partners = partners_of(q);
+    return std::binary_search(partners.begin(), partners.end(), r);
+  }
+
+  /// True iff (q, r) has *any* candidate transition, silent ones included
+  /// — i.e. whether Protocol::transitions_for(q, r) is non-empty. Only
+  /// usable when the dense bitsets are built (num_states() <=
+  /// kBitsetStates); has_any_bits() says so.
+  bool pair_any(pp::State q, pp::State r) const {
+    const std::size_t bit =
+        static_cast<std::size_t>(q) * self_active_.size() + r;
+    return (any_bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+  bool has_any_bits() const { return !any_bits_.empty(); }
+
   std::size_t num_states() const { return self_active_.size(); }
   std::size_t num_active_pairs() const { return out_flat_.size(); }
+
+  /// Largest state count for which the dense pair bitsets are built (8 MB
+  /// each).
+  static constexpr std::size_t kBitsetStates = 8192;
 
  private:
   std::vector<std::uint32_t> out_begin_;  ///< CSR offsets, size |Q|+1
@@ -73,6 +135,10 @@ class PairIndex {
   std::vector<std::uint32_t> in_begin_;
   std::vector<pp::State> in_flat_;
   std::vector<std::uint8_t> self_active_;
+  std::vector<std::uint64_t> pair_bits_;  ///< |Q|² bits, row-major by q
+  std::vector<std::uint64_t> any_bits_;   ///< same, any candidate at all
+  std::vector<std::uint32_t> cand_begin_;  ///< CSR by pair position
+  std::vector<std::uint32_t> cand_flat_;   ///< transition indices
 };
 
 struct CountSimOptions {
@@ -94,6 +160,12 @@ class CountSimulator {
                  const pp::Config& initial, std::uint64_t seed = 1,
                  CountSimOptions options = {});
 
+  /// Rewind to `initial` with a fresh `seed`, keeping the protocol, index,
+  /// options and every allocation. A reset simulator is indistinguishable
+  /// from a freshly constructed one — trial fleets reuse one simulator per
+  /// worker instead of reallocating O(|Q|) state every trial.
+  void reset(const pp::Config& initial, std::uint64_t seed);
+
   /// Advance to the next meeting and execute it. With null_skip this first
   /// jumps past the (geometrically many) null meetings, so one call can
   /// advance interactions() by far more than 1. Returns true if a
@@ -114,12 +186,14 @@ class CountSimulator {
   std::uint64_t population() const { return counts_.total(); }
   std::uint64_t interactions() const { return interactions_; }
 
-  /// True iff all agents agree on an output right now.
+  /// True iff all agents agree on an output right now (vacuously true for
+  /// an empty population).
   std::optional<bool> consensus() const;
 
   /// True iff no meeting can ever change the configuration again (the
-  /// total active-pair weight is zero). A frozen run's consensus — or lack
-  /// of one — is permanent.
+  /// total active-pair weight is zero — O(1), the weight is maintained
+  /// incrementally). A frozen run's consensus — or lack of one — is
+  /// permanent. Populations of size < 2 are always frozen.
   bool frozen() const;
 
   /// Current configuration — O(1), unlike pp::Simulator::config().
@@ -138,39 +212,115 @@ class CountSimulator {
                  const pp::Protocol& protocol, const pp::Config& initial,
                  std::uint64_t seed, CountSimOptions options);
 
-  /// Recompute the total active weight W, filling weight_by_state_.
-  std::uint64_t active_weight();
+  /// Load `initial` into an empty simulator: counts, populated list,
+  /// partner sums and both weight trees.
+  void load(const pp::Config& initial);
+  /// A(q) = Σ_{r populated, (q,r) active} C(r) − [(q,q) active], computed
+  /// from scratch over the cheaper of partners_of(q) / the populated list.
+  std::uint64_t fresh_partner_sum(pp::State q) const;
+  /// Push slot's weight C(q)·A(q) into the active tree.
+  void refresh_weight(std::uint32_t slot);
   /// Geometric number of null meetings before the next active one.
   std::uint64_t sample_null_run(std::uint64_t active);
   /// Account `count` meetings skipped without individual RNG draws.
   void advance_nulls(std::uint64_t count);
   /// Sample an active (q, r) by weight and fire a candidate. `active` must
-  /// be the current active_weight() (> 0).
+  /// be the current active_.total() (> 0).
   void apply_active_meeting(std::uint64_t active);
   /// One plain meeting: hypergeometric pair sample, fire if enabled.
   bool step_meeting();
   void change_count(pp::State state, std::int64_t delta);
+  /// Move one agent from `from` to `to` (`from` != `to`). Equivalent to
+  /// change_count(from, -1); change_count(to, +1) — with a fused fast path
+  /// for the dominant firing shape, where both states stay populated.
+  void shift_pair(pp::State from, pp::State to);
+  void sorted_insert(pp::State state);
+  void sorted_erase(pp::State state);
+  /// Build matrix row `slot` (activity codes with pair positions) and
+  /// return A(populated_[slot]) — one walk computes both. The slot must
+  /// already be in the populated list; counts must be current. `ranked`
+  /// says whether the slot's own state is already in the sorted list (true
+  /// from load): only then may its self-pair rank bit enter srow_mask_ —
+  /// on a live append the bit arrives via sorted_insert instead.
+  std::uint64_t build_matrix_row(std::uint32_t slot, bool ranked);
   void fire(pp::State q, pp::State r);
+  void fire_candidates(pp::State q, pp::State r,
+                       std::span<const std::uint32_t> candidates);
+
+  static constexpr std::uint32_t kNoPosition = 0xffffffffu;
+  /// Populated-list capacity of the activity matrix; must stay <= 64 so a
+  /// matrix column fits one col_mask_ word.
+  static constexpr std::uint32_t kMatrixSlots = 64;
+  /// Populated-list size below which step_meeting's pair sampling uses the
+  /// seed engine's linear prefix scans instead of the count tree.
+  static constexpr std::size_t kLinearSlots = 32;
 
   const pp::Protocol* protocol_;
   std::unique_ptr<const PairIndex> owned_index_;
   const PairIndex* index_;
   CountSimOptions options_;
   pp::Config counts_;
-  /// rout_[q] = Σ_{r : (q,r) active} C(r), maintained incrementally.
-  std::vector<std::uint64_t> rout_;
-  /// States with non-zero count, unordered; keeps every per-firing scan
-  /// O(#populated states) instead of O(|Q|) — on the converted Czerner
-  /// protocols only a few dozen of the ~1.8k states are ever occupied.
+  /// States with non-zero count, unordered; keeps all incremental
+  /// bookkeeping O(#populated states) instead of O(|Q|) or O(degree) — on
+  /// the converted Czerner protocols only a handful of the ~1.8k states
+  /// are ever occupied while adjacency degrees reach |Q|.
   std::vector<pp::State> populated_;
   std::vector<std::uint32_t> position_;  ///< state -> index in populated_
-  std::vector<std::uint64_t> weights_;   ///< scratch parallel to populated_
+  /// partner_sum_[slot] = A(populated_[slot]); parallel to populated_.
+  std::vector<std::uint64_t> partner_sum_;
+  /// Per-slot active weights C(q)·A(q); total() is W.
+  WeightTree active_;
+  /// Per-slot counts for step_meeting's pair sampling; only maintained
+  /// when null_skip is off (the null-skip path never samples by count).
+  WeightTree pair_counts_;
+  /// The populated states in ascending state order — the responder-walk
+  /// order. Maintained incrementally (O(#populated) on populate/depopulate,
+  /// both rare) so sampling never sorts.
+  std::vector<pp::State> sorted_populated_;
+  /// Slot-by-slot activity matrix over the populated list. Cell
+  /// act_[i * kMatrixSlots + j] describes (populated_[i], populated_[j]):
+  /// 0 — inactive; 1 — active, pair position not yet resolved; c >= 2 —
+  /// active at PairIndex pair position c − 2, giving the firing path its
+  /// candidate transitions without a hash lookup. 16 KB and L1-resident,
+  /// it replaces the |Q|²-bit PairIndex probes on every hot-path walk;
+  /// PairIndex is consulted only when a state enters the populated list.
+  /// Maintained while the populated list fits in kMatrixSlots slots
+  /// (matrix_ok_); beyond that the simulator falls back to
+  /// PairIndex::pair_active until the next reset.
+  std::vector<std::uint32_t> act_;
+  /// col_mask_[j]: bit i set iff (populated_[i], populated_[j]) is active —
+  /// the initiator slots watching populated_[j], as a 64-bit set mirroring
+  /// matrix column j. A count change walks only the set bits, and the
+  /// fused pair shift walks the XOR of two columns — empty whenever both
+  /// states are watched by the same initiators, the typical firing.
+  std::array<std::uint64_t, kMatrixSlots> col_mask_{};
+  /// srow_mask_[i]: bit k set iff (populated_[i], sorted_populated_[k]) is
+  /// active — slot i's matrix row re-indexed by *sorted rank*, so the
+  /// responder walk visits exactly the active populated partners in
+  /// ascending state order by iterating set bits. sorted_insert /
+  /// sorted_erase shift the rank bits of every live mask in lockstep with
+  /// the list.
+  std::array<std::uint64_t, kMatrixSlots> srow_mask_{};
+  /// rank_[i]: sorted rank of populated_[i] — the bit position slot i's
+  /// state occupies in every srow_mask_. Maintained by sorted_insert /
+  /// sorted_erase in the same loop that shifts the masks, so
+  /// build_matrix_row can emit rank bits straight from its partner walk.
+  std::array<std::uint8_t, kMatrixSlots> rank_{};
+  bool matrix_ok_ = false;
+  /// Memoised geometric-law parameters for sample_null_run: log1p(−p) for
+  /// the current (W, m). The dominant firing moves one agent between two
+  /// register states watched by the same initiators, which leaves W — and
+  /// hence p — unchanged, so the transcendental is evaluated once per
+  /// distinct weight instead of once per firing. Pure memoisation: the
+  /// cached value is bit-identical to recomputing it.
+  std::uint64_t cached_active_ = 0;
+  std::uint64_t cached_m_ = 0;
+  double cached_p_ = 0.0;
+  double cached_log1p_ = 0.0;
   std::uint64_t accepting_ = 0;
   std::uint64_t interactions_ = 0;
   RunMetrics metrics_;
   support::Rng rng_;
-
-  static constexpr std::uint32_t kNoPosition = 0xffffffffu;
 };
 
 }  // namespace ppde::engine

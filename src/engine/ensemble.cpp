@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -28,24 +29,40 @@ const char* to_string(EngineKind kind) {
   return "?";
 }
 
+unsigned fleet_workers(std::uint64_t trials, unsigned threads) {
+  const unsigned requested =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(requested, std::max<std::uint64_t>(trials, 1)));
+}
+
 std::vector<TrialResult> run_trial_fleet(
     std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
     const std::function<TrialResult(std::uint64_t, std::uint64_t)>& body) {
+  return run_trial_fleet(
+      trials, threads, master_seed,
+      [&body](unsigned, std::uint64_t trial, std::uint64_t seed) {
+        return body(trial, seed);
+      });
+}
+
+std::vector<TrialResult> run_trial_fleet(
+    std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
+    const std::function<TrialResult(unsigned, std::uint64_t, std::uint64_t)>&
+        body) {
   std::vector<TrialResult> results(trials);
   if (trials == 0) return results;
-  unsigned workers = threads != 0 ? threads
-                                  : std::max(1u,
-                                             std::thread::hardware_concurrency());
-  workers = static_cast<unsigned>(
-      std::min<std::uint64_t>(workers, trials));
 
   // The shared worker pool (engine/pool.hpp) preserves this function's
   // contract: results indexed by trial, first exception rethrown after all
   // workers drain, never more workers than trials.
-  WorkerPool pool(workers);
-  pool.parallel_for(trials, [&](std::uint64_t trial) {
-    results[trial] = body(trial, derive_trial_seed(master_seed, trial));
-  });
+  WorkerPool pool(fleet_workers(trials, threads));
+  pool.parallel_for_workers(
+      trials, [&](unsigned worker, std::uint64_t trial) {
+        results[trial] =
+            body(worker, trial, derive_trial_seed(master_seed, trial));
+      });
   return results;
 }
 
@@ -98,7 +115,16 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
   std::optional<PairIndex> index;
   if (options.engine != EngineKind::kPerAgent) index.emplace(protocol);
 
-  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+  // One reusable simulator per worker: reset() rewinds counts, weights and
+  // RNG without reallocating, so per-trial cost no longer includes O(|Q|)
+  // construction churn. A reset simulator behaves identically to a fresh
+  // one, so results stay pure functions of (trial, seed).
+  const unsigned workers = fleet_workers(options.trials, options.threads);
+  std::vector<std::unique_ptr<CountSimulator>> sims(workers);
+  CountSimOptions sim_options;
+  sim_options.null_skip = options.engine == EngineKind::kCountNullSkip;
+
+  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
     TrialResult trial;
     trial.seed = seed;
     if (options.engine == EngineKind::kPerAgent) {
@@ -106,11 +132,14 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
       trial.sim = simulator.run_until_stable(options.sim);
       trial.metrics = simulator.metrics();
     } else {
-      CountSimOptions sim_options;
-      sim_options.null_skip = options.engine == EngineKind::kCountNullSkip;
-      CountSimulator simulator(protocol, *index, initial, seed, sim_options);
-      trial.sim = simulator.run_until_stable(options.sim);
-      trial.metrics = simulator.metrics();
+      std::unique_ptr<CountSimulator>& sim = sims[worker];
+      if (!sim)
+        sim = std::make_unique<CountSimulator>(protocol, *index, initial,
+                                               seed, sim_options);
+      else
+        sim->reset(initial, seed);
+      trial.sim = sim->run_until_stable(options.sim);
+      trial.metrics = sim->metrics();
     }
     return trial;
   };
@@ -121,12 +150,7 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
   EnsembleStats stats = aggregate(results);
   // Report what the fleet actually ran with: the pool never spawns more
   // workers than there are trials.
-  const unsigned requested =
-      options.threads != 0 ? options.threads
-                           : std::max(1u, std::thread::hardware_concurrency());
-  stats.threads_used = static_cast<unsigned>(
-      std::min<std::uint64_t>(requested, std::max<std::uint64_t>(
-                                             options.trials, 1)));
+  stats.threads_used = workers;
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
@@ -135,7 +159,15 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
 }
 
 std::string describe(const EnsembleStats& stats) {
-  char buffer[512];
+  // Guard the effective rate against a wall time that rounds to (or near)
+  // zero: meetings/wall can overflow to inf on a fast fleet; report 0
+  // instead of printing "inf".
+  double effective = stats.wall_seconds > 0.0
+                         ? static_cast<double>(stats.totals.meetings) /
+                               stats.wall_seconds
+                         : 0.0;
+  if (!std::isfinite(effective)) effective = 0.0;
+  char buffer[640];
   std::snprintf(
       buffer, sizeof buffer,
       "trials ............ %llu (%u threads)\n"
@@ -143,17 +175,17 @@ std::string describe(const EnsembleStats& stats) {
       "interactions ...... p50 %.3g  p90 %.3g  max %.3g\n"
       "parallel time ..... p50 %.3g  p90 %.3g  max %.3g\n"
       "meetings/sec ...... %.3g effective (%llu firings, %llu skip batches)\n"
+      "incremental ....... %llu weight updates, %llu tree descents\n"
       "wall .............. %.3fs\n",
       static_cast<unsigned long long>(stats.trials), stats.threads_used,
       stats.stabilised_fraction(), stats.accept_fraction(),
       stats.interactions.p50, stats.interactions.p90, stats.interactions.max,
       stats.parallel_time.p50, stats.parallel_time.p90,
-      stats.parallel_time.max,
-      stats.wall_seconds > 0.0
-          ? static_cast<double>(stats.totals.meetings) / stats.wall_seconds
-          : 0.0,
+      stats.parallel_time.max, effective,
       static_cast<unsigned long long>(stats.totals.firings),
       static_cast<unsigned long long>(stats.totals.null_skip_batches),
+      static_cast<unsigned long long>(stats.totals.weight_updates),
+      static_cast<unsigned long long>(stats.totals.tree_descents),
       stats.wall_seconds);
   return buffer;
 }

@@ -89,6 +89,10 @@ struct EnsembleOptions {
   pp::SimulationOptions sim;
 };
 
+/// Workers a fleet of `trials` trials actually uses: `threads` (0 ⇒
+/// hardware concurrency) capped at the trial count, at least 1.
+unsigned fleet_workers(std::uint64_t trials, unsigned threads);
+
 /// Run `body(trial, derive_trial_seed(master_seed, trial))` for every
 /// trial in [0, trials) on a fixed pool of `threads` workers (0 ⇒ hardware
 /// concurrency). Results are indexed by trial; an exception thrown by any
@@ -98,6 +102,17 @@ std::vector<TrialResult> run_trial_fleet(
     std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
     const std::function<TrialResult(std::uint64_t trial, std::uint64_t seed)>&
         body);
+
+/// Same contract, but the body also receives the executing worker's index
+/// in [0, fleet_workers(trials, threads)), so callers can keep one
+/// reusable simulator per worker (CountSimulator::reset) instead of
+/// reconstructing per trial. Each trial's result must remain a pure
+/// function of (trial, seed) — reuse scratch through the worker index,
+/// never results.
+std::vector<TrialResult> run_trial_fleet(
+    std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
+    const std::function<TrialResult(unsigned worker, std::uint64_t trial,
+                                    std::uint64_t seed)>& body);
 
 /// Deterministic aggregation of per-trial results (in index order).
 EnsembleStats aggregate(const std::vector<TrialResult>& results);

@@ -44,9 +44,21 @@ class WorkerPool {
   void parallel_for(std::uint64_t count,
                     const std::function<void(std::uint64_t)>& body);
 
+  /// Same contract, but the body also receives the stable index of the
+  /// executing worker (0 = the calling thread, 1..workers()−1 = spawned
+  /// threads). Lets callers keep per-worker scratch — e.g. one reusable
+  /// CountSimulator per worker — without thread-local storage. Item
+  /// *results* must still be pure functions of the item index; the worker
+  /// index may only steer reuse of scratch state that is fully reset
+  /// between items.
+  void parallel_for_workers(
+      std::uint64_t count,
+      const std::function<void(unsigned worker, std::uint64_t)>& body);
+
  private:
-  void worker_loop();
-  void run_indices();
+  void worker_loop(unsigned worker);
+  void run_indices(unsigned worker);
+  void dispatch(std::uint64_t count);
 
   unsigned workers_ = 1;
   std::vector<std::thread> threads_;
@@ -55,7 +67,9 @@ class WorkerPool {
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(std::uint64_t)>* body_ = nullptr;  // guarded
-  std::uint64_t count_ = 0;                                   // guarded
+  const std::function<void(unsigned, std::uint64_t)>* worker_body_ =
+      nullptr;               // guarded
+  std::uint64_t count_ = 0;  // guarded
   std::uint64_t generation_ = 0;                              // guarded
   unsigned pending_ = 0;                                      // guarded
   bool stop_ = false;                                         // guarded

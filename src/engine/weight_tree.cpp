@@ -1,0 +1,41 @@
+#include "engine/weight_tree.hpp"
+
+#include <algorithm>
+
+namespace ppde::engine {
+
+void WeightTree::reset(std::size_t capacity) {
+  tree_.assign(capacity + 1, 0);
+  value_.assign(capacity, 0);
+  total_ = 0;
+  size_ = 0;
+}
+
+void WeightTree::clear() {
+  // Only nodes 1..size_ are logically live (anything above is rebuilt by
+  // push_back), so an O(size) wipe suffices.
+  std::fill(tree_.begin(), tree_.begin() + size_ + 1, 0);
+  std::fill(value_.begin(), value_.begin() + size_, 0);
+  total_ = 0;
+  size_ = 0;
+}
+
+void WeightTree::push_back(std::uint64_t value) {
+  const std::size_t i = ++size_;  // 1-based index of the new node
+  value_[i - 1] = value;
+  total_ += value;
+  // tree_[i] covers values [i − lowbit(i), i): fold the sibling nodes
+  // whose ranges tile [i − lowbit(i), i − 1) onto the new value.
+  const std::size_t low = i - (i & (0 - i));
+  std::uint64_t node = value;
+  for (std::size_t j = i - 1; j > low; j &= j - 1) node += tree_[j];
+  tree_[i] = node;
+}
+
+void WeightTree::pop_back() {
+  total_ -= value_[size_ - 1];
+  value_[size_ - 1] = 0;
+  --size_;
+}
+
+}  // namespace ppde::engine

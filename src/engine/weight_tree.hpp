@@ -1,0 +1,105 @@
+// Fenwick (binary indexed) tree over per-slot sampling weights (S21).
+//
+// CountSimulator keeps one weight per *populated-list slot* — the active
+// pair weight C(q)·A(q) for null-skip sampling, or the plain count C(q)
+// for per-meeting pair sampling — and needs four operations on the
+// vector: point assignment, the running total, "find the slot containing
+// prefix position t", and growing/shrinking in lockstep with the
+// populated list's swap-remove surgery. The seed engine answered the find
+// with a linear prefix scan; this tree answers everything in
+// O(log size()) / O(1).
+//
+// The tree's *logical size* tracks the number of populated slots, not the
+// protocol's state count: on the converted Czerner protocols a handful of
+// the ~1.8k states are ever occupied, and a climb bounded by the logical
+// size costs 2–3 hops instead of log |Q| ≈ 10. push_back() rebuilds the
+// one new internal node from O(log) existing nodes (the classic online
+// Fenwick construction); pop_back() just retires the last slot — internal
+// nodes above the logical size are recomputed by the next push_back, so
+// they may go stale freely.
+//
+// find() is written to select *exactly* the slot the linear scan
+//
+//   for (slot = 0;; ++slot) { if (t < w[slot]) break; t -= w[slot]; }
+//
+// selects for the same target t < total(): the mask descent settles on the
+// unique slot with prefix_excl(slot) <= t < prefix_excl(slot) + w[slot],
+// and leaves `remaining` = t − prefix_excl(slot) — the same residual the
+// scan holds when it breaks. A zero-weight slot can never be returned,
+// because the boundary inequality requires w[slot] > remaining >= 0. This
+// slot-for-slot agreement is what keeps same-seed trajectories
+// bit-identical to the pre-Fenwick engine (DESIGN.md S21).
+//
+// Values are unsigned 64-bit; set() propagates two's-complement deltas, so
+// any transient sequence of assignments is fine as long as each stored
+// value and the running total stay below 2^64 (the simulator's weights are
+// bounded by m·(m−1) < 2^64 for 32-bit counts).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace ppde::engine {
+
+class WeightTree {
+ public:
+  WeightTree() = default;
+  /// Fixed slot capacity; starts empty (size() == 0).
+  explicit WeightTree(std::size_t capacity) { reset(capacity); }
+
+  /// Re-dimension to `capacity` slots, empty.
+  void reset(std::size_t capacity);
+  /// Drop every slot, keeping the capacity.
+  void clear();
+
+  std::size_t capacity() const { return value_.size(); }
+  std::size_t size() const { return size_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t get(std::size_t slot) const { return value_[slot]; }
+
+  /// Append a slot holding `value` (O(log size)). size() < capacity().
+  void push_back(std::uint64_t value);
+  /// Retire the last slot (O(1)); its weight leaves the total.
+  void pop_back();
+
+  /// Assign weight `value` to `slot` < size() (point update, O(log size)).
+  /// Inline — it sits on the engine's per-firing hot path.
+  void set(std::size_t slot, std::uint64_t value) {
+    const std::uint64_t delta = value - value_[slot];  // two's complement
+    if (delta == 0) return;
+    value_[slot] = value;
+    total_ += delta;
+    for (std::size_t i = slot + 1; i <= size_; i += i & (0 - i))
+      tree_[i] += delta;
+  }
+
+  /// For target < total(): the unique slot with
+  /// prefix_excl(slot) <= target < prefix_excl(slot) + get(slot), i.e. the
+  /// slot the linear prefix scan selects. Stores target − prefix_excl(slot)
+  /// into *remaining (the scan's leftover offset within the slot; always
+  /// < get(slot), so never lands on a zero-weight slot).
+  std::size_t find(std::uint64_t target, std::uint64_t* remaining) const {
+    // Mask descent: grow the 1-based prefix position while its cumulative
+    // sum stays <= target. `pos` ends as the count of slots wholly below
+    // the target, i.e. the selected 0-based slot index.
+    std::size_t pos = 0;
+    for (std::size_t mask = std::bit_floor(size_); mask != 0; mask >>= 1) {
+      const std::size_t next = pos + mask;
+      if (next <= size_ && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    *remaining = target;
+    return pos;
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;   ///< 1-based Fenwick array
+  std::vector<std::uint64_t> value_;  ///< current weight per slot
+  std::uint64_t total_ = 0;
+  std::size_t size_ = 0;  ///< logical slot count; nodes above may be stale
+};
+
+}  // namespace ppde::engine

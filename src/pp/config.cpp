@@ -13,13 +13,6 @@ Config Config::single(std::size_t num_states, State q, std::uint32_t count) {
   return config;
 }
 
-void Config::remove(State q, std::uint32_t count) {
-  if (counts_[q] < count)
-    throw std::underflow_error("Config: removing more agents than present");
-  counts_[q] -= count;
-  total_ -= count;
-}
-
 std::uint64_t Config::accepting_count(const Protocol& protocol) const {
   std::uint64_t count = 0;
   for (State q = 0; q < counts_.size(); ++q)

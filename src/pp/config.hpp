@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,7 +29,12 @@ class Config {
     total_ += count;
   }
 
-  void remove(State q, std::uint32_t count = 1);
+  void remove(State q, std::uint32_t count = 1) {
+    if (counts_[q] < count)
+      throw std::underflow_error("Config: removing more agents than present");
+    counts_[q] -= count;
+    total_ -= count;
+  }
 
   /// Total number of agents |C|.
   std::uint64_t total() const { return total_; }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -53,12 +54,8 @@ Certificate certify_trials(const TrialFn& body,
   QuantileTails tails;
   engine::RunMetrics totals;
 
-  const unsigned requested =
-      options.threads != 0
-          ? options.threads
-          : std::max(1u, std::thread::hardware_concurrency());
-  const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
-      requested, std::max<std::uint64_t>(options.batch, 1)));
+  const unsigned workers =
+      engine::fleet_workers(options.batch, options.threads);
   engine::WorkerPool pool(workers);
   cert.threads_used = workers;
 
@@ -72,9 +69,10 @@ Certificate certify_trials(const TrialFn& body,
     const std::uint64_t batch =
         std::min(options.batch, options.max_trials - next_trial);
     const std::uint64_t base = next_trial;
-    pool.parallel_for(batch, [&](std::uint64_t i) {
+    pool.parallel_for_workers(batch, [&](unsigned worker, std::uint64_t i) {
       const std::uint64_t trial = base + i;
-      outcomes[i] = body(trial, engine::derive_trial_seed(options.seed, trial));
+      outcomes[i] =
+          body(worker, trial, engine::derive_trial_seed(options.seed, trial));
     });
     // Fold in trial order; stop at the SPRT's decision point so that every
     // statistic covers exactly the trials the sequential test consumed —
@@ -118,12 +116,18 @@ Certificate certify_trials(const TrialFn& body,
 Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
                     bool expected_output, const CertifyOptions& options) {
   // One shared activity index for all count-based trials (read-only after
-  // construction, exactly as in engine::run_ensemble).
+  // construction, exactly as in engine::run_ensemble), and one reusable
+  // simulator per worker — reset() between trials keeps each outcome a
+  // pure function of (trial, seed) without per-trial allocation churn.
   std::optional<engine::PairIndex> index;
   if (options.engine != engine::EngineKind::kPerAgent)
     index.emplace(protocol);
+  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
+      engine::fleet_workers(options.batch, options.threads));
+  engine::CountSimOptions sim_options;
+  sim_options.null_skip = options.engine == engine::EngineKind::kCountNullSkip;
 
-  const auto body = [&](std::uint64_t, std::uint64_t seed) {
+  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
     pp::SimulationResult sim;
     TrialOutcome outcome;
     if (options.engine == engine::EngineKind::kPerAgent) {
@@ -131,13 +135,14 @@ Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
       sim = simulator.run_until_stable(options.sim);
       outcome.metrics = simulator.metrics();
     } else {
-      engine::CountSimOptions sim_options;
-      sim_options.null_skip =
-          options.engine == engine::EngineKind::kCountNullSkip;
-      engine::CountSimulator simulator(protocol, *index, initial, seed,
-                                       sim_options);
-      sim = simulator.run_until_stable(options.sim);
-      outcome.metrics = simulator.metrics();
+      std::unique_ptr<engine::CountSimulator>& simulator = sims[worker];
+      if (!simulator)
+        simulator = std::make_unique<engine::CountSimulator>(
+            protocol, *index, initial, seed, sim_options);
+      else
+        simulator->reset(initial, seed);
+      sim = simulator->run_until_stable(options.sim);
+      outcome.metrics = simulator->metrics();
     }
     outcome.stabilised =
         sim.stabilised &&

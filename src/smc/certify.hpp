@@ -127,11 +127,14 @@ struct Certificate {
   }
 };
 
-/// A trial body: given (trial index, derived seed), run one independent
-/// experiment. Must be safe to call concurrently from different threads
-/// and a pure function of its arguments (for reproducibility).
-using TrialFn =
-    std::function<TrialOutcome(std::uint64_t trial, std::uint64_t seed)>;
+/// A trial body: given (executing worker, trial index, derived seed), run
+/// one independent experiment. Must be safe to call concurrently from
+/// different threads, and the outcome must be a pure function of (trial,
+/// seed) alone — the worker index only identifies per-worker scratch
+/// (e.g. a reusable CountSimulator) that is fully reset between trials,
+/// so it can never influence a result (or the certificate digest).
+using TrialFn = std::function<TrialOutcome(
+    unsigned worker, std::uint64_t trial, std::uint64_t seed)>;
 
 /// Core driver: batches of `body` trials on the shared engine::WorkerPool,
 /// folded into the SPRT/interval/quantile state in trial order until the

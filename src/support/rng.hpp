@@ -39,8 +39,23 @@ class Rng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
-  std::uint64_t below(std::uint64_t bound);
+  /// Uniform integer in [0, bound). Requires bound > 0. Lemire's debiased
+  /// multiply-shift rejection method; inline — it sits on the per-meeting
+  /// hot path of every scheduler.
+  std::uint64_t below(std::uint64_t bound) {
+    std::uint64_t x = operator()();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = operator()();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Bernoulli draw with probability num/den. Requires den > 0.
   bool chance(std::uint64_t num, std::uint64_t den) {

@@ -16,7 +16,9 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "engine/weight_tree.hpp"
 #include "pp/simulator.hpp"
+#include "support/rng.hpp"
 
 namespace ppde::engine {
 namespace {
@@ -98,6 +100,270 @@ double chi_squared(const std::vector<double>& a,
     statistic += diff * diff / total;
   }
   return statistic;
+}
+
+// Verbatim reimplementation of the pre-Fenwick engine's stepping loop —
+// full active-weight rescan per step, linear prefix scans for both meeting
+// partners, responder walk over the initiator's complete partner list —
+// kept here as the oracle for the bit-identicality contract (DESIGN.md
+// S21): for the same seed, CountSimulator must visit the same
+// configuration sequence, fire the same transitions, and settle the same
+// consensus times as this loop, RNG draw for RNG draw.
+class LinearScanOracle {
+ public:
+  LinearScanOracle(const pp::Protocol& protocol, const pp::Config& initial,
+                   std::uint64_t seed, bool null_skip)
+      : protocol_(&protocol),
+        index_(protocol),
+        null_skip_(null_skip),
+        counts_(protocol.num_states()),
+        rout_(protocol.num_states(), 0),
+        position_(protocol.num_states(), kNone),
+        rng_(seed) {
+    for (pp::State q = 0; q < initial.num_states(); ++q)
+      if (initial[q] != 0) counts_.add(q, initial[q]);
+    for (pp::State q = 0; q < counts_.num_states(); ++q) {
+      if (counts_[q] == 0) continue;
+      if (protocol.is_accepting(q)) accepting_ += counts_[q];
+      for (pp::State p : index_.initiators_meeting(q)) rout_[p] += counts_[q];
+      position_[q] = static_cast<std::uint32_t>(populated_.size());
+      populated_.push_back(q);
+    }
+  }
+
+  const pp::Config& config() const { return counts_; }
+  std::uint64_t interactions() const { return interactions_; }
+  std::uint64_t meetings() const { return meetings_; }
+  std::uint64_t firings() const { return firings_; }
+
+  bool step() {
+    if (!null_skip_) return step_meeting();
+    const std::uint64_t active = active_weight();
+    if (active == 0) {
+      ++interactions_;
+      ++meetings_;
+      return false;
+    }
+    advance_nulls(sample_null_run(active));
+    ++interactions_;
+    ++meetings_;
+    apply_active_meeting(active);
+    return true;
+  }
+
+  pp::SimulationResult run_until_stable(const pp::SimulationOptions& options) {
+    pp::SimulationResult result;
+    std::uint64_t consensus_start = interactions_;
+    std::optional<bool> held = consensus();
+    while (interactions_ < options.max_interactions) {
+      if (null_skip_) {
+        const std::uint64_t active = active_weight();
+        const std::uint64_t stable_at =
+            consensus_start + options.stable_window;
+        if (active == 0) {
+          if (held.has_value() && stable_at <= options.max_interactions) {
+            advance_nulls(stable_at - interactions_);
+            result.stabilised = true;
+            result.output = *held;
+            result.consensus_since = consensus_start;
+          } else {
+            advance_nulls(options.max_interactions - interactions_);
+          }
+          break;
+        }
+        const std::uint64_t skip = sample_null_run(active);
+        if (held.has_value() && stable_at <= interactions_ + skip) {
+          advance_nulls(stable_at - interactions_);
+          result.stabilised = true;
+          result.output = *held;
+          result.consensus_since = consensus_start;
+          break;
+        }
+        if (interactions_ + skip >= options.max_interactions) {
+          advance_nulls(options.max_interactions - interactions_);
+          break;
+        }
+        advance_nulls(skip);
+        ++interactions_;
+        ++meetings_;
+        apply_active_meeting(active);
+      } else {
+        step_meeting();
+      }
+      const std::optional<bool> now = consensus();
+      if (now != held) {
+        held = now;
+        consensus_start = interactions_;
+      }
+      if (held.has_value() &&
+          interactions_ - consensus_start >= options.stable_window) {
+        result.stabilised = true;
+        result.output = *held;
+        result.consensus_since = consensus_start;
+        break;
+      }
+    }
+    result.interactions = interactions_;
+    return result;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::optional<bool> consensus() const {
+    if (accepting_ == counts_.total()) return true;
+    if (accepting_ == 0) return false;
+    return std::nullopt;
+  }
+
+  std::uint64_t active_weight() {
+    std::uint64_t total = 0;
+    weights_.resize(populated_.size());
+    for (std::size_t i = 0; i < populated_.size(); ++i) {
+      const pp::State q = populated_[i];
+      const std::uint64_t weight =
+          counts_[q] * (rout_[q] - (index_.self_active(q) ? 1 : 0));
+      weights_[i] = weight;
+      total += weight;
+    }
+    return total;
+  }
+
+  std::uint64_t sample_null_run(std::uint64_t active) {
+    const double m = static_cast<double>(counts_.total());
+    const double p = static_cast<double>(active) / (m * (m - 1.0));
+    if (p >= 1.0) return 0;
+    const double u = (static_cast<double>(rng_() >> 11) + 1.0) * 0x1.0p-53;
+    const double k = std::floor(std::log(u) / std::log1p(-p));
+    if (!(k >= 0.0)) return 0;
+    if (k >= 1.8e19) return std::numeric_limits<std::uint64_t>::max() / 2;
+    return static_cast<std::uint64_t>(k);
+  }
+
+  void advance_nulls(std::uint64_t count) {
+    interactions_ += count;
+    meetings_ += count;
+  }
+
+  void apply_active_meeting(std::uint64_t active) {
+    std::uint64_t target = rng_.below(active);
+    std::size_t slot = 0;
+    for (;; ++slot) {
+      if (target < weights_[slot]) break;
+      target -= weights_[slot];
+    }
+    const pp::State q = populated_[slot];
+    const std::uint64_t cq = counts_[q];
+    pp::State r = q;
+    for (pp::State partner : index_.partners_of(q)) {
+      const std::uint64_t weight =
+          cq * (counts_[partner] - (partner == q ? 1 : 0));
+      if (target < weight) {
+        r = partner;
+        break;
+      }
+      target -= weight;
+    }
+    fire(q, r);
+  }
+
+  bool step_meeting() {
+    ++interactions_;
+    ++meetings_;
+    const std::uint64_t m = counts_.total();
+    if (m < 2) return false;
+    std::uint64_t i = rng_.below(m);
+    std::size_t slot = 0;
+    while (i >= counts_[populated_[slot]]) i -= counts_[populated_[slot++]];
+    const pp::State q = populated_[slot];
+    std::uint64_t j = rng_.below(m - 1);
+    pp::State r = 0;
+    for (slot = 0;; ++slot) {
+      const pp::State candidate = populated_[slot];
+      const std::uint64_t c = counts_[candidate] - (candidate == q ? 1 : 0);
+      if (j < c) {
+        r = candidate;
+        break;
+      }
+      j -= c;
+    }
+    if (protocol_->transitions_for(q, r).empty()) return false;
+    fire(q, r);
+    return true;
+  }
+
+  void fire(pp::State q, pp::State r) {
+    const auto candidates = protocol_->transitions_for(q, r);
+    ++firings_;
+    const std::uint32_t pick =
+        candidates.size() == 1 ? candidates[0]
+                               : candidates[rng_.below(candidates.size())];
+    const pp::Transition& t = protocol_->transitions()[pick];
+    if (t.is_silent()) return;
+    if (t.q != t.q2) {
+      change_count(t.q, -1);
+      change_count(t.q2, +1);
+    }
+    if (t.r != t.r2) {
+      change_count(t.r, -1);
+      change_count(t.r2, +1);
+    }
+  }
+
+  void change_count(pp::State state, std::int64_t delta) {
+    if (delta > 0)
+      counts_.add(state, static_cast<std::uint32_t>(delta));
+    else
+      counts_.remove(state, static_cast<std::uint32_t>(-delta));
+    const auto shift = static_cast<std::uint64_t>(delta);
+    if (protocol_->is_accepting(state)) accepting_ += shift;
+    for (pp::State p : index_.initiators_meeting(state)) rout_[p] += shift;
+    if (counts_[state] == 0) {
+      const std::uint32_t hole = position_[state];
+      const pp::State moved = populated_.back();
+      populated_[hole] = moved;
+      position_[moved] = hole;
+      populated_.pop_back();
+      position_[state] = kNone;
+    } else if (position_[state] == kNone) {
+      position_[state] = static_cast<std::uint32_t>(populated_.size());
+      populated_.push_back(state);
+    }
+  }
+
+  const pp::Protocol* protocol_;
+  PairIndex index_;
+  bool null_skip_;
+  pp::Config counts_;
+  std::vector<std::uint64_t> rout_;
+  std::vector<std::uint32_t> position_;
+  std::vector<pp::State> populated_;
+  std::vector<std::uint64_t> weights_;
+  std::uint64_t accepting_ = 0;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t meetings_ = 0;
+  std::uint64_t firings_ = 0;
+  support::Rng rng_;
+};
+
+// A 40-state "carousel" (every meeting advances the responder one state):
+// all 1600 ordered pairs are active and the populated list fluctuates
+// around 40 slots — past kLinearSlots and kMatrixSlots/2 — so the engine's
+// tree-descent branches and swap-remove surgery all run, not just the
+// small-population linear branches.
+pp::Protocol make_carousel_protocol(std::uint32_t n) {
+  pp::Protocol protocol;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    protocol.add_state(name);
+  }
+  protocol.mark_accepting(0);
+  for (pp::State q = 0; q < n; ++q)
+    for (pp::State r = 0; r < n; ++r)
+      protocol.add_transition(q, r, q, (r + 1) % n);
+  protocol.finalize();
+  return protocol;
 }
 
 TEST(PairIndex, MarksExactlyTheNonSilentPairs) {
@@ -354,7 +620,12 @@ TEST(Ensemble, StatsAreIndependentOfThreadCount) {
               runs[0].totals.skipped_meetings);
     EXPECT_EQ(runs[i].totals.consensus_flips,
               runs[0].totals.consensus_flips);
+    // The incremental-maintenance counters ride the same trajectories, so
+    // they must be just as thread-count-deterministic as the physics.
+    EXPECT_EQ(runs[i].totals.weight_updates, runs[0].totals.weight_updates);
+    EXPECT_EQ(runs[i].totals.tree_descents, runs[0].totals.tree_descents);
   }
+  EXPECT_GT(runs[0].totals.tree_descents, 0u);
 }
 
 TEST(Ensemble, EnginesAgreeOnVerdicts) {
@@ -385,6 +656,251 @@ TEST(Ensemble, FleetRethrowsBodyExceptions) {
                         return {};
                       }),
       std::runtime_error);
+}
+
+TEST(CountSimulator, BitIdenticalToLinearScanOracle) {
+  // The tentpole contract: same seed, same trajectory, bit for bit — the
+  // Fenwick/matrix machinery may only change how fast the next firing is
+  // found, never which firing it is. Four protocols cover the regimes:
+  // tiny two-state, the 4-state majority, the converted Czerner n = 1
+  // (≈880 states, ~24 populated, heavy populate/depopulate churn), and a
+  // 40-state carousel that pushes past the linear-scan thresholds.
+  const pp::Protocol opinion = make_opinion_protocol();
+  const pp::Protocol majority = baselines::make_majority();
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  const pp::Protocol carousel = make_carousel_protocol(40);
+  pp::Config carousel_initial(carousel.num_states());
+  for (pp::State q = 0; q < 40; ++q) carousel_initial.add(q, 3);
+
+  struct Case {
+    const pp::Protocol* protocol;
+    pp::Config initial;
+    int steps;
+  };
+  const Case cases[] = {
+      {&opinion, opinion_initial(opinion, 5, 4), 4'000},
+      {&majority, baselines::majority_initial(majority, 23, 20), 4'000},
+      {&conv.protocol, conv.initial_config(conv.num_pointers + 400), 12'000},
+      {&carousel, carousel_initial, 12'000},
+  };
+  for (const Case& test_case : cases) {
+    for (const bool null_skip : {true, false}) {
+      for (const std::uint64_t seed : {1ull, 29ull}) {
+        CountSimOptions options;
+        options.null_skip = null_skip;
+        CountSimulator sim(*test_case.protocol, test_case.initial, seed,
+                           options);
+        LinearScanOracle oracle(*test_case.protocol, test_case.initial, seed,
+                                null_skip);
+        for (int step = 0; step < test_case.steps; ++step) {
+          sim.step();
+          oracle.step();
+          ASSERT_EQ(sim.interactions(), oracle.interactions())
+              << "step " << step << " skip=" << null_skip;
+          ASSERT_EQ(sim.metrics().firings, oracle.firings())
+              << "step " << step << " skip=" << null_skip;
+          if (step % 64 == 0 || step + 1 == test_case.steps) {
+            ASSERT_EQ(sim.config(), oracle.config())
+                << "step " << step << " skip=" << null_skip;
+          }
+        }
+        ASSERT_EQ(sim.metrics().meetings, oracle.meetings());
+      }
+    }
+  }
+}
+
+TEST(CountSimulator, RunUntilStableMatchesOracle) {
+  // consensus_since, stabilised, output and the final interaction count
+  // all come out of the same trajectory, so they must match the oracle's
+  // run loop exactly — including the closed-form window completions.
+  const pp::Protocol opinion = make_opinion_protocol();
+  const pp::Protocol flock = baselines::make_flock_of_birds(3);
+  struct Case {
+    const pp::Protocol* protocol;
+    pp::Config initial;
+  };
+  const Case cases[] = {
+      {&opinion, opinion_initial(opinion, 4, 4)},
+      {&flock, baselines::flock_initial(flock, 9)},
+  };
+  pp::SimulationOptions options;
+  options.stable_window = 400;
+  options.max_interactions = 1'000'000;
+  for (const Case& test_case : cases) {
+    for (const bool null_skip : {true, false}) {
+      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        CountSimOptions sim_options;
+        sim_options.null_skip = null_skip;
+        CountSimulator sim(*test_case.protocol, test_case.initial, seed,
+                           sim_options);
+        LinearScanOracle oracle(*test_case.protocol, test_case.initial, seed,
+                                null_skip);
+        const pp::SimulationResult ours = sim.run_until_stable(options);
+        const pp::SimulationResult reference =
+            oracle.run_until_stable(options);
+        ASSERT_EQ(ours.stabilised, reference.stabilised) << seed;
+        ASSERT_EQ(ours.output, reference.output) << seed;
+        ASSERT_EQ(ours.interactions, reference.interactions) << seed;
+        ASSERT_EQ(ours.consensus_since, reference.consensus_since) << seed;
+        ASSERT_EQ(sim.config(), oracle.config()) << seed;
+      }
+    }
+  }
+}
+
+TEST(WeightTree, MatchesLinearReference) {
+  // Randomised differential against a plain vector: push/pop/set in any
+  // order, and find() must select exactly the slot the linear prefix scan
+  // selects — zero-weight slots (including runs of them) never absorb a
+  // target, and `remaining` is the scan's leftover offset.
+  support::Rng rng(2024);
+  WeightTree tree(64);
+  std::vector<std::uint64_t> reference;
+  for (int op = 0; op < 4'000; ++op) {
+    const std::uint64_t choice = rng.below(10);
+    if (choice < 3 && reference.size() < 64) {
+      const std::uint64_t value = rng.below(5);  // zeros are common
+      tree.push_back(value);
+      reference.push_back(value);
+    } else if (choice < 4 && !reference.empty()) {
+      tree.pop_back();
+      reference.pop_back();
+    } else if (!reference.empty()) {
+      const auto slot = static_cast<std::size_t>(rng.below(reference.size()));
+      const std::uint64_t value = rng.below(7);
+      tree.set(slot, value);
+      reference[slot] = value;
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+    std::uint64_t total = 0;
+    for (std::uint64_t w : reference) total += w;
+    ASSERT_EQ(tree.total(), total);
+    if (total == 0) continue;
+    // Probe a handful of targets, always including both boundaries.
+    for (const std::uint64_t target :
+         {std::uint64_t{0}, total - 1, rng.below(total), rng.below(total)}) {
+      std::size_t expected_slot = 0;
+      std::uint64_t expected_remaining = target;
+      while (expected_remaining >= reference[expected_slot])
+        expected_remaining -= reference[expected_slot++];
+      std::uint64_t remaining = 0;
+      const std::size_t slot = tree.find(target, &remaining);
+      ASSERT_EQ(slot, expected_slot) << "target " << target;
+      ASSERT_EQ(remaining, expected_remaining) << "target " << target;
+      ASSERT_GT(reference[slot], remaining);  // never a zero-weight slot
+    }
+  }
+}
+
+TEST(CountSimulator, TinyPopulationsFreezeInsteadOfDividing) {
+  // Regression for the m <= 1 hazard: sample_null_run's geometric law
+  // divides by m·(m−1) and the meeting sampler draws below(m−1); empty and
+  // single-agent configurations must freeze immediately instead.
+  const pp::Protocol opinion = make_opinion_protocol();
+  for (const bool null_skip : {true, false}) {
+    CountSimOptions options;
+    options.null_skip = null_skip;
+    pp::SimulationOptions run;
+    run.stable_window = 50;
+    run.max_interactions = 1'000;
+
+    pp::Config lone(opinion.num_states());
+    lone.add(opinion.state("T"), 1);
+    CountSimulator single(opinion, lone, 3, options);
+    EXPECT_TRUE(single.frozen());
+    EXPECT_FALSE(single.step());
+    EXPECT_EQ(single.interactions(), 1u);
+    const pp::SimulationResult result = single.run_until_stable(run);
+    EXPECT_TRUE(result.stabilised);
+    EXPECT_TRUE(result.output);  // the lone agent accepts
+    // The manual step above burnt one interaction; the window starts there.
+    EXPECT_EQ(result.consensus_since, 1u);
+    EXPECT_EQ(single.config()[opinion.state("T")], 1u);
+
+    pp::Config empty(opinion.num_states());
+    CountSimulator none(opinion, empty, 3, options);
+    EXPECT_TRUE(none.frozen());
+    EXPECT_FALSE(none.step());
+    const pp::SimulationResult vacuous = none.run_until_stable(run);
+    EXPECT_TRUE(vacuous.stabilised);  // vacuous consensus, documented
+  }
+}
+
+TEST(CountSimulator, BudgetBoundaryOnFrozenConsensus) {
+  // Zero active weight with a held consensus: the closed-form fast-forward
+  // must stabilise exactly when the window fits the budget and exhaust the
+  // budget (without stabilising) when it misses by one.
+  pp::Protocol protocol;
+  const pp::State g = protocol.add_state("g");
+  protocol.mark_input(g);
+  protocol.mark_accepting(g);
+  protocol.finalize();
+  const pp::Config initial = pp::Config::single(1, g, 4);
+  pp::SimulationOptions exact;
+  exact.stable_window = 1'000;
+  exact.max_interactions = 1'000;  // stable_at == budget: just fits
+  pp::SimulationOptions short_by_one;
+  short_by_one.stable_window = 1'000;
+  short_by_one.max_interactions = 999;
+
+  CountSimulator fits(protocol, initial, 5);
+  const pp::SimulationResult on_time = fits.run_until_stable(exact);
+  EXPECT_TRUE(on_time.stabilised);
+  EXPECT_EQ(on_time.interactions, 1'000u);
+  EXPECT_EQ(on_time.consensus_since, 0u);
+
+  CountSimulator misses(protocol, initial, 5);
+  const pp::SimulationResult late = misses.run_until_stable(short_by_one);
+  EXPECT_FALSE(late.stabilised);
+  EXPECT_EQ(late.interactions, 999u);
+  EXPECT_EQ(late.consensus_since, pp::SimulationResult::kNeverStabilised);
+}
+
+TEST(CountSimulator, ResetMatchesFreshConstruction) {
+  // run_trial_fleet reuses one simulator per worker; reset(Config, seed)
+  // must therefore be indistinguishable from constructing fresh — same
+  // trajectory, same metrics — even after a prior run left the simulator
+  // in an arbitrary state.
+  const pp::Protocol majority = baselines::make_majority();
+  const pp::Config initial = baselines::majority_initial(majority, 13, 11);
+  for (const bool null_skip : {true, false}) {
+    CountSimOptions options;
+    options.null_skip = null_skip;
+    CountSimulator fresh(majority, initial, 77, options);
+    CountSimulator reused(
+        majority, baselines::majority_initial(majority, 40, 2), 5, options);
+    for (int step = 0; step < 500; ++step) reused.step();  // arbitrary state
+    reused.reset(initial, 77);
+    EXPECT_EQ(reused.interactions(), 0u);
+    EXPECT_EQ(reused.metrics().firings, 0u);
+    for (int step = 0; step < 2'000; ++step) {
+      fresh.step();
+      reused.step();
+    }
+    EXPECT_EQ(fresh.config(), reused.config());
+    EXPECT_EQ(fresh.interactions(), reused.interactions());
+    EXPECT_EQ(fresh.metrics().firings, reused.metrics().firings);
+    EXPECT_EQ(fresh.metrics().meetings, reused.metrics().meetings);
+    EXPECT_EQ(fresh.metrics().weight_updates, reused.metrics().weight_updates);
+    EXPECT_EQ(fresh.metrics().tree_descents, reused.metrics().tree_descents);
+  }
+}
+
+TEST(CountSimulator, MetricsObserveTheIncrementalPath) {
+  // The incremental machinery is observable: every firing in null-skip
+  // mode selects through one weight descent, and each fired transition
+  // updates at least the slots it touched.
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+  CountSimulator sim(conv.protocol,
+                     conv.initial_config(conv.num_pointers + 50), 13);
+  for (int step = 0; step < 5'000; ++step) sim.step();
+  EXPECT_EQ(sim.metrics().tree_descents, sim.metrics().firings);
+  EXPECT_GT(sim.metrics().weight_updates, sim.metrics().firings);
 }
 
 TEST(CountSimulator, CzernerPipelineSmoke) {
