@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace ppde::engine {
 
 PairIndex::PairIndex(const pp::Protocol& protocol) {
@@ -638,6 +640,9 @@ bool CountSimulator::frozen() const { return active_.total() == 0; }
 
 pp::SimulationResult CountSimulator::run_until_stable(
     const pp::SimulationOptions& options) {
+  // One span per run (S24); the meeting loop itself carries zero
+  // instrumentation — the hot path stays untouched.
+  obs::ObsSpan span("run_until_stable", "sim");
   const auto start_time = std::chrono::steady_clock::now();
   pp::SimulationResult result;
   std::uint64_t consensus_start = interactions_;

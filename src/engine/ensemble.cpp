@@ -9,8 +9,40 @@
 #include <thread>
 
 #include "engine/pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ppde::engine {
+
+namespace {
+
+/// Fleet-level observability (S24): per-trial spans in the trace, live
+/// counters/gauges in the registry for the progress heartbeat. Registry
+/// updates are one relaxed atomic add per *trial* (a whole simulation
+/// run) — never per meeting.
+struct FleetMetrics {
+  obs::Counter& trials_done =
+      obs::Registry::global().counter("engine.trials_done");
+  obs::Counter& meetings = obs::Registry::global().counter("engine.meetings");
+  obs::Counter& firings = obs::Registry::global().counter("engine.firings");
+  obs::Histogram& trial_micros =
+      obs::Registry::global().histogram("engine.trial_micros");
+
+  static FleetMetrics& get() {
+    static FleetMetrics instance;
+    return instance;
+  }
+
+  void publish(const RunMetrics& metrics) {
+    trials_done.add(1);
+    meetings.add(metrics.meetings);
+    firings.add(metrics.firings);
+    trial_micros.record(
+        static_cast<std::uint64_t>(metrics.wall_seconds * 1e6));
+  }
+};
+
+}  // namespace
 
 std::uint64_t derive_trial_seed(std::uint64_t master_seed,
                                 std::uint64_t trial) {
@@ -58,10 +90,14 @@ std::vector<TrialResult> run_trial_fleet(
   // contract: results indexed by trial, first exception rethrown after all
   // workers drain, never more workers than trials.
   WorkerPool pool(fleet_workers(trials, threads));
+  FleetMetrics& fleet_metrics = FleetMetrics::get();
   pool.parallel_for_workers(
       trials, [&](unsigned worker, std::uint64_t trial) {
+        obs::ObsSpan span("trial", "engine");
+        span.set_value(static_cast<double>(trial));
         results[trial] =
             body(worker, trial, derive_trial_seed(master_seed, trial));
+        fleet_metrics.publish(results[trial].metrics);
       });
   return results;
 }
@@ -109,6 +145,12 @@ EnsembleStats aggregate(const std::vector<TrialResult>& results) {
 EnsembleStats run_ensemble(const pp::Protocol& protocol,
                            const pp::Config& initial,
                            const EnsembleOptions& options) {
+  obs::ObsSpan span("run_ensemble", "engine");
+  span.set_value(static_cast<double>(options.trials));
+  // The heartbeat's ETA denominator: how many trials this fleet will run.
+  static obs::Gauge& trials_total =
+      obs::Registry::global().gauge("engine.trials_total");
+  trials_total.set(static_cast<double>(options.trials));
   const auto start_time = std::chrono::steady_clock::now();
   // One shared activity index for all count-based trials; read-only after
   // construction, so safe across the pool.

@@ -1,0 +1,67 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace ppde::obs {
+
+struct ProgressMonitor::Impl {
+  std::function<std::string()> line;
+  std::chrono::duration<double> period{1.0};
+  std::thread thread;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  std::atomic<std::uint64_t> ticks{0};
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stop_requested) {
+      if (cv.wait_for(lock, period, [this] { return stop_requested; }))
+        break;
+      lock.unlock();
+      ticks.fetch_add(1, std::memory_order_relaxed);
+      const std::string text = line();
+      if (!text.empty()) {
+        std::fprintf(stderr, "%s\n", text.c_str());
+        std::fflush(stderr);
+      }
+      lock.lock();
+    }
+  }
+};
+
+ProgressMonitor::ProgressMonitor(double period_seconds,
+                                 std::function<std::string()> line)
+    : impl_(new Impl) {
+  impl_->line = std::move(line);
+  if (period_seconds > 0.0)
+    impl_->period = std::chrono::duration<double>(period_seconds);
+  impl_->thread = std::thread([impl = impl_] { impl->loop(); });
+}
+
+void ProgressMonitor::stop() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop_requested = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+ProgressMonitor::~ProgressMonitor() {
+  stop();
+  delete impl_;
+}
+
+std::uint64_t ProgressMonitor::ticks() const {
+  return impl_->ticks.load(std::memory_order_relaxed);
+}
+
+}  // namespace ppde::obs

@@ -1,0 +1,41 @@
+// Liveness heartbeat for long-running commands (S24).
+//
+// `ppde certify` at m_regs = 8 runs for ~18 minutes with no output; the
+// heartbeat is a monitor thread that wakes every `period_seconds`, asks a
+// caller-supplied formatter for a status line (rate, ETA, SPRT position,
+// frontier size — whatever the verb can report, usually read from
+// obs::Registry), and prints it to stderr. The formatter runs on the
+// monitor thread, so it must only touch thread-safe state; returning an
+// empty string skips the tick. The monitor is an observer: it never
+// perturbs the computation it watches, and the CLI stops it before
+// stopping the tracer so its final tick can still emit trace counters.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace ppde::obs {
+
+class ProgressMonitor {
+ public:
+  /// Starts the monitor thread immediately; the first line prints one
+  /// period from now. `line` must stay callable until stop() returns.
+  ProgressMonitor(double period_seconds, std::function<std::string()> line);
+
+  /// Joins the monitor thread. Idempotent; the destructor calls it.
+  void stop();
+
+  ~ProgressMonitor();
+
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  /// Ticks elapsed so far (lines requested, including skipped empties).
+  std::uint64_t ticks() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace ppde::obs

@@ -1,0 +1,193 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace ppde::obs {
+
+unsigned this_thread_shard() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+void Histogram::record(std::uint64_t value) {
+  const unsigned bucket = static_cast<unsigned>(std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed))
+    ;
+}
+
+std::uint64_t Histogram::quantile_upper(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  // Rank of the q-quantile, 1-based; clamp into [1, total].
+  const double raw = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(raw);
+  if (static_cast<double>(rank) < raw) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    cumulative += bucket(b);
+    if (cumulative >= rank)
+      return b == 0 ? 0
+                    : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b));
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  // Deques: stable addresses under growth, so handed-out references
+  // survive any number of later registrations.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, std::pair<MetricKind, std::size_t>, std::less<>>
+      names;
+};
+
+RegistryState& state() {
+  static RegistryState instance;
+  return instance;
+}
+
+std::size_t lookup(RegistryState& s, std::string_view name, MetricKind kind,
+                   std::size_t next_index) {
+  const auto it = s.names.find(name);
+  if (it == s.names.end()) {
+    s.names.emplace(std::string(name), std::make_pair(kind, next_index));
+    return next_index;
+  }
+  if (it->second.first != kind)
+    throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  return it->second.second;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::size_t index =
+      lookup(s, name, MetricKind::kCounter, s.counters.size());
+  if (index == s.counters.size()) s.counters.emplace_back();
+  return s.counters[index];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::size_t index =
+      lookup(s, name, MetricKind::kGauge, s.gauges.size());
+  if (index == s.gauges.size()) s.gauges.emplace_back();
+  return s.gauges[index];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::size_t index =
+      lookup(s, name, MetricKind::kHistogram, s.histograms.size());
+  if (index == s.histograms.size()) s.histograms.emplace_back();
+  return s.histograms[index];
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<MetricSnapshot> result;
+  result.reserve(s.names.size());
+  for (const auto& [name, entry] : s.names) {
+    MetricSnapshot metric;
+    metric.name = name;
+    metric.kind = entry.first;
+    switch (entry.first) {
+      case MetricKind::kCounter:
+        metric.value =
+            static_cast<double>(s.counters[entry.second].value());
+        break;
+      case MetricKind::kGauge:
+        metric.value = s.gauges[entry.second].value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = s.histograms[entry.second];
+        metric.count = histogram.count();
+        metric.sum = histogram.sum();
+        metric.max = histogram.max();
+        metric.p50 = histogram.quantile_upper(0.5);
+        metric.p90 = histogram.quantile_upper(0.9);
+        metric.p99 = histogram.quantile_upper(0.99);
+        break;
+      }
+    }
+    result.push_back(std::move(metric));
+  }
+  return result;
+}
+
+void Registry::reset() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (Counter& counter : s.counters) counter.reset();
+  for (Gauge& gauge : s.gauges) gauge.reset();
+  for (Histogram& histogram : s.histograms) histogram.reset();
+}
+
+std::string Registry::to_string() const {
+  std::string out;
+  char line[256];
+  for (const MetricSnapshot& metric : snapshot()) {
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof line, "%-32s counter %llu\n",
+                      metric.name.c_str(),
+                      static_cast<unsigned long long>(metric.value));
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof line, "%-32s gauge   %.6g\n",
+                      metric.name.c_str(), metric.value);
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(
+            line, sizeof line,
+            "%-32s histo   n=%llu p50<=%llu p90<=%llu p99<=%llu max=%llu\n",
+            metric.name.c_str(),
+            static_cast<unsigned long long>(metric.count),
+            static_cast<unsigned long long>(metric.p50),
+            static_cast<unsigned long long>(metric.p90),
+            static_cast<unsigned long long>(metric.p99),
+            static_cast<unsigned long long>(metric.max));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ppde::obs

@@ -1,0 +1,253 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "smc/json.hpp"  // the one JSON emitter in the repo (S23)
+
+namespace ppde::obs {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Single-producer (owning thread) / single-consumer (whoever holds the
+/// ring registry mutex) event ring. The producer publishes slots with a
+/// release store of head; a drainer acquires head, reads the slots below
+/// it, and releases tail; the producer acquires tail to detect fullness.
+struct ThreadRing {
+  explicit ThreadRing(std::uint32_t capacity)
+      : slots(capacity), mask(capacity - 1) {}
+
+  std::vector<TraceEvent> slots;
+  const std::uint64_t mask;
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> tail{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid = 0;
+};
+
+/// Per-thread ring cache. Tracer ids are globally unique and never reused,
+/// so a stale cache entry from a previous tracer can never alias a new one.
+struct TlCache {
+  std::uint64_t tracer_id = 0;
+  ThreadRing* ring = nullptr;
+};
+thread_local TlCache tl_cache;
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::uint64_t id = 0;
+  TracerOptions options;
+  std::FILE* file = nullptr;
+  std::uint64_t epoch_ns = 0;
+
+  std::mutex rings_mutex;  // guards rings + draining (one drainer at a time)
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;  // tid 0 is the process-metadata pseudo-thread
+  std::uint64_t written = 0;
+
+  std::thread collector;
+  std::mutex control_mutex;
+  std::condition_variable control_cv;
+  bool stop_requested = false;
+
+  ThreadRing* ring_for_current_thread() {
+    if (tl_cache.tracer_id == id) return tl_cache.ring;
+    std::lock_guard<std::mutex> lock(rings_mutex);
+    rings.push_back(std::make_unique<ThreadRing>(options.ring_capacity));
+    ThreadRing* ring = rings.back().get();
+    ring->tid = next_tid++;
+    tl_cache = {id, ring};
+    return ring;
+  }
+
+  void write_line(const std::string& object, bool last) {
+    std::fputs(object.c_str(), file);
+    std::fputs(last ? "\n" : ",\n", file);
+  }
+
+  std::string serialise(const TraceEvent& event, std::uint32_t tid) const {
+    smc::JsonWriter json;
+    json.field("name", std::string_view(event.name));
+    json.field("cat", std::string_view(event.cat));
+    const double ts_us = static_cast<double>(event.ts_ns) / 1000.0;
+    switch (event.kind) {
+      case TraceEvent::Kind::kComplete:
+        json.field("ph", std::string_view("X"));
+        json.field("ts", ts_us);
+        json.field("dur", static_cast<double>(event.dur_ns) / 1000.0);
+        break;
+      case TraceEvent::Kind::kCounter:
+        json.field("ph", std::string_view("C"));
+        json.field("ts", ts_us);
+        break;
+      case TraceEvent::Kind::kInstant:
+        json.field("ph", std::string_view("i"));
+        json.field("ts", ts_us);
+        json.field("s", std::string_view("t"));
+        break;
+    }
+    json.field("pid", 1);
+    json.field("tid", static_cast<std::uint64_t>(tid));
+    if (event.kind == TraceEvent::Kind::kCounter) {
+      smc::JsonWriter args;
+      args.field("value", event.value);
+      json.raw_field("args", args.finish());
+    } else if (event.has_value) {
+      smc::JsonWriter args;
+      args.field("n", event.value);
+      json.raw_field("args", args.finish());
+    }
+    return json.finish();
+  }
+
+  /// Drain every ring to the file. Serialised by rings_mutex, so it is
+  /// safe from the collector thread and from stop() after the join.
+  void drain() {
+    std::lock_guard<std::mutex> lock(rings_mutex);
+    for (const std::unique_ptr<ThreadRing>& ring : rings) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+      for (; tail != head; ++tail) {
+        write_line(serialise(ring->slots[tail & ring->mask], ring->tid),
+                   /*last=*/false);
+        ++written;
+      }
+      ring->tail.store(head, std::memory_order_release);
+    }
+  }
+
+  void collector_loop() {
+    std::unique_lock<std::mutex> lock(control_mutex);
+    while (!stop_requested) {
+      control_cv.wait_for(lock,
+                          std::chrono::milliseconds(options.flush_period_ms),
+                          [this] { return stop_requested; });
+      lock.unlock();
+      drain();
+      lock.lock();
+    }
+  }
+
+  std::uint64_t total_dropped() {
+    std::lock_guard<std::mutex> lock(rings_mutex);
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<ThreadRing>& ring : rings)
+      total += ring->dropped.load(std::memory_order_relaxed);
+    return total;
+  }
+};
+
+std::atomic<Tracer*> Tracer::g_active{nullptr};
+
+bool Tracer::start(const std::string& path, const TracerOptions& options) {
+  if (g_active.load(std::memory_order_relaxed) != nullptr) return false;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+
+  auto* impl = new Impl;
+  impl->id = g_next_tracer_id.fetch_add(1, std::memory_order_relaxed);
+  impl->options = options;
+  // Round the ring capacity down to a power of two (the mask invariant).
+  std::uint32_t capacity = 1;
+  while (capacity * 2 <= impl->options.ring_capacity && capacity < (1u << 20))
+    capacity *= 2;
+  impl->options.ring_capacity = capacity;
+  impl->file = file;
+  impl->epoch_ns = now_ns();
+
+  // Header: a JSON array, one event object per line (trailing commas, so
+  // `sed 's/,$//'` yields pure JSONL). The first record carries the
+  // versioned schema tag CI validates.
+  {
+    smc::JsonWriter meta;
+    meta.field("obs_trace_v", 1);
+    meta.field("ph", std::string_view("M"));
+    meta.field("name", std::string_view("process_name"));
+    meta.field("pid", 1);
+    meta.field("tid", std::uint64_t{0});
+    smc::JsonWriter args;
+    args.field("name", std::string_view("ppde"));
+    meta.raw_field("args", args.finish());
+    std::fputs("[\n", file);
+    impl->write_line(meta.finish(), /*last=*/false);
+  }
+
+  Tracer* tracer = new Tracer(impl);
+  tracer->epoch_ns_ = impl->epoch_ns;
+  impl->collector = std::thread([impl] { impl->collector_loop(); });
+  g_active.store(tracer, std::memory_order_release);
+  return true;
+}
+
+void Tracer::stop() {
+  Tracer* tracer = g_active.load(std::memory_order_relaxed);
+  if (tracer == nullptr) return;
+  // Uninstall first so no *new* spans begin; the contract requires
+  // instrumented threads to have quiesced already, so no record() is in
+  // flight past this point.
+  g_active.store(nullptr, std::memory_order_release);
+
+  Impl* impl = tracer->impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl->control_mutex);
+    impl->stop_requested = true;
+  }
+  impl->control_cv.notify_all();
+  impl->collector.join();
+  impl->drain();  // anything recorded since the collector's final pass
+
+  // Footer: summary metadata (drop accounting) and the closing bracket —
+  // the whole file is one valid JSON array.
+  smc::JsonWriter summary;
+  summary.field("obs_trace_v", 1);
+  summary.field("ph", std::string_view("M"));
+  summary.field("name", std::string_view("obs_summary"));
+  summary.field("pid", 1);
+  summary.field("tid", std::uint64_t{0});
+  smc::JsonWriter args;
+  args.field("written", impl->written);
+  args.field("dropped", impl->total_dropped());
+  summary.raw_field("args", args.finish());
+  impl->write_line(summary.finish(), /*last=*/true);
+  std::fputs("]\n", impl->file);
+  std::fclose(impl->file);
+  impl->file = nullptr;
+  delete tracer;
+}
+
+Tracer::~Tracer() { delete impl_; }
+
+void Tracer::record(const TraceEvent& event) {
+  ThreadRing* ring = impl_->ring_for_current_thread();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  if (head - ring->tail.load(std::memory_order_acquire) > ring->mask) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring->slots[head & ring->mask] = event;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::dropped() const { return impl_->total_dropped(); }
+
+std::uint64_t Tracer::written() const {
+  std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+  return impl_->written;
+}
+
+}  // namespace ppde::obs

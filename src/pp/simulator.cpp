@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace ppde::pp {
 
 Simulator::Simulator(const Protocol& protocol, const Config& initial,
@@ -56,6 +58,9 @@ std::optional<bool> Simulator::consensus() const {
 }
 
 SimulationResult Simulator::run_until_stable(const SimulationOptions& options) {
+  // One span per run (S24); the meeting loop itself carries zero
+  // instrumentation — the hot path stays untouched.
+  obs::ObsSpan span("run_until_stable", "sim");
   const auto start_time = std::chrono::steady_clock::now();
   SimulationResult result;
   // The window starts at the current interaction count, so calling

@@ -12,6 +12,8 @@
 
 #include "engine/count_sim.hpp"
 #include "engine/pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ppde::smc {
 
@@ -38,6 +40,7 @@ Certificate certify_trials(const TrialFn& body,
                            const CertifyOptions& options) {
   if (options.batch == 0)
     throw std::invalid_argument("certify_trials: batch must be positive");
+  obs::ObsSpan span("certify_trials", "smc");
   const auto start_time = std::chrono::steady_clock::now();
 
   Certificate cert;
@@ -64,13 +67,33 @@ Certificate certify_trials(const TrialFn& body,
   // trials the SPRT ends up needing.
   std::vector<TrialOutcome> outcomes(options.batch);
 
+  // Certification observability (S24): one span per SPRT round, live
+  // gauges for the heartbeat. Everything here observes the fold — the
+  // verdict, the fold order and hence the digest are untouched (test_obs
+  // and the obs-smoke CI job assert digest equality with tracing on/off).
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& rounds_counter = registry.counter("smc.rounds");
+  obs::Gauge& trials_gauge = registry.gauge("smc.trials");
+  obs::Gauge& successes_gauge = registry.gauge("smc.successes");
+  obs::Gauge& llr_gauge = registry.gauge("smc.llr");
+  obs::Gauge& llr_lower_gauge = registry.gauge("smc.llr_lower");
+  obs::Gauge& llr_upper_gauge = registry.gauge("smc.llr_upper");
+  obs::Gauge& max_trials_gauge = registry.gauge("smc.max_trials");
+  llr_lower_gauge.set(sprt.lower_bound());
+  llr_upper_gauge.set(sprt.upper_bound());
+  max_trials_gauge.set(static_cast<double>(options.max_trials));
+
   std::uint64_t next_trial = 0;
   while (!sprt.decided() && next_trial < options.max_trials) {
     const std::uint64_t batch =
         std::min(options.batch, options.max_trials - next_trial);
     const std::uint64_t base = next_trial;
+    obs::ObsSpan round_span("sprt_round", "smc");
+    round_span.set_value(static_cast<double>(batch));
     pool.parallel_for_workers(batch, [&](unsigned worker, std::uint64_t i) {
       const std::uint64_t trial = base + i;
+      obs::ObsSpan trial_span("trial", "smc");
+      trial_span.set_value(static_cast<double>(trial));
       outcomes[i] =
           body(worker, trial, engine::derive_trial_seed(options.seed, trial));
     });
@@ -87,6 +110,11 @@ Certificate certify_trials(const TrialFn& body,
       totals.merge(outcome.metrics);
     }
     next_trial = base + batch;
+    rounds_counter.add(1);
+    trials_gauge.set(static_cast<double>(sprt.trials()));
+    successes_gauge.set(static_cast<double>(sprt.successes()));
+    llr_gauge.set(sprt.llr());
+    obs::trace_counter("smc.llr", sprt.llr());
   }
 
   cert.trials = sprt.trials();

@@ -34,7 +34,9 @@ void JsonWriter::field(std::string_view name, bool value) {
 
 void JsonWriter::field(std::string_view name, double value) {
   key(name);
-  if (std::isnan(value)) {
+  // JSON has no inf/nan literals; every non-finite double becomes null so
+  // the emitted line always parses.
+  if (!std::isfinite(value)) {
     body_ += "null";
     return;
   }
@@ -65,6 +67,11 @@ void JsonWriter::field(std::string_view name, std::string_view value) {
     }
   }
   body_ += '"';
+}
+
+void JsonWriter::raw_field(std::string_view name, std::string_view json) {
+  key(name);
+  body_ += json;
 }
 
 void JsonWriter::hex_field(std::string_view name, std::uint64_t value) {

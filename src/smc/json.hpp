@@ -28,13 +28,18 @@ class JsonWriter {
   void field(std::string_view key, std::uint64_t value);
   void field(std::string_view key, int value);
   void field(std::string_view key, bool value);
-  /// Doubles use %.17g (shortest round-trip-safe); NaN renders as null.
+  /// Doubles use %.17g (shortest round-trip-safe); non-finite values (NaN,
+  /// ±inf) render as null — "inf"/"nan" are not JSON.
   void field(std::string_view key, double value);
   /// Strings are escaped (quotes, backslash, control characters).
   void field(std::string_view key, std::string_view value);
   /// 64-bit value as a fixed-width hex string (JSON numbers lose precision
   /// past 2^53, so hashes travel as strings).
   void hex_field(std::string_view key, std::uint64_t value);
+  /// Verbatim pre-serialised JSON value (nested object/array). The caller
+  /// owns its validity — used for the "args" objects of trace events,
+  /// which are themselves built with a JsonWriter.
+  void raw_field(std::string_view key, std::string_view json);
 
   /// The complete object, e.g. {"a":1,"b":"x"}.
   std::string finish() const { return "{" + body_ + "}"; }

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "engine/pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "verify/analysis.hpp"
 #include "verify/interner.hpp"
 
@@ -133,6 +135,7 @@ class Kernel {
   /// Explore everything reachable from `roots`. Returns the stats; the
   /// graph accessors below are valid afterwards (partial on budget hit).
   const KernelStats& run(std::span<const std::vector<std::uint64_t>> roots) {
+    obs::ObsSpan run_span("kernel_run", "verify");
     for (const std::vector<std::uint64_t>& root : roots)
       interner_.intern(root, hash_words(root));
     successors_.resize(interner_.size());
@@ -147,6 +150,15 @@ class Kernel {
         std::max<std::uint32_t>(options_.wave_chunk, 1));
 
     stats_ = KernelStats{};
+    // Exploration observability (S24): per-wave spans + live gauges for
+    // the progress heartbeat. All updates happen on the sequential
+    // control path, once per wave — never per node.
+    obs::Registry& registry = obs::Registry::global();
+    obs::Gauge& nodes_gauge = registry.gauge("verify.nodes");
+    obs::Gauge& edges_gauge = registry.gauge("verify.edges");
+    obs::Gauge& frontier_gauge = registry.gauge("verify.frontier");
+    obs::Gauge& bytes_gauge = registry.gauge("verify.interner_bytes");
+    obs::Histogram& wave_micros = registry.histogram("verify.wave_micros");
     std::uint32_t next = 0;
     std::vector<std::uint32_t> succs;
     while (next < interner_.size() && stats_.limit == LimitKind::kNone) {
@@ -154,14 +166,20 @@ class Kernel {
       const std::uint32_t wave = std::min<std::uint32_t>(
           interner_.size() - wave_start,
           static_cast<std::uint32_t>(buffers.size()));
+      obs::ObsSpan wave_span("wave", "verify");
+      wave_span.set_value(static_cast<double>(wave));
+      const std::uint64_t wave_begin_ns = obs::now_ns();
       // Parallel phase: expand the wave into per-node buffers. The
       // interner is frozen, so concurrent find()/state() are safe.
-      pool.parallel_for(wave, [&](std::uint64_t i) {
-        buffers[i].reset(&interner_);
-        domain_.expand(
-            interner_.state(wave_start + static_cast<std::uint32_t>(i)),
-            buffers[i]);
-      });
+      {
+        obs::ObsSpan expand_span("expand", "verify");
+        pool.parallel_for(wave, [&](std::uint64_t i) {
+          buffers[i].reset(&interner_);
+          domain_.expand(
+              interner_.state(wave_start + static_cast<std::uint32_t>(i)),
+              buffers[i]);
+        });
+      }
       // Sequential merge: assign ids in node order, emission order.
       for (std::uint32_t i = 0; i < wave; ++i) {
         const std::uint32_t id = wave_start + i;
@@ -204,6 +222,13 @@ class Kernel {
       successors_.resize(interner_.size());
       terminal_tags_.resize(interner_.size(), kNoTerminal);
       ++stats_.waves;
+      nodes_gauge.set(static_cast<double>(interner_.size()));
+      edges_gauge.set(static_cast<double>(stats_.edges));
+      frontier_gauge.set(static_cast<double>(interner_.size() - next));
+      bytes_gauge.set(static_cast<double>(interner_.bytes()));
+      wave_micros.record((obs::now_ns() - wave_begin_ns) / 1000);
+      obs::trace_counter("verify.interner_bytes",
+                         static_cast<double>(interner_.bytes()));
     }
 
     stats_.nodes = interner_.size();

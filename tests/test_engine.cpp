@@ -925,5 +925,95 @@ TEST(CountSimulator, CzernerPipelineSmoke) {
   EXPECT_GT(sim.metrics().null_skip_batches, 0u);
 }
 
+// Pinned oracle for RunMetrics accumulation semantics (S24): the obs
+// registry mirrors these counters for live observation, so the record's
+// own merge/render behaviour must stay exactly what aggregate() and
+// certify_trials() fold on.
+
+TEST(RunMetrics, MergeSumsEveryFieldIncludingWallTime) {
+  RunMetrics a;
+  a.meetings = 10;
+  a.firings = 7;
+  a.null_skip_batches = 3;
+  a.skipped_meetings = 5;
+  a.consensus_flips = 2;
+  a.weight_updates = 11;
+  a.tree_descents = 13;
+  a.wall_seconds = 0.25;
+  RunMetrics b;
+  b.meetings = 100;
+  b.firings = 70;
+  b.null_skip_batches = 30;
+  b.skipped_meetings = 50;
+  b.consensus_flips = 20;
+  b.weight_updates = 110;
+  b.tree_descents = 130;
+  b.wall_seconds = 0.5;
+
+  a.merge(b);
+  EXPECT_EQ(a.meetings, 110u);
+  EXPECT_EQ(a.firings, 77u);
+  EXPECT_EQ(a.null_skip_batches, 33u);
+  EXPECT_EQ(a.skipped_meetings, 55u);
+  EXPECT_EQ(a.consensus_flips, 22u);
+  EXPECT_EQ(a.weight_updates, 121u);
+  EXPECT_EQ(a.tree_descents, 143u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 0.75);
+
+  // Merging a default-constructed record is the identity.
+  RunMetrics before = a;
+  a.merge(RunMetrics{});
+  EXPECT_EQ(a.meetings, before.meetings);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, before.wall_seconds);
+}
+
+TEST(RunMetrics, MergeIsAssociativeOnCounters) {
+  RunMetrics x, y, z;
+  x.meetings = 1;
+  y.meetings = 2;
+  z.meetings = 4;
+  x.firings = 8;
+  y.firings = 16;
+  z.firings = 32;
+
+  RunMetrics left = x;
+  left.merge(y);
+  left.merge(z);
+  RunMetrics yz = y;
+  yz.merge(z);
+  RunMetrics right = x;
+  right.merge(yz);
+  EXPECT_EQ(left.meetings, right.meetings);
+  EXPECT_EQ(left.firings, right.firings);
+  EXPECT_EQ(left.meetings, 7u);
+  EXPECT_EQ(left.firings, 56u);
+}
+
+TEST(RunMetrics, ToStringRendersEveryField) {
+  RunMetrics m;
+  m.meetings = 1;
+  m.firings = 2;
+  m.null_skip_batches = 3;
+  m.skipped_meetings = 4;
+  m.consensus_flips = 5;
+  m.weight_updates = 6;
+  m.tree_descents = 7;
+  m.wall_seconds = 1.5;
+  EXPECT_EQ(m.to_string(),
+            "meetings=1 firings=2 null_skip_batches=3 skipped=4 flips=5 "
+            "weight_updates=6 tree_descents=7 wall=1.500s");
+}
+
+TEST(RunMetrics, EffectiveRateGuardsDegenerateWallTimes) {
+  RunMetrics m;
+  m.meetings = 1000;
+  m.wall_seconds = 0.0;
+  EXPECT_EQ(m.effective_meetings_per_second(), 0.0);
+  m.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(m.effective_meetings_per_second(), 500.0);
+  m.wall_seconds = -1.0;
+  EXPECT_EQ(m.effective_meetings_per_second(), 0.0);
+}
+
 }  // namespace
 }  // namespace ppde::engine

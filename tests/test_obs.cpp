@@ -1,0 +1,346 @@
+// Tests for the observability subsystem (DESIGN.md S24): trace-file
+// schema and lifecycle, ring-overflow drop accounting, multi-threaded
+// span recording, the sharded metrics registry, log₂ histogram quantiles,
+// the progress heartbeat, and — the load-bearing invariant — that tracing
+// never perturbs a certified result: certificate digests are identical
+// with tracing on, off, and at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/flock.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "smc/certify.hpp"
+#include "smc/json.hpp"
+
+namespace ppde::obs {
+namespace {
+
+std::string temp_trace_path(const char* tag) {
+  return testing::TempDir() + "obs_" + tag + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+         ".json";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++count;
+  return count;
+}
+
+/// RAII cleanup so a failing assertion doesn't leak temp files.
+struct FileGuard {
+  std::string path;
+  ~FileGuard() { std::remove(path.c_str()); }
+};
+
+TEST(Tracer, DisabledByDefault) {
+  EXPECT_EQ(Tracer::active(), nullptr);
+  // Spans and counters must be safe no-ops with no tracer installed.
+  {
+    ObsSpan span("noop", "test");
+    span.set_value(1.0);
+    trace_counter("noop.counter", 2.0);
+  }
+  EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Tracer, WritesSchemaCompliantTraceFile) {
+  const std::string path = temp_trace_path("schema");
+  FileGuard guard{path};
+  ASSERT_TRUE(Tracer::start(path));
+  ASSERT_NE(Tracer::active(), nullptr);
+  {
+    ObsSpan span("outer", "test");
+    span.set_value(3.0);
+    { ObsSpan inner("inner", "test"); }
+  }
+  trace_counter("test.gauge", 42.5);
+  Tracer::stop();
+  EXPECT_EQ(Tracer::active(), nullptr);
+
+  const std::string text = slurp(path);
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_GE(lines.size(), 6u);  // [ header, 3 events, footer, ]
+  // The whole file is one JSON array: every event on its own line with a
+  // trailing comma except the footer, so `sed 's/,$//'` yields JSONL and
+  // json.load() takes the file as-is.
+  EXPECT_EQ(lines.front(), "[");
+  EXPECT_EQ(lines.back(), "]");
+  for (std::size_t i = 1; i + 2 < lines.size(); ++i)
+    EXPECT_EQ(lines[i].back(), ',') << "line " << i << ": " << lines[i];
+  EXPECT_NE(lines[1].find("\"obs_trace_v\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ph\":\"M\""), std::string::npos);
+
+  // Both spans, nested order irrelevant, plus the counter sample.
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(text.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"n\":3}"), std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"C\""), 1u);
+  EXPECT_NE(text.find("\"name\":\"test.gauge\""), std::string::npos);
+  // Footer accounts for every event: 3 written, none dropped.
+  EXPECT_NE(text.find("\"name\":\"obs_summary\""), std::string::npos);
+  EXPECT_NE(text.find("\"written\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Tracer, SecondStartWhileActiveFails) {
+  const std::string path = temp_trace_path("second");
+  FileGuard guard{path};
+  ASSERT_TRUE(Tracer::start(path));
+  EXPECT_FALSE(Tracer::start(temp_trace_path("second_b")));
+  Tracer::stop();
+  // stop() is idempotent; a fresh start after stop works.
+  Tracer::stop();
+  ASSERT_TRUE(Tracer::start(path));
+  Tracer::stop();
+}
+
+TEST(Tracer, StartFailsOnUnopenablePath) {
+  EXPECT_FALSE(Tracer::start("/nonexistent-dir-for-obs-test/trace.json"));
+  EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Tracer, RecordsSpansFromManyThreads) {
+  const std::string path = temp_trace_path("threads");
+  FileGuard guard{path};
+  ASSERT_TRUE(Tracer::start(path));
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i)
+        ObsSpan span("worker_span", "test");
+    });
+  for (std::thread& worker : workers) worker.join();
+  Tracer::stop();
+
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_occurrences(text, "\"name\":\"worker_span\""),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  // Each thread serialises under its own tid; 4 worker threads on fresh
+  // rings means at least 4 distinct tids beyond the metadata's tid 0.
+  std::size_t distinct_tids = 0;
+  for (int tid = 1; tid <= kThreads + 1; ++tid)
+    if (text.find("\"tid\":" + std::to_string(tid)) != std::string::npos)
+      ++distinct_tids;
+  EXPECT_GE(distinct_tids, static_cast<std::size_t>(kThreads));
+}
+
+TEST(Tracer, FullRingDropsAndCountsInsteadOfBlocking) {
+  const std::string path = temp_trace_path("drops");
+  FileGuard guard{path};
+  TracerOptions options;
+  options.ring_capacity = 8;  // tiny ring
+  options.flush_period_ms = 10'000;  // collector effectively never wakes
+  ASSERT_TRUE(Tracer::start(path, options));
+  constexpr int kEvents = 1000;
+  for (int i = 0; i < kEvents; ++i) ObsSpan span("burst", "test");
+  const std::uint64_t dropped = Tracer::active()->dropped();
+  EXPECT_GT(dropped, 0u);
+  Tracer::stop();
+
+  // written + dropped accounts for every record attempt; the final drain
+  // in stop() may rescue up to ring_capacity events beyond the snapshot.
+  const std::string text = slurp(path);
+  const std::size_t written = count_occurrences(text, "\"name\":\"burst\"");
+  EXPECT_LE(written, static_cast<std::size_t>(kEvents));
+  EXPECT_NE(text.find("\"dropped\":"), std::string::npos);
+  EXPECT_EQ(text.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(Registry, CounterSumsAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Registry, GaugeKeepsLastWrite) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-7.25);
+  EXPECT_EQ(gauge.value(), -7.25);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Registry, HistogramBucketsByLog2WithUpperEdgeQuantiles) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.quantile_upper(0.5), 0u);  // empty
+  histogram.record(0);
+  histogram.record(1);
+  histogram.record(2);
+  histogram.record(3);   // bucket [2,4)
+  histogram.record(100);  // bucket [64,128)
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 106u);
+  EXPECT_EQ(histogram.max(), 100u);
+  EXPECT_EQ(histogram.bucket(0), 1u);  // the 0
+  EXPECT_EQ(histogram.bucket(1), 1u);  // the 1
+  EXPECT_EQ(histogram.bucket(2), 2u);  // 2 and 3
+  EXPECT_EQ(histogram.bucket(7), 1u);  // 100
+  // Median lands in bucket [2,4): upper edge 4. p99 is the top sample's
+  // bucket: upper edge 128. Factor-of-2 precision by construction.
+  EXPECT_EQ(histogram.quantile_upper(0.5), 4u);
+  EXPECT_EQ(histogram.quantile_upper(0.99), 128u);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+}
+
+TEST(Registry, FindOrCreateIsStableAndKindChecked) {
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("test_obs.stable");
+  Counter& b = registry.counter("test_obs.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(registry.gauge("test_obs.stable"), std::logic_error);
+  EXPECT_THROW(registry.histogram("test_obs.stable"), std::logic_error);
+}
+
+TEST(Registry, SnapshotReportsSortedNamesAndValues) {
+  Registry& registry = Registry::global();
+  registry.counter("test_obs.snap_c").add(3);
+  registry.gauge("test_obs.snap_g").set(2.5);
+  registry.histogram("test_obs.snap_h").record(9);
+  const std::vector<MetricSnapshot> snapshot = registry.snapshot();
+  ASSERT_GE(snapshot.size(), 3u);
+  for (std::size_t i = 1; i < snapshot.size(); ++i)
+    EXPECT_LT(snapshot[i - 1].name, snapshot[i].name);
+  bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+  for (const MetricSnapshot& metric : snapshot) {
+    if (metric.name == "test_obs.snap_c") {
+      saw_counter = true;
+      EXPECT_EQ(metric.kind, MetricKind::kCounter);
+      EXPECT_GE(metric.value, 3.0);
+    } else if (metric.name == "test_obs.snap_g") {
+      saw_gauge = true;
+      EXPECT_EQ(metric.kind, MetricKind::kGauge);
+      EXPECT_EQ(metric.value, 2.5);
+    } else if (metric.name == "test_obs.snap_h") {
+      saw_histogram = true;
+      EXPECT_EQ(metric.kind, MetricKind::kHistogram);
+      EXPECT_GE(metric.count, 1u);
+      EXPECT_EQ(metric.p50, 16u);  // 9 lands in [8,16)
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_histogram);
+  EXPECT_NE(registry.to_string().find("test_obs.snap_g"), std::string::npos);
+}
+
+TEST(Progress, MonitorTicksAndPrintsViaCallback) {
+  std::atomic<int> calls{0};
+  {
+    ProgressMonitor monitor(0.02, [&calls]() -> std::string {
+      const int call = calls.fetch_add(1) + 1;
+      // Alternate empty lines to exercise the skip path.
+      return call % 2 == 0 ? std::string()
+                           : "[test_obs] heartbeat " + std::to_string(call);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    monitor.stop();
+    EXPECT_GE(monitor.ticks(), 2u);
+    EXPECT_GE(calls.load(), 2);
+    const int after_stop = calls.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_EQ(calls.load(), after_stop);  // stop() really stopped it
+    monitor.stop();  // idempotent
+  }
+}
+
+TEST(Progress, DestructorStopsWithoutExplicitStop) {
+  std::atomic<int> calls{0};
+  {
+    ProgressMonitor monitor(0.01, [&calls]() -> std::string {
+      calls.fetch_add(1);
+      return std::string();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int after = calls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(calls.load(), after);
+}
+
+// The invariant the whole subsystem hangs off: observation never perturbs
+// a certified result. Same digest with tracing off, on, and across thread
+// counts (instrumented span + gauge paths all active during certify).
+TEST(Observability, CertifyDigestUnchangedByTracingAndThreads) {
+  const pp::Protocol flock = baselines::make_flock_of_birds(4);
+  const pp::Config initial = baselines::flock_initial(flock, 6);
+  smc::CertifyOptions options;
+  options.delta = 0.1;
+  options.indifference = 0.8;
+  options.alpha = options.beta = 0.01;
+  options.max_trials = 64;
+  options.batch = 8;
+  options.threads = 1;
+  options.seed = 11;
+  options.sim.stable_window = 20'000;
+  options.sim.max_interactions = 50'000'000;
+  options.engine = engine::EngineKind::kPerAgent;
+
+  const smc::Certificate plain = smc::certify(flock, initial, true, options);
+  const std::uint64_t baseline = smc::certificate_digest(plain);
+
+  const std::string path = temp_trace_path("digest");
+  FileGuard guard{path};
+  ASSERT_TRUE(Tracer::start(path));
+  const smc::Certificate traced_1 = smc::certify(flock, initial, true, options);
+  options.threads = 4;
+  const smc::Certificate traced_4 = smc::certify(flock, initial, true, options);
+  Tracer::stop();
+
+  EXPECT_EQ(smc::certificate_digest(traced_1), baseline);
+  EXPECT_EQ(smc::certificate_digest(traced_4), baseline);
+  EXPECT_EQ(smc::to_jsonl(traced_1).substr(0, smc::to_jsonl(traced_1).find(
+                                                   "\"digest\"")),
+            smc::to_jsonl(plain).substr(0, smc::to_jsonl(plain).find(
+                                              "\"digest\"")));
+
+  // The traced runs actually traced: per-round spans are in the file.
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"name\":\"certify_trials\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"sprt_round\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppde::obs

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -321,6 +322,36 @@ TEST(Json, WriterEscapesStrings) {
   JsonWriter json;
   json.field("text", std::string_view("a\"b\\c\nd"));
   EXPECT_EQ(json.finish(), "{\"text\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, WriterEscapesControlCharacters) {
+  // Everything below 0x20 must come out as an escape — named for the
+  // common ones, \u00xx for the rest — or the line is not valid JSON.
+  JsonWriter json;
+  json.field("text", std::string_view("a\x01" "b\x1f" "\tc\r"));
+  EXPECT_EQ(json.finish(), "{\"text\":\"a\\u0001b\\u001f\\tc\\r\"}");
+}
+
+TEST(Json, WriterRendersNonFiniteDoublesAsNull) {
+  // JSON has no inf/nan literals; a non-finite statistic (e.g. the time
+  // tails of a certificate with zero successes) must render as null, not
+  // as an unparseable "inf"/"nan" token.
+  JsonWriter json;
+  json.field("nan", std::nan(""));
+  json.field("pinf", std::numeric_limits<double>::infinity());
+  json.field("ninf", -std::numeric_limits<double>::infinity());
+  json.field("finite", 0.5);
+  EXPECT_EQ(json.finish(),
+            "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"finite\":0.5}");
+}
+
+TEST(Json, RawFieldEmbedsPreserialisedValues) {
+  // The trace writer (obs/trace.cpp) nests pre-serialised args objects
+  // through raw_field; the value must land verbatim, the key escaped.
+  JsonWriter json;
+  json.field("a", std::uint64_t{1});
+  json.raw_field("args", "{\"n\":2}");
+  EXPECT_EQ(json.finish(), "{\"a\":1,\"args\":{\"n\":2}}");
 }
 
 TEST(Sweep, BracketsFlockThreshold) {

@@ -1,39 +1,35 @@
 // ppde — command-line front end for the library.
 //
-//   ppde info <n> [--equality]       sizes + threshold of the construction
-//   ppde program <n> [--equality]    the Section-6 population program
-//   ppde machine <n> [--equality]    the lowered population machine
-//   ppde protocol <n> [--dot]        converted protocol stats (n = 1..2)
-//   ppde simulate <n> <extra> [seed] run the full protocol with |F|+extra
-//                                    agents until consensus
-//   ppde ensemble <n> <extra> <trials> [threads] [seed] [--json]
-//                                    run a fleet of independent trials on
-//                                    the count+null-skip engine (S21) and
-//                                    report aggregate statistics
-//   ppde certify <n> <extra> [--trials=N] [--threads=T] [--seed=S]
-//                  [--delta=D] [--alpha=A] [--beta=B] [--indifference=E]
-//                  [--window=W] [--budget=I] [--json]
-//                                    statistical model checking (S23): SPRT
-//                                    certificate that the full protocol
-//                                    stabilises to the correct output with
-//                                    probability >= 1-delta at |F|+extra
-//                                    agents; reproducible at any thread
-//                                    count from (seed, alpha, beta, budget)
-//   ppde verify <n> <m_regs> [--threads=T] [--max-configs=N] [--max-edges=E]
-//                  [--prune]         exact fair-run verdict from pi(C) on
-//                                    the parallel verification kernel (S22)
-//   ppde decide <n> <m>              program-level exhaustive decision
-//   ppde window <lo> <hi> <m>        decide lo <= m < hi with a Figure-1
-//                                    style program (exhaustive)
+// Run `ppde help` for the verb list and `ppde help <verb>` for the full
+// flag reference of one verb. Every verb additionally accepts the global
+// observability flags (S24):
+//
+//   --trace=FILE       record a Chrome trace-event file (open in Perfetto
+//                      or about:tracing); `obs_trace_v` = 1
+//   --progress[=SECS]  print a liveness heartbeat to stderr every SECS
+//                      seconds (default 5; =0 disables). Auto-enabled at
+//                      10s when stderr is a TTY, for the long-running
+//                      verbs (ensemble, certify, verify).
 //
 // Exit code: 0 on success (for verify/decide: also when the verdict was
 // computed, regardless of accept/reject), 1 on usage or resource errors.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
+
+#if defined(_WIN32)
+#include <io.h>
+#define PPDE_ISATTY(fd) _isatty(fd)
+#else
+#include <unistd.h>
+#define PPDE_ISATTY(fd) isatty(fd)
+#endif
 
 #include "bignum/nat.hpp"
 #include "compile/lower.hpp"
@@ -41,6 +37,9 @@
 #include "czerner/construction.hpp"
 #include "engine/ensemble.hpp"
 #include "machine/interp.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
 #include "progmodel/explore.hpp"
@@ -59,31 +58,198 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-/// Value of `--flag=<u64>` if present, else `fallback`.
-std::uint64_t flag_value(int argc, char** argv, const char* flag,
-                         std::uint64_t fallback) {
+/// Value of `--flag=<text>` if present, else nullptr.
+const char* flag_cstr(int argc, char** argv, const char* flag) {
   const std::size_t flag_len = std::strlen(flag);
   for (int i = 0; i < argc; ++i)
     if (std::strncmp(argv[i], flag, flag_len) == 0 &&
         argv[i][flag_len] == '=')
-      return std::strtoull(argv[i] + flag_len + 1, nullptr, 10);
-  return fallback;
+      return argv[i] + flag_len + 1;
+  return nullptr;
+}
+
+/// Value of `--flag=<u64>` if present, else `fallback`.
+std::uint64_t flag_value(int argc, char** argv, const char* flag,
+                         std::uint64_t fallback) {
+  const char* text = flag_cstr(argc, argv, flag);
+  return text != nullptr ? std::strtoull(text, nullptr, 10) : fallback;
 }
 
 /// Value of `--flag=<double>` if present, else `fallback`.
 double flag_double(int argc, char** argv, const char* flag, double fallback) {
-  const std::size_t flag_len = std::strlen(flag);
-  for (int i = 0; i < argc; ++i)
-    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-        argv[i][flag_len] == '=')
-      return std::strtod(argv[i] + flag_len + 1, nullptr);
-  return fallback;
+  const char* text = flag_cstr(argc, argv, flag);
+  return text != nullptr ? std::strtod(text, nullptr) : fallback;
 }
 
 czerner::Construction build(int n, bool equality) {
   return equality ? czerner::build_equality_construction(n)
                   : czerner::build_construction(n);
 }
+
+// ---------------------------------------------------------------------------
+// Observability plumbing (S24): tracer lifetime + the progress heartbeat.
+
+/// Starts the tracer if --trace=FILE was given; stops it on scope exit.
+/// Declared before the progress monitor in main() so the monitor (whose
+/// final tick may emit trace counters) is destroyed first, and so every
+/// instrumented worker pool has drained before stop() runs.
+struct TracerGuard {
+  bool active = false;
+
+  explicit TracerGuard(const char* path) {
+    if (path == nullptr || *path == '\0') return;
+    active = obs::Tracer::start(path);
+    if (!active)
+      std::fprintf(stderr, "ppde: warning: cannot open trace file '%s'\n",
+                   path);
+  }
+  ~TracerGuard() {
+    if (active) obs::Tracer::stop();
+  }
+};
+
+/// Heartbeat period in seconds for this invocation: --progress=S wins
+/// (S=0 disables), bare --progress means 5s, and a TTY on stderr turns
+/// the heartbeat on automatically at 10s so interactive long runs are
+/// never silent.
+double progress_period(int argc, char** argv) {
+  const char* text = flag_cstr(argc, argv, "--progress");
+  if (text != nullptr) return std::strtod(text, nullptr);
+  if (has_flag(argc, argv, "--progress")) return 5.0;
+  return PPDE_ISATTY(2) ? 10.0 : 0.0;
+}
+
+/// Rate estimator for heartbeat lines: change in a monotone quantity per
+/// second of wall time between consecutive ticks.
+class RateMeter {
+ public:
+  double rate(double value) {
+    const auto now = std::chrono::steady_clock::now();
+    double rate = 0.0;
+    if (primed_) {
+      const double dt = std::chrono::duration<double>(now - last_at_).count();
+      if (dt > 0.0) rate = (value - last_value_) / dt;
+    }
+    last_value_ = value;
+    last_at_ = now;
+    primed_ = true;
+    return rate;
+  }
+
+ private:
+  double last_value_ = 0.0;
+  std::chrono::steady_clock::time_point last_at_;
+  bool primed_ = false;
+};
+
+std::string format_si(double value) {
+  char buffer[32];
+  if (value >= 1e9)
+    std::snprintf(buffer, sizeof buffer, "%.2fG", value / 1e9);
+  else if (value >= 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.2fM", value / 1e6);
+  else if (value >= 1e4)
+    std::snprintf(buffer, sizeof buffer, "%.1fk", value / 1e3);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  return buffer;
+}
+
+std::string format_bytes(double bytes) {
+  char buffer[32];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0)
+    std::snprintf(buffer, sizeof buffer, "%.2fGiB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  else if (bytes >= 1024.0 * 1024.0)
+    std::snprintf(buffer, sizeof buffer, "%.1fMiB", bytes / (1024.0 * 1024.0));
+  else
+    std::snprintf(buffer, sizeof buffer, "%.0fKiB", bytes / 1024.0);
+  return buffer;
+}
+
+std::string format_eta(double seconds) {
+  char buffer[32];
+  if (!std::isfinite(seconds) || seconds < 0.0)
+    std::snprintf(buffer, sizeof buffer, "?");
+  else if (seconds < 90.0)
+    std::snprintf(buffer, sizeof buffer, "%.0fs", seconds);
+  else if (seconds < 5400.0)
+    std::snprintf(buffer, sizeof buffer, "%.1fm", seconds / 60.0);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.1fh", seconds / 3600.0);
+  return buffer;
+}
+
+/// Heartbeat line for `ensemble`: trials done / total, trial rate, ETA,
+/// cumulative meetings. Reads only registry metrics published by
+/// engine::run_trial_fleet, so it observes without perturbing.
+std::function<std::string()> ensemble_heartbeat() {
+  return [meter = RateMeter()]() mutable -> std::string {
+    obs::Registry& registry = obs::Registry::global();
+    const double done =
+        static_cast<double>(registry.counter("engine.trials_done").value());
+    const double total = registry.gauge("engine.trials_total").value();
+    const double rate = meter.rate(done);
+    if (done <= 0.0) return "[ensemble] starting...";
+    const double eta =
+        rate > 0.0 && total > done ? (total - done) / rate : NAN;
+    const double meetings =
+        static_cast<double>(registry.counter("engine.meetings").value());
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "[ensemble] %.0f/%.0f trials  %.1f trials/s  eta %s  "
+                  "%s meetings",
+                  done, total, rate, format_eta(eta).c_str(),
+                  format_si(meetings).c_str());
+    return line;
+  };
+}
+
+/// Heartbeat line for `certify`: SPRT position (trials consumed, llr
+/// between the accept/reject thresholds), successes, trial rate.
+std::function<std::string()> certify_heartbeat() {
+  return [meter = RateMeter()]() mutable -> std::string {
+    obs::Registry& registry = obs::Registry::global();
+    const double trials = registry.gauge("smc.trials").value();
+    const double rate = meter.rate(trials);
+    if (trials <= 0.0) return "[certify] starting...";
+    char line[200];
+    std::snprintf(
+        line, sizeof line,
+        "[certify] %.0f/%.0f trials  %.0f ok  llr %+.3f in "
+        "(reject %.2f .. %.2f accept)  %.1f trials/s",
+        trials, registry.gauge("smc.max_trials").value(),
+        registry.gauge("smc.successes").value(),
+        registry.gauge("smc.llr").value(),
+        registry.gauge("smc.llr_lower").value(),
+        registry.gauge("smc.llr_upper").value(), rate);
+    return line;
+  };
+}
+
+/// Heartbeat line for `verify`: explored configurations (+rate), edges,
+/// BFS frontier size, interner footprint.
+std::function<std::string()> verify_heartbeat() {
+  return [meter = RateMeter()]() mutable -> std::string {
+    obs::Registry& registry = obs::Registry::global();
+    const double nodes = registry.gauge("verify.nodes").value();
+    const double rate = meter.rate(nodes);
+    if (nodes <= 0.0) return "[verify] starting...";
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "[verify] %s configs (+%s/s)  %s edges  frontier %s  "
+                  "interner %s",
+                  format_si(nodes).c_str(), format_si(rate).c_str(),
+                  format_si(registry.gauge("verify.edges").value()).c_str(),
+                  format_si(registry.gauge("verify.frontier").value()).c_str(),
+                  format_bytes(registry.gauge("verify.interner_bytes").value())
+                      .c_str());
+    return line;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Verbs.
 
 int cmd_info(int n, bool equality) {
   const czerner::Construction c = build(n, equality);
@@ -218,6 +384,7 @@ int cmd_verify(int argc, char** argv, int n, std::uint64_t m_regs,
   options.witness_mode = true;
   options.max_configs = flag_value(argc, argv, "--max-configs", 8'000'000);
   options.max_edges = flag_value(argc, argv, "--max-edges", UINT64_MAX);
+  options.max_bytes = flag_value(argc, argv, "--max-bytes", UINT64_MAX);
   // Default 0 = all hardware threads; results are thread-count-independent.
   options.threads = static_cast<unsigned>(
       flag_value(argc, argv, "--threads", 0));
@@ -271,31 +438,113 @@ int cmd_window(std::uint32_t lo, std::uint32_t hi, std::uint64_t m) {
   return result.stabilises() ? 0 : 1;
 }
 
-int usage() {
+// ---------------------------------------------------------------------------
+// Usage & per-verb help. One table drives both, so the synopsis a user
+// sees in `ppde` and the detail in `ppde help <verb>` cannot drift apart;
+// every flag a verb parses above is enumerated here.
+
+struct VerbHelp {
+  const char* name;
+  const char* synopsis;  ///< one line, without the leading verb name
+  const char* detail;    ///< multi-line flag reference for `help <verb>`
+};
+
+constexpr VerbHelp kVerbs[] = {
+    {"info", "<n> [--equality]",
+     "  Sizes and decided threshold of the Czerner construction.\n"
+     "    <n>          construction index; threshold k(n) is a tower of\n"
+     "                 2^2^n sizes (see README)\n"
+     "    --equality   build the x = k(n) variant instead of x >= k(n)\n"},
+    {"program", "<n> [--equality]",
+     "  Print the Section-6 population program.\n"
+     "    --equality   the x = k(n) variant\n"},
+    {"machine", "<n> [--equality]",
+     "  Print the lowered population machine.\n"
+     "    --equality   the x = k(n) variant\n"},
+    {"protocol", "<n> [--dot]",
+     "  Converted protocol statistics (full transition relation is only\n"
+     "  materialised for n <= 2).\n"
+     "    --dot        emit the protocol as a Graphviz digraph\n"},
+    {"simulate", "<n> <extra-agents> [seed]",
+     "  Run the full protocol with m = |F| + extra agents until consensus\n"
+     "  (per-agent reference simulator).\n"
+     "    [seed]       RNG seed (default 42)\n"},
+    {"ensemble", "<n> <extra-agents> <trials> [threads] [seed] [--json]",
+     "  Run a fleet of independent trials on the count+null-skip engine\n"
+     "  (S21) and report aggregate statistics.\n"
+     "    [threads]    worker threads; 0 = all hardware threads (default)\n"
+     "    [seed]       master seed; trial i uses derive_trial_seed(seed, i)\n"
+     "                 so results are identical at every thread count\n"
+     "    --json       one JSONL record instead of the human summary\n"},
+    {"certify", "<n> <extra-agents> [flags]",
+     "  Statistical model checking (S23): an SPRT certificate that the\n"
+     "  full protocol stabilises to the correct output with probability\n"
+     "  >= 1-delta at m = |F| + extra agents. The certificate digest is\n"
+     "  identical at every thread count for fixed (seed, errors, budget).\n"
+     "    --trials=N         trial budget (default 4096)\n"
+     "    --batch=K          trials per SPRT round (default 8)\n"
+     "    --threads=T        worker threads; 0 = all hardware (default)\n"
+     "    --seed=S           master seed (default 42)\n"
+     "    --delta=D          certified failure probability (default 0.01)\n"
+     "    --alpha=A          type-I error bound (default 0.01)\n"
+     "    --beta=B           type-II error bound (default 0.01)\n"
+     "    --indifference=E   SPRT indifference width (default 0.05)\n"
+     "    --window=W         consensus stability window (default 9e7)\n"
+     "    --budget=I         per-trial interaction budget (default 2e9)\n"
+     "    --json             one JSONL certificate record\n"},
+    {"verify", "<n> <m_regs> [flags]",
+     "  Exact fair-run verdict from pi(C) on the parallel verification\n"
+     "  kernel (S22). The verdict is identical at every thread count.\n"
+     "    --equality         verify the x = k(n) variant\n"
+     "    --threads=T        worker threads; 0 = all hardware (default)\n"
+     "    --max-configs=N    configuration budget (default 8000000)\n"
+     "    --max-edges=E      edge budget (default unlimited)\n"
+     "    --max-bytes=B      interner byte budget (default unlimited)\n"
+     "    --prune            drop states no run can occupy before\n"
+     "                       exploring (verdict unchanged)\n"},
+    {"decide", "<n> <m> [--equality]",
+     "  Program-level exhaustive decision.\n"
+     "    --equality   decide the x = k(n) variant\n"},
+    {"window", "<lo> <hi> <m>",
+     "  Decide lo <= m < hi with a Figure-1 style program (exhaustive).\n"},
+    {"help", "[<verb>]",
+     "  Without a verb: the synopsis list. With one: its flag reference.\n"},
+};
+
+void print_global_flags(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: ppde <command> ...\n"
-      "  info <n> [--equality]\n"
-      "  program <n> [--equality]\n"
-      "  machine <n> [--equality]\n"
-      "  protocol <n> [--dot]\n"
-      "  simulate <n> <extra-agents> [seed]\n"
-      "  ensemble <n> <extra-agents> <trials> [threads] [seed] [--json]\n"
-      "  certify <n> <extra-agents> [--trials=N] [--batch=K] [--threads=T]\n"
-      "          [--seed=S] [--delta=D] [--alpha=A] [--beta=B]\n"
-      "          [--indifference=E] [--window=W] [--budget=I] [--json]\n"
-      "          SPRT certificate that the protocol stabilises to the\n"
-      "          correct output with probability >= 1-D at |F|+extra\n"
-      "          agents; identical certificate digest at every thread\n"
-      "          count for fixed (seed, alpha, beta, trials budget).\n"
-      "  verify <n> <m_regs> [--equality] [--threads=T] [--max-configs=N]\n"
-      "         [--max-edges=E] [--prune]\n"
-      "         T=0 (default) uses all hardware threads; the verdict is\n"
-      "         identical at every thread count. --prune drops states no\n"
-      "         run can occupy before exploring.\n"
-      "  decide <n> <m> [--equality]\n"
-      "  window <lo> <hi> <m>\n");
+      out,
+      "global flags (every verb):\n"
+      "  --trace=FILE       record a Chrome trace-event file (S24);\n"
+      "                     open in Perfetto or about:tracing\n"
+      "  --progress[=SECS]  heartbeat to stderr every SECS seconds\n"
+      "                     (bare flag: 5s; =0 disables; auto-on at 10s\n"
+      "                     when stderr is a TTY)\n");
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: ppde <verb> ...\n");
+  for (const VerbHelp& verb : kVerbs)
+    std::fprintf(stderr, "  %s %s\n", verb.name, verb.synopsis);
+  print_global_flags(stderr);
+  std::fprintf(stderr, "run `ppde help <verb>` for the full flag list.\n");
   return 1;
+}
+
+int cmd_help(const char* verb) {
+  if (verb == nullptr) {
+    usage();
+    return 0;  // explicit `ppde help` is a success, unlike a parse error
+  }
+  for (const VerbHelp& entry : kVerbs) {
+    if (std::strcmp(entry.name, verb) != 0) continue;
+    std::printf("usage: ppde %s %s\n%s", entry.name, entry.synopsis,
+                entry.detail);
+    print_global_flags(stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "ppde: unknown verb '%s'\n", verb);
+  return usage();
 }
 
 }  // namespace
@@ -306,12 +555,35 @@ int main(int argc, char** argv) {
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i)
     if (std::strncmp(argv[i], "--", 2) != 0) pos.push_back(argv[i]);
-  if (pos.size() < 2) return usage();
+  if (pos.empty()) return usage();
   const std::string command = pos[0];
+  // `help` takes a verb name, not a number — dispatch before the numeric
+  // argument checks below would reject it (atoi("verify") == 0).
+  if (command == "help")
+    return cmd_help(pos.size() >= 2 ? pos[1] : nullptr);
+  if (pos.size() < 2) return usage();
   const bool equality = has_flag(argc, argv, "--equality");
   const bool json = has_flag(argc, argv, "--json");
   const int n = std::atoi(pos[1]);
   if (n < 1 && command != "window") return usage();
+
+  // Observability (S24). The guard starts the tracer now and stops it on
+  // every return path below — after the verb's worker pools have joined
+  // and after the monitor (declared later, destroyed earlier) has stopped.
+  TracerGuard tracer(flag_cstr(argc, argv, "--trace"));
+  std::unique_ptr<obs::ProgressMonitor> monitor;
+  const double period = progress_period(argc, argv);
+  if (period > 0.0) {
+    if (command == "ensemble")
+      monitor = std::make_unique<obs::ProgressMonitor>(period,
+                                                       ensemble_heartbeat());
+    else if (command == "certify")
+      monitor = std::make_unique<obs::ProgressMonitor>(period,
+                                                       certify_heartbeat());
+    else if (command == "verify")
+      monitor = std::make_unique<obs::ProgressMonitor>(period,
+                                                       verify_heartbeat());
+  }
 
   try {
     if (command == "info") return cmd_info(n, equality);
