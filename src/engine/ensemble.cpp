@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "engine/pool.hpp"
@@ -83,22 +86,62 @@ std::vector<TrialResult> run_trial_fleet(
     std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
     const std::function<TrialResult(unsigned, std::uint64_t, std::uint64_t)>&
         body) {
+  return run_trial_range(0, trials, threads, master_seed, body);
+}
+
+std::vector<TrialResult> run_trial_range(
+    std::uint64_t first_trial, std::uint64_t trials, unsigned threads,
+    std::uint64_t master_seed,
+    const std::function<TrialResult(unsigned, std::uint64_t, std::uint64_t)>&
+        body) {
   std::vector<TrialResult> results(trials);
   if (trials == 0) return results;
 
   // The shared worker pool (engine/pool.hpp) preserves this function's
-  // contract: results indexed by trial, first exception rethrown after all
-  // workers drain, never more workers than trials.
+  // contract: results indexed by offset, exceptions surfaced after all
+  // workers drain, never more workers than trials. The pool rethrows the
+  // *first recorded* exception; the wrapper below instead names the lowest
+  // failing trial index so the error is deterministic and actionable
+  // ("which (trial, seed) reproduces this?") rather than a bare what()
+  // from whichever worker lost the race.
   WorkerPool pool(fleet_workers(trials, threads));
   FleetMetrics& fleet_metrics = FleetMetrics::get();
-  pool.parallel_for_workers(
-      trials, [&](unsigned worker, std::uint64_t trial) {
-        obs::ObsSpan span("trial", "engine");
-        span.set_value(static_cast<double>(trial));
-        results[trial] =
+  std::mutex failure_mutex;
+  bool failed = false;
+  std::uint64_t failed_trial = 0;
+  std::string failed_what;
+  const auto note_failure = [&](std::uint64_t trial, const char* what) {
+    const std::lock_guard<std::mutex> lock(failure_mutex);
+    if (!failed || trial < failed_trial) {
+      failed = true;
+      failed_trial = trial;
+      failed_what = what;
+    }
+  };
+  try {
+    pool.parallel_for_workers(trials, [&](unsigned worker, std::uint64_t i) {
+      const std::uint64_t trial = first_trial + i;
+      obs::ObsSpan span("trial", "engine");
+      span.set_value(static_cast<double>(trial));
+      try {
+        results[i] =
             body(worker, trial, derive_trial_seed(master_seed, trial));
-        fleet_metrics.publish(results[trial].metrics);
-      });
+      } catch (const std::exception& error) {
+        note_failure(trial, error.what());
+        throw;
+      } catch (...) {
+        note_failure(trial, "unknown exception");
+        throw;
+      }
+      fleet_metrics.publish(results[i].metrics);
+    });
+  } catch (...) {
+    if (failed)
+      throw std::runtime_error("run_trial_fleet: trial " +
+                               std::to_string(failed_trial) +
+                               " failed: " + failed_what);
+    throw;
+  }
   return results;
 }
 

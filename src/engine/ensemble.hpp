@@ -95,9 +95,11 @@ unsigned fleet_workers(std::uint64_t trials, unsigned threads);
 
 /// Run `body(trial, derive_trial_seed(master_seed, trial))` for every
 /// trial in [0, trials) on a fixed pool of `threads` workers (0 ⇒ hardware
-/// concurrency). Results are indexed by trial; an exception thrown by any
-/// body is rethrown after the pool drains. `body` must be safe to call
-/// concurrently from different threads.
+/// concurrency). Results are indexed by trial. If any body throws, the
+/// pool drains and a std::runtime_error naming the lowest failing trial
+/// index (with the original what()) is thrown — never a silent partial
+/// result. `body` must be safe to call concurrently from different
+/// threads.
 std::vector<TrialResult> run_trial_fleet(
     std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
     const std::function<TrialResult(std::uint64_t trial, std::uint64_t seed)>&
@@ -111,6 +113,19 @@ std::vector<TrialResult> run_trial_fleet(
 /// never results.
 std::vector<TrialResult> run_trial_fleet(
     std::uint64_t trials, unsigned threads, std::uint64_t master_seed,
+    const std::function<TrialResult(unsigned worker, std::uint64_t trial,
+                                    std::uint64_t seed)>& body);
+
+/// Shard variant for the serve daemon (S25): run trials [first_trial,
+/// first_trial + trials), each with its *global* derived seed
+/// derive_trial_seed(master_seed, first_trial + i), results indexed by
+/// offset i. Any partition of the trial index space into ranges therefore
+/// reproduces exactly the per-trial results of one run_trial_fleet over
+/// the union — regardless of which process runs which range. Exceptions
+/// are wrapped with the failing global trial index and rethrown.
+std::vector<TrialResult> run_trial_range(
+    std::uint64_t first_trial, std::uint64_t trials, unsigned threads,
+    std::uint64_t master_seed,
     const std::function<TrialResult(unsigned worker, std::uint64_t trial,
                                     std::uint64_t seed)>& body);
 

@@ -1,6 +1,7 @@
 #include "obs/registry.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <map>
@@ -187,6 +188,52 @@ std::string Registry::to_string() const {
     }
     out += line;
   }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::string out = "{";
+  char buffer[320];
+  bool first = true;
+  const auto append_number = [&](double value) {
+    if (value == static_cast<double>(static_cast<long long>(value)))
+      std::snprintf(buffer, sizeof buffer, "%lld",
+                    static_cast<long long>(value));
+    else
+      std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    out += buffer;
+  };
+  for (const MetricSnapshot& metric : snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += metric.name;
+    out += "\":";
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        if (metric.kind == MetricKind::kGauge &&
+            !std::isfinite(metric.value))
+          out += "null";
+        else
+          append_number(metric.value);
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(
+            buffer, sizeof buffer,
+            "{\"count\":%llu,\"sum\":%llu,\"max\":%llu,\"p50\":%llu,"
+            "\"p90\":%llu,\"p99\":%llu}",
+            static_cast<unsigned long long>(metric.count),
+            static_cast<unsigned long long>(metric.sum),
+            static_cast<unsigned long long>(metric.max),
+            static_cast<unsigned long long>(metric.p50),
+            static_cast<unsigned long long>(metric.p90),
+            static_cast<unsigned long long>(metric.p99));
+        out += buffer;
+        break;
+    }
+  }
+  out += '}';
   return out;
 }
 

@@ -132,6 +132,13 @@ class Registry {
 
   /// Human-readable one-metric-per-line rendering of snapshot().
   std::string to_string() const;
+
+  /// snapshot() as one JSON object keyed by metric name: counters and
+  /// gauges map to numbers, histograms to {"count","sum","max","p50",
+  /// "p90","p99"} objects. Served by the daemon's stats query (S25).
+  /// Metric names are [a-z0-9._-] identifiers, so no string escaping is
+  /// needed; non-finite gauge values render as null.
+  std::string to_json() const;
 };
 
 }  // namespace ppde::obs

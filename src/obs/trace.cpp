@@ -76,6 +76,7 @@ struct Tracer::Impl {
   }
 
   void write_line(const std::string& object, bool last) {
+    if (file == nullptr) return;  // closed by an interrupt_stop()
     std::fputs(object.c_str(), file);
     std::fputs(last ? "\n" : ",\n", file);
   }
@@ -150,6 +151,44 @@ struct Tracer::Impl {
       total += ring->dropped.load(std::memory_order_relaxed);
     return total;
   }
+
+  /// Shared tail of stop() / interrupt_stop(): stop the collector, drain,
+  /// write the summary footer and close the file. Returns false if another
+  /// shutdown path already ran (the collector is then already joined and
+  /// the file closed — nothing left to do).
+  bool finish() {
+    {
+      std::lock_guard<std::mutex> lock(control_mutex);
+      if (stop_requested) return false;
+      stop_requested = true;
+    }
+    control_cv.notify_all();
+    collector.join();
+    drain();  // anything recorded since the collector's final pass
+
+    // Footer: summary metadata (drop accounting) and the closing bracket —
+    // the whole file is one valid JSON array.
+    smc::JsonWriter summary;
+    summary.field("obs_trace_v", 1);
+    summary.field("ph", std::string_view("M"));
+    summary.field("name", std::string_view("obs_summary"));
+    summary.field("pid", 1);
+    summary.field("tid", std::uint64_t{0});
+    smc::JsonWriter args;
+    args.field("written", written);
+    args.field("dropped", total_dropped());
+    summary.raw_field("args", args.finish());
+    write_line(summary.finish(), /*last=*/true);
+    std::fputs("]\n", file);
+    std::fclose(file);
+    {
+      // write_line checks file without a lock of its own; the rings mutex
+      // serialises the null-out against any concurrent drain.
+      std::lock_guard<std::mutex> lock(rings_mutex);
+      file = nullptr;
+    }
+    return true;
+  }
 };
 
 std::atomic<Tracer*> Tracer::g_active{nullptr};
@@ -202,32 +241,18 @@ void Tracer::stop() {
   // flight past this point.
   g_active.store(nullptr, std::memory_order_release);
 
-  Impl* impl = tracer->impl_;
-  {
-    std::lock_guard<std::mutex> lock(impl->control_mutex);
-    impl->stop_requested = true;
-  }
-  impl->control_cv.notify_all();
-  impl->collector.join();
-  impl->drain();  // anything recorded since the collector's final pass
-
-  // Footer: summary metadata (drop accounting) and the closing bracket —
-  // the whole file is one valid JSON array.
-  smc::JsonWriter summary;
-  summary.field("obs_trace_v", 1);
-  summary.field("ph", std::string_view("M"));
-  summary.field("name", std::string_view("obs_summary"));
-  summary.field("pid", 1);
-  summary.field("tid", std::uint64_t{0});
-  smc::JsonWriter args;
-  args.field("written", impl->written);
-  args.field("dropped", impl->total_dropped());
-  summary.raw_field("args", args.finish());
-  impl->write_line(summary.finish(), /*last=*/true);
-  std::fputs("]\n", impl->file);
-  std::fclose(impl->file);
-  impl->file = nullptr;
+  if (!tracer->impl_->finish()) return;  // interrupt_stop() already ran
   delete tracer;
+}
+
+void Tracer::interrupt_stop() {
+  Tracer* tracer = g_active.load(std::memory_order_relaxed);
+  if (tracer == nullptr) return;
+  // NOT uninstalled and deliberately leaked: see the header contract —
+  // worker threads may be mid-record(), so the rings must stay live. The
+  // drained-then-closed file is complete; later record() calls land in
+  // rings nobody reads again.
+  tracer->impl_->finish();
 }
 
 Tracer::~Tracer() { delete impl_; }

@@ -84,6 +84,19 @@ class Tracer {
   /// No-op when no tracer is active.
   static void stop();
 
+  /// Interrupt-path variant of stop() for SIGINT/SIGTERM handling (S25):
+  /// drains the rings, writes the footer and closes the file so the trace
+  /// on disk is a complete, valid JSON array — but deliberately leaves the
+  /// tracer installed and leaks it. stop() requires instrumented threads
+  /// to have quiesced; an interrupt arrives while workers are mid-span,
+  /// and uninstalling under them would race ~ObsSpan's record() against
+  /// the teardown. A leaked tracer keeps those record() calls writing into
+  /// live (never again drained) rings, which is harmless for a process
+  /// about to _exit(). Called from a signal-watcher *thread* (not a
+  /// handler) — it takes locks and does file IO. Safe to call at most
+  /// once; a later stop() is a no-op.
+  static void interrupt_stop();
+
   /// The active tracer, or nullptr when tracing is disabled. The relaxed
   /// load + branch on the result IS the documented disabled-path cost.
   static Tracer* active() {

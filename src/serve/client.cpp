@@ -1,0 +1,65 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/wire.hpp"
+
+namespace ppde::serve {
+
+int connect_hostport(const std::string& hostport, std::string* error) {
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon + 1 == hostport.size()) {
+    if (error != nullptr) *error = "expected host:port, got '" + hostport + "'";
+    return -1;
+  }
+  const std::string host = hostport.substr(0, colon);
+  const std::string port = hostport.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    if (error != nullptr)
+      *error = "cannot resolve " + hostport + ": " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    fd = ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, entry->ai_addr, entry->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0 && error != nullptr)
+    *error = "cannot connect to " + hostport + ": " + std::strerror(errno);
+  return fd;
+}
+
+bool rpc(const std::string& hostport, const std::string& request,
+         std::string* response, std::string* error) {
+  const int fd = connect_hostport(hostport, error);
+  if (fd < 0) return false;
+  bool ok = false;
+  try {
+    write_frame(fd, request);
+    if (!read_frame(fd, *response))
+      throw std::runtime_error("server closed the connection");
+    ok = true;
+  } catch (const std::exception& failure) {
+    if (error != nullptr) *error = failure.what();
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace ppde::serve

@@ -1,0 +1,18 @@
+// Client side of the serve protocol (S25): connect + one-shot RPC.
+#pragma once
+
+#include <string>
+
+namespace ppde::serve {
+
+/// Connect a TCP socket to `host:port` (numeric or resolvable host; the
+/// port is the text after the *last* ':'). Returns the fd, or -1 with
+/// *error describing the failure.
+int connect_hostport(const std::string& hostport, std::string* error);
+
+/// One-shot RPC: connect, send one request frame, read one response
+/// frame into *response. Returns false (with *error set) on any failure.
+bool rpc(const std::string& hostport, const std::string& request,
+         std::string* response, std::string* error);
+
+}  // namespace ppde::serve

@@ -1,0 +1,126 @@
+// Message schemas of the serve protocol (S25).
+//
+// Two conversations share the same frame format (serve/wire.hpp):
+//
+//   client <-> daemon      {"req":"certify"|"ensemble"|"stats"|"shutdown",
+//                           ...query parameters...}
+//                          -> {"ok":true, ...} | {"ok":false,"error":...}
+//   daemon <-> worker      {"op":"batch", kind, n, extra, expected, seed,
+//                           first, count, window, budget}
+//                          -> {"op":"result","first",...,"records":[...]}
+//                          {"op":"exit"}
+//
+// Trial records travel as compact JSON arrays, with every 64-bit integer
+// as a decimal number (exact — the wire parser re-reads the raw token via
+// strtoull) and every double as the hex string of its IEEE-754 bit
+// pattern, so a record crosses the wire bit-identically and the
+// coordinator's canonical fold (smc/partial.hpp) sees exactly what an
+// in-process fold would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/ensemble.hpp"
+#include "serve/wire.hpp"
+#include "smc/certify.hpp"
+#include "smc/partial.hpp"
+
+namespace ppde::serve {
+
+// ---------------------------------------------------------------------------
+// Client <-> daemon.
+
+/// One client query. For req == "certify", `trials` is the SPRT trial
+/// budget (CertifyOptions::max_trials); for "ensemble" it is the exact
+/// fleet size. `shard` (certify/ensemble) overrides the daemon's per-batch
+/// dispatch size; 0 keeps the server default. Defaults mirror the CLI
+/// `certify` flag defaults so a client request omitting a field means the
+/// same thing as the CLI omitting the flag.
+struct QueryParams {
+  std::string req = "certify";
+  int n = 1;
+  std::uint32_t extra = 0;
+  std::uint64_t trials = 4096;
+  std::uint64_t seed = 42;
+  double delta = 0.01;
+  double indifference = 0.05;
+  double alpha = 0.01;
+  double beta = 0.01;
+  std::uint64_t window = 90'000'000;
+  std::uint64_t budget = 2'000'000'000;
+  std::uint64_t shard = 0;
+};
+
+std::string encode_query(const QueryParams& query);
+QueryParams parse_query(const Json& json);
+
+/// The CertifyOptions a query denotes (threads/batch are irrelevant
+/// server-side — sharding replaces them — and left at defaults; neither
+/// is part of the certificate payload).
+smc::CertifyOptions certify_options_of(const QueryParams& query);
+
+std::string encode_error(const std::string& message, bool busy = false);
+
+// ---------------------------------------------------------------------------
+// Daemon <-> worker.
+
+struct BatchRequest {
+  bool ensemble = false;  ///< certify record shape otherwise
+  int n = 1;
+  std::uint32_t extra = 0;
+  bool expected = false;  ///< certify: the output being certified
+  std::uint64_t seed = 0;
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+  std::uint64_t window = 0;
+  std::uint64_t budget = 0;
+};
+
+std::string encode_batch_request(const BatchRequest& request);
+/// Throws std::runtime_error unless `json` is a batch op.
+BatchRequest parse_batch_request(const Json& json);
+
+std::string encode_exit();
+bool is_exit(const Json& json);
+
+/// One ensemble trial's wire record: exactly the TrialResult fields
+/// engine::aggregate and the ensemble JSONL summary consume (per-trial
+/// wall/CPU time is an execution record, not a statistic, and stays
+/// process-local).
+struct EnsembleRecord {
+  std::uint64_t trial = 0;
+  bool stabilised = false;
+  bool output = false;
+  std::uint64_t interactions = 0;
+  std::uint64_t parallel_time_bits = 0;
+  std::uint64_t meetings = 0;
+  std::uint64_t firings = 0;
+  std::uint64_t null_skip_batches = 0;
+  std::uint64_t skipped_meetings = 0;
+  std::uint64_t consensus_flips = 0;
+  std::uint64_t weight_updates = 0;
+  std::uint64_t tree_descents = 0;
+
+  bool operator==(const EnsembleRecord&) const = default;
+};
+
+EnsembleRecord make_ensemble_record(std::uint64_t trial,
+                                    const engine::TrialResult& result);
+/// Inverse of make_ensemble_record up to the unshipped fields (seed,
+/// consensus_since, wall) — everything aggregate() reads round-trips.
+engine::TrialResult to_trial_result(const EnsembleRecord& record);
+
+struct BatchResult {
+  std::uint64_t first = 0;
+  std::vector<smc::TrialRecord> records;           ///< certify batches
+  std::vector<EnsembleRecord> ensemble_records;    ///< ensemble batches
+};
+
+std::string encode_batch_result(const BatchResult& result, bool ensemble);
+/// Throws std::runtime_error unless `json` is a result op of the expected
+/// shape.
+BatchResult parse_batch_result(const Json& json, bool ensemble);
+
+}  // namespace ppde::serve

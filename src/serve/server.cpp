@@ -1,0 +1,578 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bignum/nat.hpp"
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "engine/ensemble.hpp"
+#include "obs/registry.hpp"
+#include "serve/proto.hpp"
+#include "serve/supervisor.hpp"
+#include "serve/wire.hpp"
+#include "smc/json.hpp"
+#include "smc/partial.hpp"
+
+namespace ppde::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Statement fields the daemon computes itself (workers never report them
+/// — they are options, not observations): the converted protocol's
+/// fingerprint, the initial configuration size, and the ground-truth
+/// expected output extra >= k(n). Cached per n; runner threads share it.
+struct Statement {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t num_pointers = 0;
+  bignum::Nat threshold;
+  compile::ProtocolConversion conversion;
+};
+
+const Statement& cached_statement(int n) {
+  static std::mutex mutex;
+  static std::map<int, std::unique_ptr<Statement>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<Statement>& slot = cache[n];
+  if (!slot) {
+    const auto lowered =
+        compile::lower_program(czerner::build_construction(n).program);
+    slot = std::make_unique<Statement>();
+    slot->conversion = compile::machine_to_protocol(lowered.machine);
+    slot->fingerprint = slot->conversion.protocol.fingerprint();
+    slot->num_pointers = slot->conversion.num_pointers;
+    slot->threshold = czerner::Construction::threshold(n);
+  }
+  return *slot;
+}
+
+struct Metrics {
+  obs::Counter& queries_total;
+  obs::Counter& queries_rejected;
+  obs::Counter& batches_dispatched;
+  obs::Counter& worker_deaths;
+  obs::Counter& trials_reassigned;
+  obs::Gauge& active;
+
+  static Metrics& get() {
+    static Metrics metrics{
+        obs::Registry::global().counter("serve.queries_total"),
+        obs::Registry::global().counter("serve.queries_rejected"),
+        obs::Registry::global().counter("serve.batches_dispatched"),
+        obs::Registry::global().counter("serve.worker_deaths"),
+        obs::Registry::global().counter("serve.trials_reassigned"),
+        obs::Registry::global().gauge("serve.active_queries"),
+    };
+    return metrics;
+  }
+};
+
+struct Range {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+};
+
+/// One query's dispatch engine: hand out trial ranges to supervisor
+/// workers, collect responses, retire dead workers (their ranges go back
+/// on the retry queue — outcomes are pure functions of (trial, seed), so
+/// a re-run elsewhere is bit-identical). Shared by certify and ensemble
+/// queries; the caller parameterises the stop condition, the dispatch
+/// window, and the result sink.
+struct Pump {
+  Supervisor& supervisor;
+  BatchRequest prototype;  ///< first/count overwritten per batch
+  std::uint64_t total_trials = 0;
+  std::uint64_t shard = 1;
+  /// 0 = dispatch everything up front (ensemble: the fleet size is
+  /// exact); otherwise cap speculative dispatch at
+  /// next_needed() + alive * speculate_factor * shard (certify: the SPRT
+  /// usually stops far before max_trials).
+  std::uint64_t speculate_factor = 0;
+  std::function<std::uint64_t()> next_needed;  ///< used iff speculating
+  std::function<bool()> done;
+  std::function<void(BatchResult&&)> deliver;
+  /// Fired after every successful batch dispatch (the server counts
+  /// process-wide dispatches for the kill_worker_after test hook).
+  std::function<void()> on_dispatch;
+  double wall_budget = 0.0;  ///< seconds; <= 0 = unlimited
+
+  /// "" on success; an error message otherwise.
+  std::string run() {
+    Metrics& metrics = Metrics::get();
+    const Clock::time_point started = Clock::now();
+    std::uint64_t frontier = 0;
+    std::deque<Range> retry;
+    std::map<int, Range> inflight;
+
+    const auto retire = [&](int worker, const Range& range, bool reassign) {
+      supervisor.report_dead(worker);
+      metrics.worker_deaths.add();
+      if (reassign) {
+        metrics.trials_reassigned.add(range.count);
+        retry.push_back(range);
+      }
+    };
+
+    while (!done()) {
+      if (wall_budget > 0.0 && seconds_since(started) > wall_budget) {
+        drain(inflight);
+        return "query wall budget exceeded";
+      }
+      // Everything the fold can still consume has been folded and nothing
+      // is pending: the trial budget is exhausted without a decision.
+      if (retry.empty() && inflight.empty() && frontier >= total_trials)
+        break;
+
+      // Dispatch: retries first (they block the fold frontier), then
+      // fresh ranges up to the speculation window.
+      while (true) {
+        std::uint64_t window_end = total_trials;
+        if (speculate_factor != 0) {
+          const std::uint64_t alive =
+              std::max<std::uint64_t>(1, supervisor.alive());
+          const std::uint64_t base = next_needed();
+          window_end =
+              std::min(total_trials,
+                       base + alive * speculate_factor * shard);
+        }
+        const bool from_retry = !retry.empty();
+        Range range;
+        if (from_retry) {
+          range = retry.front();
+        } else if (frontier < window_end) {
+          range.first = frontier;
+          range.count = std::min(shard, total_trials - frontier);
+        } else {
+          break;
+        }
+        const int worker = supervisor.try_acquire();
+        if (worker < 0) break;
+        prototype.first = range.first;
+        prototype.count = range.count;
+        bool sent = false;
+        try {
+          write_frame(supervisor.fd(worker), encode_batch_request(prototype));
+          sent = true;
+        } catch (...) {
+        }
+        if (!sent) {
+          // The range was not consumed; just retire the worker.
+          retire(worker, range, /*reassign=*/false);
+          continue;
+        }
+        if (from_retry)
+          retry.pop_front();
+        else
+          frontier += range.count;
+        inflight.emplace(worker, range);
+        metrics.batches_dispatched.add();
+        if (on_dispatch) on_dispatch();
+      }
+
+      if (inflight.empty()) {
+        if (supervisor.alive() == 0) return "all workers died";
+        // Work remains but every live worker is serving another query.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+
+      // Collect whatever responses are ready.
+      std::vector<pollfd> fds;
+      std::vector<int> workers;
+      fds.reserve(inflight.size());
+      for (const auto& [worker, range] : inflight) {
+        fds.push_back(pollfd{supervisor.fd(worker), POLLIN, 0});
+        workers.push_back(worker);
+      }
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 200);
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const int worker = workers[i];
+        const Range range = inflight.at(worker);
+        inflight.erase(worker);
+        std::string payload;
+        bool ok = false;
+        try {
+          ok = read_frame(supervisor.fd(worker), payload);
+        } catch (...) {
+        }
+        if (!ok) {
+          retire(worker, range, /*reassign=*/true);
+          continue;
+        }
+        try {
+          BatchResult result =
+              parse_batch_result(Json::parse(payload), prototype.ensemble);
+          deliver(std::move(result));
+        } catch (const std::exception&) {
+          retire(worker, range, /*reassign=*/true);
+          continue;
+        }
+        supervisor.release(worker);
+      }
+    }
+
+    drain(inflight);
+    return "";
+  }
+
+  /// Read (and deliver) every outstanding response so worker sockets hold
+  /// no stale frames for the next query. Late results of ranges that were
+  /// also re-run elsewhere are exact duplicates; the sinks drop them.
+  void drain(std::map<int, Range>& inflight) {
+    Metrics& metrics = Metrics::get();
+    for (const auto& [worker, range] : inflight) {
+      std::string payload;
+      bool ok = false;
+      try {
+        ok = read_frame(supervisor.fd(worker), payload);
+      } catch (...) {
+      }
+      if (!ok) {
+        supervisor.report_dead(worker);
+        metrics.worker_deaths.add();
+        continue;
+      }
+      try {
+        BatchResult result =
+            parse_batch_result(Json::parse(payload), prototype.ensemble);
+        deliver(std::move(result));
+        supervisor.release(worker);
+      } catch (const std::exception&) {
+        supervisor.report_dead(worker);
+        metrics.worker_deaths.add();
+      }
+    }
+    inflight.clear();
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  Supervisor supervisor;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  Clock::time_point started = Clock::now();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> dispatched_total{0};
+  std::atomic<bool> kill_fired{false};
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::pair<int, QueryParams>> queue;
+  std::vector<std::thread> runners;
+
+  explicit Impl(const ServerOptions& server_options)
+      : options(server_options),
+        supervisor(SupervisorOptions{server_options.workers,
+                                     server_options.remote_workers}) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+      throw std::runtime_error("ppde serve: cannot create socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error("ppde serve: bad host '" + options.host + "'");
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd, 16) < 0)
+      throw std::runtime_error("ppde serve: cannot bind " + options.host +
+                               ":" + std::to_string(options.port));
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len);
+    port = ntohs(bound.sin_port);
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  // -- query execution ----------------------------------------------------
+
+  /// kill_worker_after test hook: SIGKILL one local worker exactly once,
+  /// after the Nth batch dispatched across all queries.
+  void note_dispatch() {
+    const std::uint64_t count = ++dispatched_total;
+    if (options.kill_worker_after != 0 &&
+        count == options.kill_worker_after && !kill_fired.exchange(true))
+      supervisor.kill_one();
+  }
+
+  std::string run_certify(const QueryParams& query) {
+    const Clock::time_point began = Clock::now();
+    const Statement& statement = cached_statement(query.n);
+    const std::uint64_t m = statement.num_pointers + query.extra;
+    const bool expected =
+        bignum::Nat(query.extra) >= statement.threshold;
+    const smc::CertifyOptions certify_options = certify_options_of(query);
+    smc::StreamingMerger merger(certify_options);
+
+    Pump pump{supervisor,
+              BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
+                           query.seed, 0, 0, query.window, query.budget},
+              certify_options.max_trials,
+              std::max<std::uint64_t>(1, query.shard ? query.shard
+                                                     : options.shard),
+              /*speculate_factor=*/2,
+              [&] { return merger.next_needed(); },
+              [&] { return merger.decided(); },
+              [&](BatchResult&& result) {
+                merger.absorb(result.first, std::move(result.records));
+              },
+              [this] { note_dispatch(); },
+              options.max_query_seconds};
+    const std::string error = pump.run();
+    if (!error.empty()) return encode_error(error);
+
+    smc::Certificate certificate = merger.finish();
+    certificate.protocol_fingerprint = statement.fingerprint;
+    certificate.population = statement.conversion.initial_config(m).total();
+    certificate.expected_output = expected;
+    certificate.wall_seconds = seconds_since(began);
+    certificate.threads_used = supervisor.alive();
+
+    smc::JsonWriter out;
+    out.field("ok", true);
+    out.field("verdict", std::string_view(smc::to_string(
+                             certificate.verdict)));
+    out.raw_field("certificate", smc::to_jsonl(certificate));
+    return out.finish();
+  }
+
+  std::string run_ensemble(const QueryParams& query) {
+    const Clock::time_point began = Clock::now();
+    const Statement& statement = cached_statement(query.n);
+    const std::uint64_t m = statement.num_pointers + query.extra;
+    const std::uint64_t total = query.trials;
+    if (total == 0) return encode_error("ensemble query with zero trials");
+
+    std::vector<EnsembleRecord> records(total);
+    std::vector<char> seen(total, 0);
+    std::uint64_t remaining = total;
+
+    Pump pump{supervisor,
+              BatchRequest{/*ensemble=*/true, query.n, query.extra,
+                           /*expected=*/false, query.seed, 0, 0, query.window,
+                           query.budget},
+              total,
+              std::max<std::uint64_t>(1, query.shard ? query.shard
+                                                     : options.shard),
+              /*speculate_factor=*/0,
+              nullptr,
+              [&] { return remaining == 0; },
+              [&](BatchResult&& result) {
+                for (const EnsembleRecord& record : result.ensemble_records) {
+                  if (record.trial >= total || seen[record.trial]) continue;
+                  seen[record.trial] = 1;
+                  records[record.trial] = record;
+                  --remaining;
+                }
+              },
+              [this] { note_dispatch(); },
+              options.max_query_seconds};
+    const std::string error = pump.run();
+    if (!error.empty()) return encode_error(error);
+
+    // Reconstruct per-trial results in trial order; aggregation is then
+    // exactly engine::run_ensemble's (same records, same order).
+    std::vector<engine::TrialResult> results(total);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      results[i] = to_trial_result(records[i]);
+      results[i].seed = engine::derive_trial_seed(query.seed, i);
+    }
+    engine::EnsembleStats stats = engine::aggregate(results);
+    stats.wall_seconds = seconds_since(began);
+    stats.threads_used = supervisor.alive();
+
+    smc::JsonWriter out;
+    out.field("ok", true);
+    out.raw_field("summary", smc::to_jsonl(stats, m, query.seed,
+                                           engine::EngineKind::kCountNullSkip));
+    return out.finish();
+  }
+
+  std::string run_stats() {
+    std::uint64_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      depth = queue.size();
+    }
+    smc::JsonWriter out;
+    out.field("ok", true);
+    out.field("uptime_seconds", seconds_since(started));
+    out.field("workers_alive", static_cast<std::uint64_t>(supervisor.alive()));
+    out.field("workers_total", static_cast<std::uint64_t>(supervisor.total()));
+    out.field("queue_depth", depth);
+    out.raw_field("metrics", obs::Registry::global().to_json());
+    return out.finish();
+  }
+
+  // -- connection handling ------------------------------------------------
+
+  static void respond_and_close(int fd, const std::string& payload) {
+    try {
+      write_frame(fd, payload);
+    } catch (...) {
+      // The client went away; nothing to clean up beyond the fd.
+    }
+    ::close(fd);
+  }
+
+  void handle_connection(int fd) {
+    Metrics& metrics = Metrics::get();
+    // Bound how long a silent client can stall the accept loop.
+    timeval timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    std::string payload;
+    QueryParams query;
+    try {
+      if (!read_frame(fd, payload)) {
+        ::close(fd);
+        return;
+      }
+      query = parse_query(Json::parse(payload));
+    } catch (const std::exception& error) {
+      respond_and_close(fd, encode_error(error.what()));
+      return;
+    }
+    metrics.queries_total.add();
+    if (query.req == "stats") {
+      respond_and_close(fd, run_stats());
+      return;
+    }
+    if (query.req == "shutdown") {
+      smc::JsonWriter out;
+      out.field("ok", true);
+      out.field("stopping", true);
+      respond_and_close(fd, out.finish());
+      request_stop();
+      return;
+    }
+    if (query.req != "certify" && query.req != "ensemble") {
+      metrics.queries_rejected.add();
+      respond_and_close(fd, encode_error("unknown req '" + query.req + "'"));
+      return;
+    }
+    if (query.n < 1) {
+      metrics.queries_rejected.add();
+      respond_and_close(fd, encode_error("n must be >= 1"));
+      return;
+    }
+    if (query.trials > options.max_trials_cap) {
+      metrics.queries_rejected.add();
+      respond_and_close(
+          fd, encode_error("trial budget exceeds the daemon cap of " +
+                           std::to_string(options.max_trials_cap)));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      if (queue.size() >= options.queue_limit) {
+        metrics.queries_rejected.add();
+        respond_and_close(fd, encode_error("queue full", /*busy=*/true));
+        return;
+      }
+      queue.emplace_back(fd, query);
+    }
+    queue_cv.notify_one();
+  }
+
+  void runner_loop() {
+    Metrics& metrics = Metrics::get();
+    while (true) {
+      std::pair<int, QueryParams> job{-1, {}};
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock,
+                      [&] { return stop.load() || !queue.empty(); });
+        if (queue.empty()) return;  // stop requested and drained
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      metrics.active.set(metrics.active.value() + 1.0);
+      std::string response;
+      try {
+        response = job.second.req == "ensemble" ? run_ensemble(job.second)
+                                                : run_certify(job.second);
+      } catch (const std::exception& error) {
+        response = encode_error(error.what());
+      }
+      respond_and_close(job.first, response);
+      metrics.active.set(metrics.active.value() - 1.0);
+    }
+  }
+
+  void run() {
+    std::signal(SIGPIPE, SIG_IGN);
+    for (unsigned i = 0; i < std::max(1u, options.max_active); ++i)
+      runners.emplace_back([this] { runner_loop(); });
+    while (!stop.load()) {
+      pollfd poll_fd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&poll_fd, 1, 200);
+      if (ready <= 0) continue;
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      handle_connection(conn);
+    }
+    queue_cv.notify_all();
+    for (std::thread& runner : runners) runner.join();
+    runners.clear();
+    // Reject whatever was still queued (runners exit once the queue is
+    // empty; anything left arrived in the stop window).
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    for (auto& [fd, query] : queue)
+      respond_and_close(fd, encode_error("server shutting down"));
+    queue.clear();
+  }
+
+  void request_stop() {
+    stop.store(true);
+    queue_cv.notify_all();
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Server::~Server() = default;
+
+std::uint16_t Server::port() const { return impl_->port; }
+
+void Server::run() { impl_->run(); }
+
+void Server::request_stop() { impl_->request_stop(); }
+
+}  // namespace ppde::serve

@@ -1,0 +1,39 @@
+#include "serve/signals.hpp"
+
+#include <utility>
+
+#include <pthread.h>
+
+namespace ppde::serve {
+
+SignalWatch::SignalWatch(std::function<void(int)> callback)
+    : callback_(std::move(callback)) {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, &old_mask_);
+  watcher_ = std::thread([this, mask] {
+    int signo = 0;
+    if (sigwait(&mask, &signo) != 0) return;
+    if (cancelled_) return;  // woken by the destructor's cancel token
+    callback_(signo);
+  });
+}
+
+SignalWatch::~SignalWatch() {
+  cancelled_ = true;
+  // Wake the watcher if it is still parked in sigwait: a thread-directed
+  // SIGTERM is consumed there (it is blocked, so it cannot run a handler).
+  // If the watcher already consumed a real signal, the callback has run or
+  // is running — pthread_kill then delivers to a thread past sigwait with
+  // the signal still blocked, where it stays pending and harmless until
+  // the mask is restored below... so only send while the thread is parked:
+  // cancelled_ plus join() makes the race benign either way, because a
+  // pending *blocked* signal is discarded on thread exit.
+  pthread_kill(watcher_.native_handle(), SIGTERM);
+  watcher_.join();
+  pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
+}
+
+}  // namespace ppde::serve

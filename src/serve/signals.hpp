@@ -1,0 +1,48 @@
+// Thread-based SIGINT/SIGTERM watching (S25).
+//
+// Async signal handlers can safely do almost nothing; flushing the obs
+// trace ring, emitting a final progress line or unwinding a daemon all
+// take locks and do IO. SignalWatch therefore never runs code in handler
+// context: it blocks SIGINT/SIGTERM in the whole process (pthread_sigmask
+// before any other thread is spawned, so every later thread inherits the
+// mask) and dedicates one thread to sigwait(). When a signal arrives, the
+// callback runs on that ordinary thread, free to use any API.
+//
+// Used by the long-running CLI verbs (certify/ensemble/verify flush the
+// trace and print a final heartbeat before exiting, instead of dropping
+// buffered spans) and by the serve daemon's graceful-shutdown path.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include <signal.h>
+
+namespace ppde::serve {
+
+class SignalWatch {
+ public:
+  /// Block SIGINT/SIGTERM process-wide and start the watcher thread;
+  /// `callback(signo)` runs at most once, on the watcher thread, when the
+  /// first signal arrives. Construct before spawning worker threads so
+  /// they inherit the blocked mask.
+  explicit SignalWatch(std::function<void(int)> callback);
+
+  /// Stops the watcher (wakes it with a self-directed SIGTERM that is
+  /// consumed as the cancel token) and restores the previous signal mask
+  /// on this thread. If the callback is currently running, waits for it.
+  ~SignalWatch();
+
+  SignalWatch(const SignalWatch&) = delete;
+  SignalWatch& operator=(const SignalWatch&) = delete;
+
+ private:
+  std::function<void(int)> callback_;
+  std::thread watcher_;
+  sigset_t old_mask_;
+  // Plain bool written before the wake-up signal and read after sigwait
+  // returns; the pthread_kill/sigwait pair orders the accesses.
+  volatile bool cancelled_ = false;
+};
+
+}  // namespace ppde::serve

@@ -1,0 +1,152 @@
+#include "serve/supervisor.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/client.hpp"
+#include "serve/proto.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+
+namespace ppde::serve {
+
+Supervisor::Supervisor(const SupervisorOptions& options) {
+  for (unsigned i = 0; i < options.local_workers; ++i) {
+    int pair[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+      std::perror("ppde serve: socketpair");
+      continue;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("ppde serve: fork");
+      ::close(pair[0]);
+      ::close(pair[1]);
+      continue;
+    }
+    if (pid == 0) {
+      ::close(pair[0]);
+      int status = 0;
+      try {
+        worker_main(pair[1]);
+      } catch (...) {
+        status = 1;
+      }
+      ::close(pair[1]);
+      ::_exit(status);
+    }
+    ::close(pair[1]);
+    slots_.push_back(Slot{pair[0], pid, /*busy=*/false, /*alive=*/true});
+  }
+  for (const std::string& endpoint : options.remote_workers) {
+    std::string error;
+    const int fd = connect_hostport(endpoint, &error);
+    if (fd < 0) {
+      std::fprintf(stderr, "ppde serve: remote worker %s unavailable: %s\n",
+                   endpoint.c_str(), error.c_str());
+      continue;
+    }
+    slots_.push_back(Slot{fd, /*pid=*/-1, /*busy=*/false, /*alive=*/true});
+  }
+  if (slots_.empty())
+    throw std::runtime_error("ppde serve: no workers could be started");
+}
+
+Supervisor::~Supervisor() {
+  for (Slot& slot : slots_) {
+    if (!slot.alive) continue;
+    try {
+      write_frame(slot.fd, encode_exit());
+    } catch (...) {
+      // Already dead; reaped below.
+    }
+    ::close(slot.fd);
+    slot.fd = -1;
+  }
+  for (Slot& slot : slots_) {
+    if (!slot.alive || slot.pid < 0) continue;
+    // The exit frame (or the closed socket) terminates the child promptly;
+    // give it a short grace period, then force it.
+    int status = 0;
+    for (int spin = 0; spin < 200; ++spin) {
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped == slot.pid || reaped < 0) {
+        slot.pid = -1;
+        break;
+      }
+      ::usleep(10'000);
+    }
+    if (slot.pid >= 0) {
+      ::kill(slot.pid, SIGKILL);
+      ::waitpid(slot.pid, &status, 0);
+    }
+    slot.alive = false;
+  }
+}
+
+int Supervisor::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive && !slots_[i].busy) {
+      slots_[i].busy = true;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void Supervisor::release(int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[static_cast<std::size_t>(worker)].busy = false;
+}
+
+void Supervisor::report_dead(int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[static_cast<std::size_t>(worker)];
+  if (!slot.alive) return;
+  slot.alive = false;
+  slot.busy = false;
+  if (slot.fd >= 0) {
+    ::close(slot.fd);
+    slot.fd = -1;
+  }
+  if (slot.pid >= 0) {
+    int status = 0;
+    ::waitpid(slot.pid, &status, WNOHANG);
+    slot.pid = -1;
+  }
+}
+
+int Supervisor::fd(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[static_cast<std::size_t>(worker)].fd;
+}
+
+unsigned Supervisor::alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  unsigned count = 0;
+  for (const Slot& slot : slots_)
+    if (slot.alive) ++count;
+  return count;
+}
+
+bool Supervisor::kill_one() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) {
+    if (slot.alive && slot.pid >= 0) {
+      ::kill(slot.pid, SIGKILL);
+      // Leave the slot "alive": the next IO attempt fails and the normal
+      // report_dead path retires it, which is exactly the code path the
+      // serve-smoke killed-worker scenario needs to exercise.
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ppde::serve

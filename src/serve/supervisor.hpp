@@ -1,0 +1,75 @@
+// Worker-process supervision for the serve daemon (S25).
+//
+// The supervisor preforks N local workers over AF_UNIX socketpairs and
+// connects to any configured remote workers (`ppde worker` processes over
+// TCP). Forking happens in the constructor, which the server runs BEFORE
+// spawning any thread: fork() from a multithreaded process only
+// async-signal-safely reaches exec or _exit, and our children run real
+// library code. The same rule means workers are never *re*spawned — a
+// dead worker's slot is retired and its in-flight trial range reassigned
+// to survivors (serve/server.cpp), which is statistically free because
+// trial outcomes are pure functions of (trial, seed).
+//
+// Death detection is IO-based: a SIGKILLed or crashed local worker closes
+// its socketpair end, so the next write fails with EPIPE (SIGPIPE is
+// ignored by the server) or the pending read returns EOF; remote workers
+// behave identically via TCP. report_dead() retires the slot and reaps
+// the child.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace ppde::serve {
+
+struct SupervisorOptions {
+  unsigned local_workers = 2;
+  /// host:port endpoints of `ppde worker --port=...` processes.
+  std::vector<std::string> remote_workers;
+};
+
+class Supervisor {
+ public:
+  /// Fork local workers / connect remote ones. Call before spawning any
+  /// thread. Throws std::runtime_error if not a single worker could be
+  /// brought up (a partially-connected remote set only warns to stderr).
+  explicit Supervisor(const SupervisorOptions& options);
+
+  /// Send exit frames, close fds, reap children (SIGKILL stragglers).
+  ~Supervisor();
+
+  /// Index of an idle live worker, marked busy — or -1 if none.
+  int try_acquire();
+  void release(int worker);
+  /// Retire a worker whose socket failed: close the fd, reap the child.
+  /// Idempotent.
+  void report_dead(int worker);
+
+  int fd(int worker) const;
+  unsigned alive() const;
+  unsigned total() const { return static_cast<unsigned>(slots_.size()); }
+
+  /// Test hook (serve-smoke's killed-worker path): SIGKILL one live local
+  /// worker. Returns false if there is none.
+  bool kill_one();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+ private:
+  struct Slot {
+    int fd = -1;
+    pid_t pid = -1;  ///< -1 for remote workers
+    bool busy = false;
+    bool alive = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ppde::serve

@@ -1,0 +1,160 @@
+#include "serve/worker.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "compile/lower.hpp"
+#include "compile/to_protocol.hpp"
+#include "czerner/construction.hpp"
+#include "engine/count_sim.hpp"
+#include "engine/ensemble.hpp"
+#include "serve/proto.hpp"
+#include "serve/wire.hpp"
+#include "smc/certify.hpp"
+#include "smc/partial.hpp"
+
+namespace ppde::serve {
+
+namespace {
+
+/// Per-n converted protocol + activity index, built once per worker
+/// process and reused across batches (construction dominates small-batch
+/// latency otherwise).
+struct CachedProtocol {
+  compile::ProtocolConversion conversion;
+  std::optional<engine::PairIndex> index;
+};
+
+CachedProtocol& cached_protocol(int n) {
+  static std::map<int, std::unique_ptr<CachedProtocol>> cache;
+  std::unique_ptr<CachedProtocol>& slot = cache[n];
+  if (!slot) {
+    const auto lowered =
+        compile::lower_program(czerner::build_construction(n).program);
+    slot = std::make_unique<CachedProtocol>(CachedProtocol{
+        compile::machine_to_protocol(lowered.machine), std::nullopt});
+    slot->index.emplace(slot->conversion.protocol);
+  }
+  return *slot;
+}
+
+BatchResult run_certify_batch(const BatchRequest& request) {
+  CachedProtocol& cached = cached_protocol(request.n);
+  const std::uint64_t m = cached.conversion.num_pointers + request.extra;
+  const pp::Config initial = cached.conversion.initial_config(m);
+  smc::CertifyOptions options;
+  options.seed = request.seed;
+  options.sim.stable_window = request.window;
+  options.sim.max_interactions = request.budget;
+  // threads = 1: a worker process is single-threaded by design — the
+  // daemon's parallelism is processes, and a forked child must not spawn
+  // threads anyway.
+  const std::vector<smc::TrialOutcome> outcomes = smc::run_outcome_range(
+      cached.conversion.protocol, initial, request.expected, options,
+      request.first, request.count, /*threads=*/1);
+  BatchResult result;
+  result.first = request.first;
+  result.records.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    result.records.push_back(
+        smc::make_trial_record(request.first + i, outcomes[i]));
+  return result;
+}
+
+BatchResult run_ensemble_batch(const BatchRequest& request) {
+  CachedProtocol& cached = cached_protocol(request.n);
+  const std::uint64_t m = cached.conversion.num_pointers + request.extra;
+  const pp::Config initial = cached.conversion.initial_config(m);
+  pp::SimulationOptions sim_stop;
+  sim_stop.stable_window = request.window;
+  sim_stop.max_interactions = request.budget;
+  engine::CountSimOptions sim_options;
+  sim_options.null_skip = true;  // the serve protocol runs the S21 default
+  std::unique_ptr<engine::CountSimulator> simulator;
+  const auto body = [&](unsigned, std::uint64_t, std::uint64_t seed) {
+    engine::TrialResult trial;
+    trial.seed = seed;
+    if (!simulator)
+      simulator = std::make_unique<engine::CountSimulator>(
+          cached.conversion.protocol, *cached.index, initial, seed,
+          sim_options);
+    else
+      simulator->reset(initial, seed);
+    trial.sim = simulator->run_until_stable(sim_stop);
+    trial.metrics = simulator->metrics();
+    return trial;
+  };
+  const std::vector<engine::TrialResult> trials = engine::run_trial_range(
+      request.first, request.count, /*threads=*/1, request.seed, body);
+  BatchResult result;
+  result.first = request.first;
+  result.ensemble_records.reserve(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    result.ensemble_records.push_back(
+        make_ensemble_record(request.first + i, trials[i]));
+  return result;
+}
+
+}  // namespace
+
+bool worker_main(int fd) {
+  std::string payload;
+  while (read_frame(fd, payload)) {
+    const Json message = Json::parse(payload);
+    if (is_exit(message)) return true;
+    const BatchRequest request = parse_batch_request(message);
+    const BatchResult result = request.ensemble
+                                   ? run_ensemble_batch(request)
+                                   : run_certify_batch(request);
+    write_frame(fd, encode_batch_result(result, request.ensemble));
+  }
+  return false;
+}
+
+int worker_listen(std::uint16_t port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("ppde worker: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd, 4) < 0) {
+    std::perror("ppde worker: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "ppde worker: listening on port %u\n",
+               static_cast<unsigned>(port));
+  bool exit_requested = false;
+  while (!exit_requested) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    try {
+      exit_requested = worker_main(conn);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "ppde worker: connection failed: %s\n",
+                   error.what());
+    }
+    ::close(conn);
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+}  // namespace ppde::serve

@@ -14,6 +14,7 @@
 #include "engine/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "smc/partial.hpp"
 
 namespace ppde::smc {
 
@@ -43,24 +44,14 @@ Certificate certify_trials(const TrialFn& body,
   obs::ObsSpan span("certify_trials", "smc");
   const auto start_time = std::chrono::steady_clock::now();
 
-  Certificate cert;
-  cert.delta = options.delta;
-  cert.indifference = options.indifference;
-  cert.alpha = options.alpha;
-  cert.beta = options.beta;
-  cert.ci_confidence = options.ci_confidence;
-  cert.seed = options.seed;
-  cert.max_trials = options.max_trials;
-  cert.interaction_budget = options.sim.max_interactions;
-
-  Sprt sprt(options.sprt());
-  QuantileTails tails;
-  engine::RunMetrics totals;
+  // The entire statistical state lives in the same FoldState the serve
+  // daemon's StreamingMerger resumes (smc/partial.hpp), so the two paths
+  // cannot drift apart: one fold implementation, one digest.
+  FoldState fold(options);
 
   const unsigned workers =
       engine::fleet_workers(options.batch, options.threads);
   engine::WorkerPool pool(workers);
-  cert.threads_used = workers;
 
   // The one outcome buffer the whole certification reuses: per-trial data
   // never outlives its batch, so memory stays O(batch) no matter how many
@@ -79,12 +70,12 @@ Certificate certify_trials(const TrialFn& body,
   obs::Gauge& llr_lower_gauge = registry.gauge("smc.llr_lower");
   obs::Gauge& llr_upper_gauge = registry.gauge("smc.llr_upper");
   obs::Gauge& max_trials_gauge = registry.gauge("smc.max_trials");
-  llr_lower_gauge.set(sprt.lower_bound());
-  llr_upper_gauge.set(sprt.upper_bound());
+  llr_lower_gauge.set(fold.sprt().lower_bound());
+  llr_upper_gauge.set(fold.sprt().upper_bound());
   max_trials_gauge.set(static_cast<double>(options.max_trials));
 
   std::uint64_t next_trial = 0;
-  while (!sprt.decided() && next_trial < options.max_trials) {
+  while (!fold.decided() && next_trial < options.max_trials) {
     const std::uint64_t batch =
         std::min(options.batch, options.max_trials - next_trial);
     const std::uint64_t base = next_trial;
@@ -100,40 +91,18 @@ Certificate certify_trials(const TrialFn& body,
     // Fold in trial order; stop at the SPRT's decision point so that every
     // statistic covers exactly the trials the sequential test consumed —
     // the tail of the last batch ran but is not part of the certificate.
-    for (std::uint64_t i = 0; i < batch && !sprt.decided(); ++i) {
-      const TrialOutcome& outcome = outcomes[i];
-      sprt.update(outcome.success);
-      if (outcome.stabilised) {
-        ++cert.stabilised;
-        if (outcome.success) tails.add(outcome.convergence_parallel_time);
-      }
-      totals.merge(outcome.metrics);
-    }
+    for (std::uint64_t i = 0; i < batch && !fold.decided(); ++i)
+      fold.fold(make_trial_record(base + i, outcomes[i]));
     next_trial = base + batch;
     rounds_counter.add(1);
-    trials_gauge.set(static_cast<double>(sprt.trials()));
-    successes_gauge.set(static_cast<double>(sprt.successes()));
-    llr_gauge.set(sprt.llr());
-    obs::trace_counter("smc.llr", sprt.llr());
+    trials_gauge.set(static_cast<double>(fold.sprt().trials()));
+    successes_gauge.set(static_cast<double>(fold.sprt().successes()));
+    llr_gauge.set(fold.sprt().llr());
+    obs::trace_counter("smc.llr", fold.sprt().llr());
   }
 
-  cert.trials = sprt.trials();
-  cert.successes = sprt.successes();
-  cert.llr = sprt.llr();
-  switch (sprt.decision()) {
-    case Sprt::Decision::kAcceptH1: cert.verdict = Verdict::kCertified; break;
-    case Sprt::Decision::kAcceptH0: cert.verdict = Verdict::kRefuted; break;
-    case Sprt::Decision::kContinue:
-      cert.verdict = Verdict::kInconclusive;
-      break;
-  }
-  cert.interval =
-      clopper_pearson(cert.successes, cert.trials, options.ci_confidence);
-  cert.time_p50 = tails.p50();
-  cert.time_p90 = tails.p90();
-  cert.time_p99 = tails.p99();
-  cert.total_meetings = totals.meetings;
-  cert.total_firings = totals.firings;
+  Certificate cert = fold.finish(options);
+  cert.threads_used = workers;
   cert.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
@@ -141,53 +110,97 @@ Certificate certify_trials(const TrialFn& body,
   return cert;
 }
 
-Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
-                    bool expected_output, const CertifyOptions& options) {
-  // One shared activity index for all count-based trials (read-only after
-  // construction, exactly as in engine::run_ensemble), and one reusable
-  // simulator per worker — reset() between trials keeps each outcome a
-  // pure function of (trial, seed) without per-trial allocation churn.
-  std::optional<engine::PairIndex> index;
-  if (options.engine != engine::EngineKind::kPerAgent)
-    index.emplace(protocol);
-  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
-      engine::fleet_workers(options.batch, options.threads));
-  engine::CountSimOptions sim_options;
-  sim_options.null_skip = options.engine == engine::EngineKind::kCountNullSkip;
+namespace {
 
-  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
+/// The per-trial workload certify() folds, reusable by shard range runs:
+/// one shared activity index for all count-based trials (read-only after
+/// construction, exactly as in engine::run_ensemble), and one reusable
+/// simulator per worker — reset() between trials keeps each outcome a
+/// pure function of (trial, seed) without per-trial allocation churn.
+class TrialRunner {
+ public:
+  TrialRunner(const pp::Protocol& protocol, const pp::Config& initial,
+              bool expected_output, const CertifyOptions& options,
+              unsigned workers)
+      : protocol_(protocol),
+        initial_(initial),
+        expected_output_(expected_output),
+        options_(options),
+        sims_(workers) {
+    if (options.engine != engine::EngineKind::kPerAgent)
+      index_.emplace(protocol);
+    sim_options_.null_skip =
+        options.engine == engine::EngineKind::kCountNullSkip;
+  }
+
+  TrialOutcome run(unsigned worker, std::uint64_t seed) {
     pp::SimulationResult sim;
     TrialOutcome outcome;
-    if (options.engine == engine::EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol, initial, seed);
-      sim = simulator.run_until_stable(options.sim);
+    if (options_.engine == engine::EngineKind::kPerAgent) {
+      pp::Simulator simulator(protocol_, initial_, seed);
+      sim = simulator.run_until_stable(options_.sim);
       outcome.metrics = simulator.metrics();
     } else {
-      std::unique_ptr<engine::CountSimulator>& simulator = sims[worker];
+      std::unique_ptr<engine::CountSimulator>& simulator = sims_[worker];
       if (!simulator)
         simulator = std::make_unique<engine::CountSimulator>(
-            protocol, *index, initial, seed, sim_options);
+            protocol_, *index_, initial_, seed, sim_options_);
       else
-        simulator->reset(initial, seed);
-      sim = simulator->run_until_stable(options.sim);
+        simulator->reset(initial_, seed);
+      sim = simulator->run_until_stable(options_.sim);
       outcome.metrics = simulator->metrics();
     }
     outcome.stabilised =
         sim.stabilised &&
         sim.consensus_since != pp::SimulationResult::kNeverStabilised;
-    outcome.success = outcome.stabilised && sim.output == expected_output;
+    outcome.success = outcome.stabilised && sim.output == expected_output_;
     if (outcome.stabilised)
       outcome.convergence_parallel_time =
           static_cast<double>(sim.consensus_since) /
-          static_cast<double>(initial.total());
+          static_cast<double>(initial_.total());
     return outcome;
-  };
+  }
 
+ private:
+  const pp::Protocol& protocol_;
+  const pp::Config& initial_;
+  bool expected_output_;
+  const CertifyOptions& options_;
+  std::optional<engine::PairIndex> index_;
+  engine::CountSimOptions sim_options_;
+  std::vector<std::unique_ptr<engine::CountSimulator>> sims_;
+};
+
+}  // namespace
+
+Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
+                    bool expected_output, const CertifyOptions& options) {
+  TrialRunner runner(protocol, initial, expected_output, options,
+                     engine::fleet_workers(options.batch, options.threads));
+  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
+    return runner.run(worker, seed);
+  };
   Certificate cert = certify_trials(body, options);
   cert.protocol_fingerprint = protocol.fingerprint();
   cert.population = initial.total();
   cert.expected_output = expected_output;
   return cert;
+}
+
+std::vector<TrialOutcome> run_outcome_range(
+    const pp::Protocol& protocol, const pp::Config& initial,
+    bool expected_output, const CertifyOptions& options, std::uint64_t first,
+    std::uint64_t count, unsigned threads) {
+  std::vector<TrialOutcome> outcomes(count);
+  if (count == 0) return outcomes;
+  const unsigned workers = engine::fleet_workers(count, threads);
+  TrialRunner runner(protocol, initial, expected_output, options, workers);
+  engine::WorkerPool pool(workers);
+  pool.parallel_for_workers(count, [&](unsigned worker, std::uint64_t i) {
+    outcomes[i] = runner.run(
+        worker, engine::derive_trial_seed(options.seed, first + i));
+  });
+  return outcomes;
 }
 
 std::string describe(const Certificate& cert) {

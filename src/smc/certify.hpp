@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "engine/ensemble.hpp"
 #include "engine/metrics.hpp"
@@ -149,6 +150,19 @@ Certificate certify_trials(const TrialFn& body, const CertifyOptions& options);
 /// failure (conservative: the certificate never credits unfinished runs).
 Certificate certify(const pp::Protocol& protocol, const pp::Config& initial,
                     bool expected_output, const CertifyOptions& options);
+
+/// Run trials [first, first + count) of the same workload certify() folds,
+/// without folding: outcome i of the result is trial first + i, run with
+/// seed derive_trial_seed(options.seed, first + i). This is the shard
+/// entry point of the serve daemon (S25) — because each outcome is a pure
+/// function of (trial, seed), any partition of the trial index space into
+/// ranges reproduces exactly the outcome sequence certify() would fold,
+/// regardless of which process runs which range. `threads` as in
+/// CertifyOptions::threads (0 = hardware concurrency; capped at count).
+std::vector<TrialOutcome> run_outcome_range(
+    const pp::Protocol& protocol, const pp::Config& initial,
+    bool expected_output, const CertifyOptions& options, std::uint64_t first,
+    std::uint64_t count, unsigned threads);
 
 /// Human-readable multi-line rendering (used by the CLI).
 std::string describe(const Certificate& certificate);

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/flock.hpp"
@@ -16,6 +20,7 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "engine/pool.hpp"
 #include "engine/weight_tree.hpp"
 #include "pp/simulator.hpp"
 #include "support/rng.hpp"
@@ -1013,6 +1018,102 @@ TEST(RunMetrics, EffectiveRateGuardsDegenerateWallTimes) {
   EXPECT_DOUBLE_EQ(m.effective_meetings_per_second(), 500.0);
   m.wall_seconds = -1.0;
   EXPECT_EQ(m.effective_meetings_per_second(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool lifecycle edges (S25 satellite): construction/destruction
+// without work, heavy reuse, exception propagation from several workers at
+// once, and resubmission after a failed round. Run under TSan in CI.
+
+TEST(WorkerPool, ConstructDestroyWithoutWork) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    WorkerPool pool(threads);
+    EXPECT_GE(pool.workers(), 1u);
+  }
+}
+
+TEST(WorkerPool, ManySequentialRoundsReuseTheSameThreads) {
+  WorkerPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 100; ++round)
+    pool.parallel_for(64, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 6400u);
+}
+
+TEST(WorkerPool, FirstExceptionWinsWhenManyWorkersThrow) {
+  WorkerPool pool(4);
+  // Every index throws; the pool must drain (no hang, no worker stuck on
+  // a dead round) and rethrow exactly one of them.
+  try {
+    pool.parallel_for(256, [](std::uint64_t i) {
+      throw std::runtime_error("item " + std::to_string(i));
+    });
+    FAIL() << "parallel_for swallowed the exceptions";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()).rfind("item ", 0), 0u);
+  }
+}
+
+TEST(WorkerPool, ResubmitAfterAFailedRoundWorks) {
+  WorkerPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::uint64_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  // The failed round must not poison the pool: a clean round right after
+  // runs every index exactly once.
+  std::vector<std::atomic<int>> hits(32);
+  pool.parallel_for_workers(32, [&](unsigned worker, std::uint64_t i) {
+    EXPECT_LT(worker, pool.workers());
+    hits[i].fetch_add(1);
+  });
+  for (const std::atomic<int>& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(Ensemble, FleetErrorNamesTheLowestFailingTrial) {
+  try {
+    run_trial_fleet(16, 4, 1,
+                    [](std::uint64_t trial, std::uint64_t) -> TrialResult {
+                      if (trial >= 6) throw std::runtime_error("boom");
+                      return {};
+                    });
+    FAIL() << "fleet swallowed the exception";
+  } catch (const std::runtime_error& error) {
+    // Lowest failing index with the original message — never a silent
+    // partial EnsembleStats, never an unrelated trial's index.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("trial 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
+TEST(Ensemble, TrialRangeReproducesFleetSlices) {
+  const auto body = [](unsigned, std::uint64_t trial,
+                       std::uint64_t seed) -> TrialResult {
+    TrialResult result;
+    result.seed = seed;
+    result.sim.interactions = trial * 1000 + seed % 997;
+    result.metrics.meetings = seed % 31;
+    return result;
+  };
+  const std::vector<TrialResult> fleet = run_trial_fleet(20, 2, 42, body);
+  // Any partition into ranges reproduces the fleet results exactly —
+  // the property the serve daemon's shard dispatch stands on.
+  for (const auto& [first, count] :
+       {std::pair<std::uint64_t, std::uint64_t>{0, 20},
+        {3, 5},
+        {19, 1},
+        {0, 1}}) {
+    const std::vector<TrialResult> range =
+        run_trial_range(first, count, 3, 42, body);
+    ASSERT_EQ(range.size(), count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(range[i].seed, fleet[first + i].seed);
+      EXPECT_EQ(range[i].sim.interactions, fleet[first + i].sim.interactions);
+      EXPECT_EQ(range[i].metrics.meetings, fleet[first + i].metrics.meetings);
+    }
+  }
 }
 
 }  // namespace

@@ -45,6 +45,12 @@
 #include "progmodel/explore.hpp"
 #include "progmodel/flat.hpp"
 #include "progmodel/sample_programs.hpp"
+#include "serve/client.hpp"
+#include "serve/proto.hpp"
+#include "serve/server.hpp"
+#include "serve/signals.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
 #include "smc/certify.hpp"
 #include "smc/json.hpp"
 
@@ -426,6 +432,102 @@ int cmd_decide(int n, std::uint64_t m, bool equality) {
   return result.stabilises() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Serve verbs (S25): the daemon, a standalone remote worker, the client.
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  if (const char* host = flag_cstr(argc, argv, "--host")) options.host = host;
+  options.port =
+      static_cast<std::uint16_t>(flag_value(argc, argv, "--port", 7421));
+  options.workers =
+      static_cast<unsigned>(flag_value(argc, argv, "--workers", 2));
+  options.max_active =
+      static_cast<unsigned>(flag_value(argc, argv, "--max-active", 2));
+  options.queue_limit =
+      static_cast<unsigned>(flag_value(argc, argv, "--queue-limit", 16));
+  options.max_trials_cap =
+      flag_value(argc, argv, "--max-trials-cap", 1u << 20);
+  options.max_query_seconds =
+      flag_double(argc, argv, "--max-seconds", 600.0);
+  options.shard = flag_value(argc, argv, "--shard", 8);
+  options.kill_worker_after =
+      flag_value(argc, argv, "--kill-worker-after", 0);
+  if (const char* remote = flag_cstr(argc, argv, "--remote")) {
+    std::string list = remote;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string endpoint =
+          list.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!endpoint.empty()) options.remote_workers.push_back(endpoint);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  // The Server constructor forks the worker pool and binds the socket
+  // before any thread exists; the SignalWatch then claims SIGINT/SIGTERM
+  // before run() spawns the runner threads.
+  serve::Server server(options);
+  std::fprintf(stderr,
+               "ppde serve: listening on %s:%u (%u local workers, "
+               "%zu remote)\n",
+               options.host.c_str(), static_cast<unsigned>(server.port()),
+               options.workers, options.remote_workers.size());
+  serve::SignalWatch watch([&server](int) { server.request_stop(); });
+  server.run();
+  std::fprintf(stderr, "ppde serve: stopped\n");
+  return 0;
+}
+
+int cmd_client(int argc, char** argv, const std::vector<char*>& pos) {
+  if (pos.size() < 3) return 1;
+  const std::string hostport = pos[1];
+  serve::QueryParams query;
+  query.req = pos[2];
+  if (query.req == "certify" || query.req == "ensemble") {
+    if (pos.size() < 5) {
+      std::fprintf(stderr,
+                   "usage: ppde client <host:port> %s <n> <extra> [flags]\n",
+                   query.req.c_str());
+      return 1;
+    }
+    query.n = std::atoi(pos[3]);
+    query.extra = static_cast<std::uint32_t>(std::atoi(pos[4]));
+    if (query.n < 1) return 1;
+    query.trials = flag_value(argc, argv, "--trials", query.trials);
+    query.seed = flag_value(argc, argv, "--seed", query.seed);
+    query.delta = flag_double(argc, argv, "--delta", query.delta);
+    query.indifference =
+        flag_double(argc, argv, "--indifference", query.indifference);
+    query.alpha = flag_double(argc, argv, "--alpha", query.alpha);
+    query.beta = flag_double(argc, argv, "--beta", query.beta);
+    query.window = flag_value(argc, argv, "--window", query.window);
+    query.budget = flag_value(argc, argv, "--budget", query.budget);
+    query.shard = flag_value(argc, argv, "--shard", 0);
+  } else if (query.req != "stats" && query.req != "shutdown") {
+    std::fprintf(stderr, "ppde client: unknown request '%s'\n",
+                 query.req.c_str());
+    return 1;
+  }
+  std::string response;
+  std::string error;
+  if (!serve::rpc(hostport, serve::encode_query(query), &response, &error)) {
+    std::fprintf(stderr, "ppde client: %s\n", error.c_str());
+    return 1;
+  }
+  // The response is printed verbatim: for certify it embeds the raw
+  // certificate JSONL record, so `"digest":"..."` greps exactly like the
+  // output of in-process `ppde certify --json`.
+  std::printf("%s\n", response.c_str());
+  try {
+    return serve::Json::parse(response).boolean("ok", false) ? 0 : 1;
+  } catch (const std::exception&) {
+    return 1;
+  }
+}
+
 int cmd_window(std::uint32_t lo, std::uint32_t hi, std::uint64_t m) {
   const auto program = progmodel::make_window_program(lo, hi);
   const auto flat = progmodel::FlatProgram::compile(program);
@@ -505,6 +607,38 @@ constexpr VerbHelp kVerbs[] = {
     {"decide", "<n> <m> [--equality]",
      "  Program-level exhaustive decision.\n"
      "    --equality   decide the x = k(n) variant\n"},
+    {"serve", "[flags]",
+     "  Certification/ensemble daemon (S25): accepts framed-JSON queries,\n"
+     "  fans trial batches out to forked worker processes and merges the\n"
+     "  SPRT/quantile statistics so the certificate digest is identical to\n"
+     "  in-process `ppde certify` at any worker count or shard layout.\n"
+     "    --host=H              bind address (default 127.0.0.1)\n"
+     "    --port=P              listen port; 0 = ephemeral (default 7421)\n"
+     "    --workers=W           forked local workers (default 2)\n"
+     "    --remote=H:P[,H:P]    additional `ppde worker` endpoints\n"
+     "    --max-active=A        concurrently executing queries (default 2)\n"
+     "    --queue-limit=Q       admission queue bound (default 16)\n"
+     "    --max-trials-cap=N    reject queries above this trial budget\n"
+     "    --max-seconds=S       per-query wall budget (default 600)\n"
+     "    --shard=K             trials per worker batch (default 8)\n"
+     "    --kill-worker-after=N test hook: SIGKILL one worker after the\n"
+     "                          Nth dispatched batch (default 0 = never)\n"},
+    {"worker", "[--port=P]",
+     "  Standalone remote trial worker for `ppde serve --remote=...`:\n"
+     "  serves batch requests on 0.0.0.0:P (default 7421) until told to\n"
+     "  exit.\n"},
+    {"client", "<host:port> <request> [args] [flags]",
+     "  Query a running `ppde serve` daemon and print the raw JSON\n"
+     "  response (exit 0 iff the response says ok).\n"
+     "    certify <n> <extra>   SPRT certification; accepts the same\n"
+     "                          --trials/--seed/--delta/--indifference/\n"
+     "                          --alpha/--beta/--window/--budget flags as\n"
+     "                          `ppde certify`, plus --shard=K\n"
+     "    ensemble <n> <extra>  fleet summary; --trials=N is the exact\n"
+     "                          fleet size\n"
+     "    stats                 daemon uptime, worker pool state, and the\n"
+     "                          full obs metrics registry snapshot\n"
+     "    shutdown              graceful daemon stop\n"},
     {"window", "<lo> <hi> <m>",
      "  Decide lo <= m < hi with a Figure-1 style program (exhaustive).\n"},
     {"help", "[<verb>]",
@@ -558,14 +692,56 @@ int main(int argc, char** argv) {
   if (pos.empty()) return usage();
   const std::string command = pos[0];
   // `help` takes a verb name, not a number — dispatch before the numeric
-  // argument checks below would reject it (atoi("verify") == 0).
+  // argument checks below would reject it (atoi("verify") == 0). The
+  // serve-family verbs likewise take flags / a host:port, not <n>.
   if (command == "help")
     return cmd_help(pos.size() >= 2 ? pos[1] : nullptr);
+  try {
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "worker")
+      return serve::worker_listen(
+          static_cast<std::uint16_t>(flag_value(argc, argv, "--port", 7421)));
+    if (command == "client") {
+      const int status = cmd_client(argc, argv, pos);
+      if (status == 1 && pos.size() < 3) return usage();
+      return status;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
   if (pos.size() < 2) return usage();
   const bool equality = has_flag(argc, argv, "--equality");
   const bool json = has_flag(argc, argv, "--json");
   const int n = std::atoi(pos[1]);
   if (n < 1 && command != "window") return usage();
+
+  // Graceful interruption (S25): for the long-running verbs, a dedicated
+  // watcher thread owns SIGINT/SIGTERM and, on delivery, prints one final
+  // progress line, flushes the trace ring to a valid file (footer and
+  // all), and exits with the conventional 128+signo — instead of the
+  // default action silently dropping every buffered span. Installed
+  // before any other thread is spawned so the process-wide signal mask is
+  // inherited by all of them.
+  std::function<std::string()> heartbeat;
+  if (command == "ensemble")
+    heartbeat = ensemble_heartbeat();
+  else if (command == "certify")
+    heartbeat = certify_heartbeat();
+  else if (command == "verify")
+    heartbeat = verify_heartbeat();
+  std::unique_ptr<serve::SignalWatch> watch;
+  if (heartbeat) {
+    watch = std::make_unique<serve::SignalWatch>(
+        [heartbeat, command](int signo) {
+          std::fprintf(stderr, "%s\n", heartbeat().c_str());
+          std::fprintf(stderr,
+                       "ppde: %s interrupted by signal %d; trace flushed\n",
+                       command.c_str(), signo);
+          obs::Tracer::interrupt_stop();
+          _exit(128 + signo);
+        });
+  }
 
   // Observability (S24). The guard starts the tracer now and stops it on
   // every return path below — after the verb's worker pools have joined
@@ -573,17 +749,8 @@ int main(int argc, char** argv) {
   TracerGuard tracer(flag_cstr(argc, argv, "--trace"));
   std::unique_ptr<obs::ProgressMonitor> monitor;
   const double period = progress_period(argc, argv);
-  if (period > 0.0) {
-    if (command == "ensemble")
-      monitor = std::make_unique<obs::ProgressMonitor>(period,
-                                                       ensemble_heartbeat());
-    else if (command == "certify")
-      monitor = std::make_unique<obs::ProgressMonitor>(period,
-                                                       certify_heartbeat());
-    else if (command == "verify")
-      monitor = std::make_unique<obs::ProgressMonitor>(period,
-                                                       verify_heartbeat());
-  }
+  if (period > 0.0 && heartbeat)
+    monitor = std::make_unique<obs::ProgressMonitor>(period, heartbeat);
 
   try {
     if (command == "info") return cmd_info(n, equality);
