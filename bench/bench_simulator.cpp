@@ -25,6 +25,7 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "isa/compiled.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
 
@@ -66,7 +67,8 @@ struct EngineComparison {
 };
 
 EngineComparison measure_engines(std::uint32_t extra_agents,
-                                 double budget_seconds) {
+                                 double budget_seconds,
+                                 isa::Dispatch dispatch) {
   const auto lowered =
       compile::lower_program(czerner::build_construction(1).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
@@ -78,7 +80,7 @@ EngineComparison measure_engines(std::uint32_t extra_agents,
   result.m = conv.num_pointers + extra_agents;
 
   {
-    pp::Simulator sim(conv.protocol, initial, 13);
+    pp::Simulator sim(conv.protocol, initial, 13, dispatch);
     const auto start = std::chrono::steady_clock::now();
     run_for(budget_seconds, [&] { sim.step(); });
     const double elapsed =
@@ -91,6 +93,7 @@ EngineComparison measure_engines(std::uint32_t extra_agents,
   for (int skip = 0; skip <= 1; ++skip) {
     engine::CountSimOptions options;
     options.null_skip = skip != 0;
+    options.dispatch = dispatch;
     engine::CountSimulator sim(conv.protocol, index, initial, 13, options);
     const auto start = std::chrono::steady_clock::now();
     run_for(budget_seconds, [&] { sim.step(); });
@@ -106,13 +109,13 @@ EngineComparison measure_engines(std::uint32_t extra_agents,
 }
 
 void print_engine_comparison(std::uint32_t extra_agents,
-                             double budget_seconds) {
+                             double budget_seconds, isa::Dispatch dispatch) {
   const EngineComparison comparison =
-      measure_engines(extra_agents, budget_seconds);
+      measure_engines(extra_agents, budget_seconds, dispatch);
   std::printf(
       "\n=== Engine comparison: converted Czerner n=1, m = %u agents, "
-      "%.1fs budget per engine ===\n",
-      comparison.m, budget_seconds);
+      "%.1fs budget per engine, %s dispatch ===\n",
+      comparison.m, budget_seconds, isa::to_string(dispatch));
   std::printf("%-16s %18s %14s %20s %10s\n", "engine", "interactions",
               "firings", "eff. interactions/s", "speedup");
   const double base =
@@ -130,11 +133,14 @@ void print_engine_comparison(std::uint32_t extra_agents,
 
 // ---------------------------------------------------------------------------
 // Machine-readable perf regression report (--json[=path]). One row per
-// (m, engine mode) on the converted Czerner n=1 protocol; the perf-smoke CI
-// job validates the schema and archives the file so throughput trends stay
-// visible across commits. firings_per_sec is the regression metric (work
-// actually done); effective_meetings_per_sec counts closed-form-skipped
-// null meetings too and is the figure comparable across engine modes.
+// (m, engine mode, dispatch mode) on the converted Czerner n=1 protocol;
+// the perf-smoke CI job validates the schema and archives the file so
+// throughput trends stay visible across commits. firings_per_sec is the
+// regression metric (work actually done); effective_meetings_per_sec
+// counts closed-form-skipped null meetings too and is the figure
+// comparable across engine modes. Schema v2 adds the "dispatch" field
+// (S26): both execution cores produce bit-identical trajectories, so the
+// rows differ only in throughput.
 // ---------------------------------------------------------------------------
 
 int write_json_report(const char* path, double budget_seconds) {
@@ -144,23 +150,27 @@ int write_json_report(const char* path, double budget_seconds) {
                  path);
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench_engine_v\": 1,\n  \"rows\": [");
+  std::fprintf(out, "{\n  \"bench_engine_v\": 2,\n  \"rows\": [");
   bool first = true;
   for (const std::uint32_t extra : {10'000u, 100'000u}) {
-    const EngineComparison comparison =
-        measure_engines(extra, budget_seconds);
-    for (const EngineRow& row : comparison.rows) {
-      const double eff =
-          static_cast<double>(row.interactions) / row.seconds;
-      const double firings =
-          static_cast<double>(row.firings) / row.seconds;
-      std::fprintf(out,
-                   "%s\n    {\"protocol\": \"czerner-n1-converted\", "
-                   "\"m\": %u, \"mode\": \"%s\", "
-                   "\"firings_per_sec\": %.6e, "
-                   "\"effective_meetings_per_sec\": %.6e, \"threads\": 1}",
-                   first ? "" : ",", comparison.m, row.name, firings, eff);
-      first = false;
+    for (const isa::Dispatch dispatch :
+         {isa::Dispatch::kInterp, isa::Dispatch::kBytecode}) {
+      const EngineComparison comparison =
+          measure_engines(extra, budget_seconds, dispatch);
+      for (const EngineRow& row : comparison.rows) {
+        const double eff =
+            static_cast<double>(row.interactions) / row.seconds;
+        const double firings =
+            static_cast<double>(row.firings) / row.seconds;
+        std::fprintf(out,
+                     "%s\n    {\"protocol\": \"czerner-n1-converted\", "
+                     "\"m\": %u, \"mode\": \"%s\", \"dispatch\": \"%s\", "
+                     "\"firings_per_sec\": %.6e, "
+                     "\"effective_meetings_per_sec\": %.6e, \"threads\": 1}",
+                     first ? "" : ",", comparison.m, row.name,
+                     isa::to_string(dispatch), firings, eff);
+        first = false;
+      }
     }
   }
   std::fprintf(out, "\n  ]\n}\n");
@@ -337,7 +347,10 @@ int main(int argc, char** argv) {
     return write_json_report(json_path, /*budget_seconds=*/2.0);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  print_engine_comparison(/*extra_agents=*/10'000, /*budget_seconds=*/1.0);
+  print_engine_comparison(/*extra_agents=*/10'000, /*budget_seconds=*/1.0,
+                          isa::Dispatch::kInterp);
+  print_engine_comparison(/*extra_agents=*/10'000, /*budget_seconds=*/1.0,
+                          isa::Dispatch::kBytecode);
   print_ensemble_scaling(/*population=*/1'000'000, /*trials=*/8);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -7,74 +7,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "isa/exec.hpp"
 #include "obs/trace.hpp"
 
 namespace ppde::engine {
-
-PairIndex::PairIndex(const pp::Protocol& protocol) {
-  if (!protocol.finalized())
-    throw std::logic_error("PairIndex: protocol not finalized");
-  const std::size_t n = protocol.num_states();
-  // Mark ordered pairs with at least one non-silent candidate. A pair whose
-  // candidates are all silent cannot change the configuration: meeting it
-  // is a null meeting exactly like a pair with no candidates at all.
-  std::vector<std::vector<pp::State>> out(n);
-  for (const pp::Transition& t : protocol.transitions())
-    if (!t.is_silent()) out[t.q].push_back(t.r);
-  self_active_.assign(n, 0);
-  out_begin_.assign(n + 1, 0);
-  in_begin_.assign(n + 1, 0);
-  std::vector<std::vector<pp::State>> in(n);
-  for (pp::State q = 0; q < n; ++q) {
-    auto& partners = out[q];
-    std::sort(partners.begin(), partners.end());
-    partners.erase(std::unique(partners.begin(), partners.end()),
-                   partners.end());
-    for (pp::State r : partners) {
-      if (r == q) self_active_[q] = 1;
-      in[r].push_back(q);
-    }
-  }
-  for (pp::State q = 0; q < n; ++q) {
-    out_begin_[q + 1] = out_begin_[q] + out[q].size();
-    in_begin_[q + 1] = in_begin_[q] + in[q].size();
-  }
-  out_flat_.reserve(out_begin_[n]);
-  in_flat_.reserve(in_begin_[n]);
-  for (pp::State q = 0; q < n; ++q) {
-    out_flat_.insert(out_flat_.end(), out[q].begin(), out[q].end());
-    in_flat_.insert(in_flat_.end(), in[q].begin(), in[q].end());
-  }
-  if (n <= kBitsetStates) {
-    pair_bits_.assign((n * n + 63) / 64, 0);
-    for (pp::State q = 0; q < n; ++q)
-      for (pp::State r : partners_of(q)) {
-        const std::size_t bit = static_cast<std::size_t>(q) * n + r;
-        pair_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
-      }
-    // Any candidate at all, silent ones included — lets step_meeting reject
-    // a silent pair without a transition-table hash lookup.
-    any_bits_.assign((n * n + 63) / 64, 0);
-    for (const pp::Transition& t : protocol.transitions()) {
-      const std::size_t bit = static_cast<std::size_t>(t.q) * n + t.r;
-      any_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
-    }
-  }
-  // Candidate CSR, one row per active pair in pair-position order. Each row
-  // is a verbatim copy of Protocol::transitions_for — same indices, same
-  // order — so a candidate pick through it consumes the RNG identically.
-  cand_begin_.assign(out_flat_.size() + 1, 0);
-  std::uint32_t pos = 0;
-  for (pp::State q = 0; q < n; ++q)
-    for (pp::State r : partners_of(q)) {
-      const auto candidates = protocol.transitions_for(q, r);
-      cand_begin_[pos + 1] =
-          cand_begin_[pos] + static_cast<std::uint32_t>(candidates.size());
-      cand_flat_.insert(cand_flat_.end(), candidates.begin(),
-                        candidates.end());
-      ++pos;
-    }
-}
 
 CountSimulator::CountSimulator(const pp::Protocol& protocol,
                                const pp::Config& initial, std::uint64_t seed,
@@ -99,13 +35,19 @@ CountSimulator::CountSimulator(const pp::Protocol& protocol,
       options_(options),
       counts_(protocol.num_states()),
       position_(protocol.num_states(), kNoPosition),
-      active_(protocol.num_states()),
-      pair_counts_(options.null_skip ? 0 : protocol.num_states()),
+      active_(options.dispatch == isa::Dispatch::kBytecode
+                  ? 0
+                  : protocol.num_states()),
+      pair_counts_(options.null_skip ||
+                           options.dispatch == isa::Dispatch::kBytecode
+                       ? 0
+                       : protocol.num_states()),
       rng_(seed) {
   if (!protocol.finalized())
     throw std::logic_error("CountSimulator: protocol not finalized");
   if (index.num_states() != protocol.num_states())
     throw std::invalid_argument("CountSimulator: index/protocol mismatch");
+  bc_ = options.dispatch == isa::Dispatch::kBytecode;
   load(initial);
 }
 
@@ -135,8 +77,8 @@ void CountSimulator::load(const pp::Config& initial) {
     const pp::State q = populated_[slot];
     partner_sum_[slot] = matrix_ok_ ? build_matrix_row(slot, /*ranked=*/true)
                                     : fresh_partner_sum(q);
-    active_.push_back(counts_[q] * partner_sum_[slot]);
-    if (!options_.null_skip) pair_counts_.push_back(counts_[q]);
+    weight_push(counts_[q] * partner_sum_[slot]);
+    if (!options_.null_skip && !bc_) pair_counts_.push_back(counts_[q]);
   }
 }
 
@@ -147,8 +89,13 @@ void CountSimulator::reset(const pp::Config& initial, std::uint64_t seed) {
   }
   populated_.clear();
   partner_sum_.clear();
-  active_.clear();
-  if (!options_.null_skip) pair_counts_.clear();
+  if (bc_) {
+    flat_weight_.clear();
+    flat_total_ = 0;
+  } else {
+    active_.clear();
+    if (!options_.null_skip) pair_counts_.clear();
+  }
   sorted_populated_.clear();
   cached_active_ = 0;  // sample_null_run never sees W == 0; forces recompute
   accepting_ = 0;
@@ -177,7 +124,7 @@ void CountSimulator::refresh_weight(std::uint32_t slot) {
   // itself); the only transiently "negative" A belongs to a slot whose
   // count just hit zero, where the product is zero anyway.
   ++metrics_.weight_updates;
-  active_.set(slot, counts_[populated_[slot]] * partner_sum_[slot]);
+  weight_set(slot, counts_[populated_[slot]] * partner_sum_[slot]);
 }
 
 std::uint64_t CountSimulator::sample_null_run(std::uint64_t active) {
@@ -369,8 +316,9 @@ void CountSimulator::change_count(pp::State state, std::int64_t delta) {
     position_[state] = kNoPosition;
     if (hole != last) {
       partner_sum_[hole] = partner_sum_[last];
-      active_.set(hole, active_.get(last));
-      if (!options_.null_skip) pair_counts_.set(hole, pair_counts_.get(last));
+      weight_set(hole, weight_get(last));
+      if (!options_.null_skip && !bc_)
+        pair_counts_.set(hole, pair_counts_.get(last));
       if (matrix_ok_) {
         // The moved slot's matrix row and column travel with it (codes are
         // slot-independent); the diagonal corner is saved first because
@@ -405,8 +353,8 @@ void CountSimulator::change_count(pp::State state, std::int64_t delta) {
       for (std::uint32_t j = 0; j < last; ++j) col_mask_[j] &= keep;
     }
     partner_sum_.pop_back();
-    active_.pop_back();
-    if (!options_.null_skip) pair_counts_.pop_back();
+    weight_pop();
+    if (!options_.null_skip && !bc_) pair_counts_.pop_back();
     sorted_erase(state);
   } else if (appearing) {
     const auto slot = static_cast<std::uint32_t>(populated_.size());
@@ -417,12 +365,12 @@ void CountSimulator::change_count(pp::State state, std::int64_t delta) {
     partner_sum_.push_back(matrix_ok_ ? build_matrix_row(slot, /*ranked=*/false)
                                       : fresh_partner_sum(state));
     ++metrics_.weight_updates;
-    active_.push_back(counts_[state] * partner_sum_[slot]);
-    if (!options_.null_skip) pair_counts_.push_back(counts_[state]);
+    weight_push(counts_[state] * partner_sum_[slot]);
+    if (!options_.null_skip && !bc_) pair_counts_.push_back(counts_[state]);
     sorted_insert(state);
   } else {
     refresh_weight(position_[state]);
-    if (!options_.null_skip)
+    if (!options_.null_skip && !bc_)
       pair_counts_.set(position_[state], counts_[state]);
   }
 }
@@ -456,7 +404,7 @@ void CountSimulator::shift_pair(pp::State from, pp::State to) {
     }
     refresh_weight(slot_from);
     refresh_weight(slot_to);
-    if (!options_.null_skip) {
+    if (!options_.null_skip && !bc_) {
       pair_counts_.set(slot_from, counts_[from]);
       pair_counts_.set(slot_to, counts_[to]);
     }
@@ -473,6 +421,12 @@ void CountSimulator::fire(pp::State q, pp::State r) {
 void CountSimulator::fire_candidates(pp::State /*q*/, pp::State /*r*/,
                                      std::span<const std::uint32_t> candidates) {
   ++metrics_.firings;
+  if (candidates.empty()) {
+    // All-silent pair admitted by the any-candidate probe: consume the
+    // candidate draw the pick below would have and change nothing.
+    (void)rng_.below(0);
+    return;
+  }
   const std::uint32_t pick =
       candidates.size() == 1 ? candidates[0]
                              : candidates[rng_.below(candidates.size())];
@@ -482,17 +436,43 @@ void CountSimulator::fire_candidates(pp::State /*q*/, pp::State /*r*/,
   if (t.r != t.r2) shift_pair(t.r, t.r2);
 }
 
+void CountSimulator::fire_cells(pp::State q, pp::State r, std::uint32_t pos) {
+  ++metrics_.firings;
+  const auto cells = index_->pair_cells(pos);
+  const isa::Cell& cell =
+      cells.size() == 1 ? cells[0] : cells[rng_.below(cells.size())];
+  // change_count/shift_pair maintain accepting_ themselves, so the cell's
+  // fused accepting delta is ignored here (the per-agent simulator is the
+  // consumer that needs it).
+  isa::execute_cell(
+      cell,
+      isa::make_policy([&](std::uint32_t q2) { shift_pair(q, q2); },
+                       [&](std::uint32_t r2) { shift_pair(r, r2); },
+                       [&](std::uint32_t q2, std::uint32_t r2) {
+                         shift_pair(q, q2);
+                         shift_pair(r, r2);
+                       },
+                       [&] {
+                         // Same two shifts the interpreter issues for a
+                         // swap, preserving the list surgery order.
+                         shift_pair(q, r);
+                         shift_pair(r, q);
+                       },
+                       [](std::int32_t) {}));
+}
+
 void CountSimulator::apply_active_meeting(std::uint64_t active) {
   const std::uint64_t target = rng_.below(active);
   ++metrics_.tree_descents;
   std::uint64_t remaining = 0;
   std::size_t slot = 0;
-  if (populated_.size() <= 32) {
-    // Few slots: the seed's linear prefix scan beats the tree descent's
+  if (bc_ || populated_.size() <= 32) {
+    // Few slots (or bytecode dispatch, which scans flat weights at every
+    // size): the seed's linear prefix scan beats the tree descent's
     // serial chain of dependent loads. Same slot either way (the tree's
     // find() is defined as this scan's fixpoint).
     remaining = target;
-    while (remaining >= active_.get(slot)) remaining -= active_.get(slot++);
+    while (remaining >= weight_get(slot)) remaining -= weight_get(slot++);
   } else {
     slot = active_.find(target, &remaining);
   }
@@ -525,7 +505,10 @@ void CountSimulator::apply_active_meeting(std::uint64_t active) {
       }
       remaining -= weight;
     }
-    fire_candidates(q, r, index_->pair_candidates(code - 2));
+    if (bc_)
+      fire_cells(q, r, code - 2);
+    else
+      fire_candidates(q, r, index_->pair_candidates(code - 2));
     return;
   }
   if (const auto partners = index_->partners_of(q);
@@ -551,12 +534,15 @@ void CountSimulator::apply_active_meeting(std::uint64_t active) {
       remaining -= weight;
     }
   }
-  fire(q, r);
+  if (bc_)
+    fire_cells(q, r, index_->compiled().entry_of(q, r));  // (q, r) is active
+  else
+    fire(q, r);
 }
 
 bool CountSimulator::step() {
   if (!options_.null_skip) return step_meeting();
-  const std::uint64_t active = active_.total();
+  const std::uint64_t active = weight_total();
   if (active == 0) {
     ++interactions_;
     ++metrics_.meetings;
@@ -589,7 +575,10 @@ bool CountSimulator::step_meeting() {
   // which branch runs.
   pp::State q;
   pp::State r;
-  if (populated_.size() <= kLinearSlots) {
+  if (bc_ || populated_.size() <= kLinearSlots) {
+    // Descent parity with the interp tree path: the bytecode core scans
+    // at every size, but reports the same selection events.
+    if (bc_ && populated_.size() > kLinearSlots) metrics_.tree_descents += 2;
     std::uint64_t i = rng_.below(m);
     std::uint32_t slot = 0;
     while (i >= counts_[populated_[slot]]) i -= counts_[populated_[slot++]];
@@ -621,6 +610,22 @@ bool CountSimulator::step_meeting() {
   }
   // Most meetings are null; reject them with a bitset probe instead of a
   // transition-table hash when the index carries the any-candidate bits.
+  if (bc_) {
+    const std::uint32_t entry = index_->compiled().entry_of(q, r);
+    if (entry == isa::CompiledProtocol::kAbsent) return false;
+    if (entry == isa::CompiledProtocol::kSilentOnly) {
+      // Interp semantics, both branches: without any-bits the empty
+      // candidate span rejects the meeting as null; with any-bits the
+      // pair is admitted and fire consumes the candidate draw without
+      // changing anything.
+      if (!index_->has_any_bits()) return false;
+      ++metrics_.firings;
+      (void)rng_.below(0);
+      return true;
+    }
+    fire_cells(q, r, entry);
+    return true;
+  }
   if (index_->has_any_bits()) {
     if (!index_->pair_any(q, r)) return false;
   } else if (protocol_->transitions_for(q, r).empty()) {
@@ -636,7 +641,7 @@ std::optional<bool> CountSimulator::consensus() const {
   return std::nullopt;
 }
 
-bool CountSimulator::frozen() const { return active_.total() == 0; }
+bool CountSimulator::frozen() const { return weight_total() == 0; }
 
 pp::SimulationResult CountSimulator::run_until_stable(
     const pp::SimulationOptions& options) {
@@ -650,7 +655,7 @@ pp::SimulationResult CountSimulator::run_until_stable(
 
   while (interactions_ < options.max_interactions) {
     if (options_.null_skip) {
-      const std::uint64_t active = active_.total();
+      const std::uint64_t active = weight_total();
       const std::uint64_t stable_at = consensus_start + options.stable_window;
       if (active == 0) {
         // Frozen (including any population of size < 2): every future

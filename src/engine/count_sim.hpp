@@ -42,17 +42,18 @@
 // settles the (vacuous or single-agent) consensus in closed form.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "engine/metrics.hpp"
 #include "engine/weight_tree.hpp"
+#include "isa/compiled.hpp"
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
 #include "pp/simulator.hpp"
@@ -60,55 +61,60 @@
 
 namespace ppde::engine {
 
-/// Precomputed activity structure of a finalized protocol: which ordered
-/// state pairs (q, r) have at least one non-silent transition. Immutable
-/// after construction and safe to share across threads — ensemble runs
-/// build one PairIndex and hand it to every trial's CountSimulator.
+/// Activity structure of a finalized protocol: which ordered state pairs
+/// (q, r) have at least one non-silent transition. Since S26 this is a
+/// thin view over the protocol's isa::CompiledProtocol — the engine no
+/// longer builds its own adjacency/candidate/bitset copies. Immutable,
+/// O(1) to construct, and safe to share across threads; it keeps the
+/// compiled tables alive via shared ownership.
 class PairIndex {
  public:
-  explicit PairIndex(const pp::Protocol& protocol);
+  explicit PairIndex(const pp::Protocol& protocol)
+      : compiled_(protocol.compiled_ptr()) {
+    if (!compiled_)
+      throw std::logic_error("PairIndex: protocol not finalized");
+  }
+
+  /// The compiled IR behind this view.
+  const isa::CompiledProtocol& compiled() const { return *compiled_; }
 
   /// States r such that (q, r) is active, q as the initiator; ascending.
   std::span<const pp::State> partners_of(pp::State q) const {
-    return {out_flat_.data() + out_begin_[q],
-            out_flat_.data() + out_begin_[q + 1]};
+    return compiled_->partners_of(q);
   }
 
   /// Active pairs carry a dense *pair position*: pair (q, partners_of(q)[k])
   /// sits at pair_offset(q) + k, in [0, num_active_pairs()). The position
-  /// keys a CSR copy of Protocol::transitions_for — identical indices in
-  /// identical order — so firing an active pair needs no hash lookup.
-  std::uint32_t pair_offset(pp::State q) const { return out_begin_[q]; }
+  /// keys the compiled candidate CSR (identical indices in identical order
+  /// to Protocol::transitions_for) and the parallel opcode-cell stream, so
+  /// firing an active pair needs no hash lookup.
+  std::uint32_t pair_offset(pp::State q) const {
+    return compiled_->pair_offset(q);
+  }
   /// Pair position of an active (q, r); r must be a partner of q.
   std::uint32_t pair_pos(pp::State q, pp::State r) const {
-    const auto partners = partners_of(q);
-    const auto it = std::lower_bound(partners.begin(), partners.end(), r);
-    return out_begin_[q] + static_cast<std::uint32_t>(it - partners.begin());
+    return compiled_->pair_pos(q, r);
   }
   /// The pair's candidate transitions, == Protocol::transitions_for on it.
   std::span<const std::uint32_t> pair_candidates(std::uint32_t pos) const {
-    return {cand_flat_.data() + cand_begin_[pos],
-            cand_flat_.data() + cand_begin_[pos + 1]};
+    return compiled_->candidates(pos);
+  }
+  /// The pair's compiled cells, parallel to pair_candidates(pos).
+  std::span<const isa::Cell> pair_cells(std::uint32_t pos) const {
+    return compiled_->cells(pos);
   }
   /// States q such that (q, r) is active, r as the responder.
   std::span<const pp::State> initiators_meeting(pp::State r) const {
-    return {in_flat_.data() + in_begin_[r],
-            in_flat_.data() + in_begin_[r + 1]};
+    return compiled_->initiators_meeting(r);
   }
   /// True iff (q, q) is active.
-  bool self_active(pp::State q) const { return self_active_[q] != 0; }
+  bool self_active(pp::State q) const { return compiled_->self_active(q); }
 
   /// True iff (q, r) is active. O(1) via a dense pair bitset for protocols
   /// up to kBitsetStates states (97 KB at the converted Czerner n = 1's
   /// 880 states), O(log out-degree) binary search beyond that.
   bool pair_active(pp::State q, pp::State r) const {
-    if (!pair_bits_.empty()) {
-      const std::size_t bit =
-          static_cast<std::size_t>(q) * self_active_.size() + r;
-      return (pair_bits_[bit >> 6] >> (bit & 63)) & 1;
-    }
-    const auto partners = partners_of(q);
-    return std::binary_search(partners.begin(), partners.end(), r);
+    return compiled_->pair_active(q, r);
   }
 
   /// True iff (q, r) has *any* candidate transition, silent ones included
@@ -116,29 +122,22 @@ class PairIndex {
   /// usable when the dense bitsets are built (num_states() <=
   /// kBitsetStates); has_any_bits() says so.
   bool pair_any(pp::State q, pp::State r) const {
-    const std::size_t bit =
-        static_cast<std::size_t>(q) * self_active_.size() + r;
-    return (any_bits_[bit >> 6] >> (bit & 63)) & 1;
+    return compiled_->pair_any(q, r);
   }
-  bool has_any_bits() const { return !any_bits_.empty(); }
+  bool has_any_bits() const { return compiled_->has_any_bits(); }
 
-  std::size_t num_states() const { return self_active_.size(); }
-  std::size_t num_active_pairs() const { return out_flat_.size(); }
+  std::size_t num_states() const { return compiled_->num_states(); }
+  std::size_t num_active_pairs() const {
+    return compiled_->num_active_pairs();
+  }
 
   /// Largest state count for which the dense pair bitsets are built (8 MB
   /// each).
-  static constexpr std::size_t kBitsetStates = 8192;
+  static constexpr std::size_t kBitsetStates =
+      isa::CompiledProtocol::kBitsetStates;
 
  private:
-  std::vector<std::uint32_t> out_begin_;  ///< CSR offsets, size |Q|+1
-  std::vector<pp::State> out_flat_;
-  std::vector<std::uint32_t> in_begin_;
-  std::vector<pp::State> in_flat_;
-  std::vector<std::uint8_t> self_active_;
-  std::vector<std::uint64_t> pair_bits_;  ///< |Q|² bits, row-major by q
-  std::vector<std::uint64_t> any_bits_;   ///< same, any candidate at all
-  std::vector<std::uint32_t> cand_begin_;  ///< CSR by pair position
-  std::vector<std::uint32_t> cand_flat_;   ///< transition indices
+  std::shared_ptr<const isa::CompiledProtocol> compiled_;
 };
 
 struct CountSimOptions {
@@ -146,6 +145,14 @@ struct CountSimOptions {
   /// When false, every meeting costs one pair sample — still O(|Q|) memory,
   /// useful as the middle rung of the engine-comparison benchmarks.
   bool null_skip = true;
+  /// Execution core (S26). kBytecode fires through the compiled opcode
+  /// cells with computed-goto dispatch and keeps the per-slot active
+  /// weights in a flat array with a running total — selection uses the
+  /// seed engine's linear prefix scan at every size, which WeightTree::
+  /// find() is defined to agree with slot-for-slot, so trajectories,
+  /// consensus times and RunMetrics are bit-identical to kInterp (the
+  /// differential oracle) for every seed.
+  isa::Dispatch dispatch = isa::Dispatch::kBytecode;
 };
 
 /// Drop-in counterpart of pp::Simulator that never materialises agents.
@@ -246,6 +253,44 @@ class CountSimulator {
   void fire(pp::State q, pp::State r);
   void fire_candidates(pp::State q, pp::State r,
                        std::span<const std::uint32_t> candidates);
+  /// Bytecode firing: pick a candidate of active pair `pos` (same RNG law
+  /// as fire_candidates) and execute its compiled cell.
+  void fire_cells(pp::State q, pp::State r, std::uint32_t pos);
+
+  /// Per-slot active weight C(q)·A(q) accessors, dispatch-split: the
+  /// bytecode core keeps a flat array + running total, the interpreter the
+  /// Fenwick tree. Values and update points are identical; the branch is
+  /// fixed for the simulator's lifetime and predicted perfectly.
+  std::uint64_t weight_total() const {
+    return bc_ ? flat_total_ : active_.total();
+  }
+  std::uint64_t weight_get(std::size_t slot) const {
+    return bc_ ? flat_weight_[slot] : active_.get(slot);
+  }
+  void weight_set(std::size_t slot, std::uint64_t w) {
+    if (bc_) {
+      flat_total_ += w - flat_weight_[slot];
+      flat_weight_[slot] = w;
+    } else {
+      active_.set(slot, w);
+    }
+  }
+  void weight_push(std::uint64_t w) {
+    if (bc_) {
+      flat_weight_.push_back(w);
+      flat_total_ += w;
+    } else {
+      active_.push_back(w);
+    }
+  }
+  void weight_pop() {
+    if (bc_) {
+      flat_total_ -= flat_weight_.back();
+      flat_weight_.pop_back();
+    } else {
+      active_.pop_back();
+    }
+  }
 
   static constexpr std::uint32_t kNoPosition = 0xffffffffu;
   /// Populated-list capacity of the activity matrix; must stay <= 64 so a
@@ -268,11 +313,21 @@ class CountSimulator {
   std::vector<std::uint32_t> position_;  ///< state -> index in populated_
   /// partner_sum_[slot] = A(populated_[slot]); parallel to populated_.
   std::vector<std::uint64_t> partner_sum_;
-  /// Per-slot active weights C(q)·A(q); total() is W.
+  /// Per-slot active weights C(q)·A(q); total() is W. Interp dispatch
+  /// only — the bytecode core uses flat_weight_/flat_total_ instead.
   WeightTree active_;
   /// Per-slot counts for step_meeting's pair sampling; only maintained
-  /// when null_skip is off (the null-skip path never samples by count).
+  /// when null_skip is off (the null-skip path never samples by count)
+  /// and dispatch is interp (the bytecode core samples straight off
+  /// counts_ with the seed engine's linear scans at every size).
   WeightTree pair_counts_;
+  /// Bytecode dispatch: flat per-slot active weights, parallel to
+  /// populated_, with the running total W. Same values at the same update
+  /// points as the interp tree; selection is a linear prefix scan, which
+  /// WeightTree::find() is defined to agree with slot-for-slot.
+  std::vector<std::uint64_t> flat_weight_;
+  std::uint64_t flat_total_ = 0;
+  bool bc_ = false;  ///< options_.dispatch == kBytecode, cached
   /// The populated states in ascending state order — the responder-walk
   /// order. Maintained incrementally (O(#populated) on populate/depopulate,
   /// both rare) so sampling never sorts.

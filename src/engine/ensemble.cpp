@@ -208,12 +208,13 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
   std::vector<std::unique_ptr<CountSimulator>> sims(workers);
   CountSimOptions sim_options;
   sim_options.null_skip = options.engine == EngineKind::kCountNullSkip;
+  sim_options.dispatch = options.dispatch;
 
   const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
     TrialResult trial;
     trial.seed = seed;
     if (options.engine == EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol, initial, seed);
+      pp::Simulator simulator(protocol, initial, seed, options.dispatch);
       trial.sim = simulator.run_until_stable(options.sim);
       trial.metrics = simulator.metrics();
     } else {

@@ -84,6 +84,10 @@ struct EnsembleOptions {
   unsigned threads = 0;
   std::uint64_t master_seed = 1;
   EngineKind engine = EngineKind::kCountNullSkip;
+  /// Execution core (S26): compiled-bytecode dispatch (default) or the
+  /// legacy interpreter. Trajectories and all aggregates are bit-identical
+  /// either way; the oracle tests pin that.
+  isa::Dispatch dispatch = isa::Dispatch::kBytecode;
   /// Per-trial stopping rule; sim.seed is ignored (per-trial seeds are
   /// derived from master_seed).
   pp::SimulationOptions sim;

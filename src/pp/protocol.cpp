@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "isa/compiled.hpp"
 #include "support/hash.hpp"
 
 namespace ppde::pp {
@@ -53,11 +54,7 @@ void Protocol::mark_accepting(State q) {
 
 void Protocol::finalize() {
   if (finalized_) throw std::logic_error("Protocol: finalize twice");
-  for (std::uint32_t i = 0; i < transitions_.size(); ++i) {
-    const Transition& t = transitions_[i];
-    if (t.is_silent()) continue;  // silent transitions never change anything
-    pair_index_[pair_key(t.q, t.r)].push_back(i);
-  }
+  compiled_ = isa::CompiledProtocol::compile(*this);
   finalized_ = true;
 }
 
@@ -77,9 +74,9 @@ std::uint64_t Protocol::fingerprint() const {
 
 std::span<const std::uint32_t> Protocol::transitions_for(State q,
                                                          State r) const {
-  auto it = pair_index_.find(pair_key(q, r));
-  if (it == pair_index_.end()) return {};
-  return it->second;
+  const std::uint32_t entry = compiled_->entry_of(q, r);
+  if (entry >= isa::CompiledProtocol::kSilentOnly) return {};
+  return compiled_->candidates(entry);
 }
 
 std::string Protocol::describe() const {

@@ -13,11 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace ppde::isa {
+class CompiledProtocol;
+}  // namespace ppde::isa
 
 namespace ppde::pp {
 
@@ -62,13 +67,21 @@ class Protocol {
   bool is_accepting(State q) const { return accepting_[q] != 0; }
   const std::vector<Transition>& transitions() const { return transitions_; }
 
-  /// Build the (q, r) -> transitions index and validate all indices.
-  /// Must be called once after construction; add_* calls afterwards throw.
+  /// Lower the protocol into its compiled bytecode tables (isa::
+  /// CompiledProtocol) and validate all indices. Must be called once after
+  /// construction; add_* calls afterwards throw.
   void finalize();
   bool finalized() const { return finalized_; }
 
+  /// The compiled IR — the single source of truth for pair lookup,
+  /// candidate spans and opcode cells. Requires finalize().
+  const isa::CompiledProtocol& compiled() const { return *compiled_; }
+  std::shared_ptr<const isa::CompiledProtocol> compiled_ptr() const {
+    return compiled_;
+  }
+
   /// Indices into transitions() applicable to the ordered pair (q, r).
-  /// Requires finalize().
+  /// Requires finalize(). Thin view over compiled()'s candidate CSR.
   std::span<const std::uint32_t> transitions_for(State q, State r) const;
 
   /// Human-readable dump (for goldens and debugging).
@@ -86,16 +99,12 @@ class Protocol {
   std::uint64_t fingerprint() const;
 
  private:
-  static std::uint64_t pair_key(State q, State r) {
-    return (static_cast<std::uint64_t>(q) << 32) | r;
-  }
-
   std::vector<std::string> names_;
   std::unordered_map<std::string, State> index_by_name_;
   std::vector<Transition> transitions_;
   std::vector<State> input_states_;
   std::vector<std::uint8_t> accepting_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> pair_index_;
+  std::shared_ptr<const isa::CompiledProtocol> compiled_;
   bool finalized_ = false;
 };
 

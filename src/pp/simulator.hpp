@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/metrics.hpp"  // dependency-free counters shared with S21
+#include "isa/compiled.hpp"
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
 #include "support/rng.hpp"
@@ -51,9 +52,13 @@ struct SimulationResult {
 class Simulator {
  public:
   /// `protocol` must be finalized and outlive the simulator; `initial` must
-  /// contain at least two agents.
+  /// contain at least two agents. `dispatch` picks the execution core
+  /// (S26): bytecode steps through the compiled pair-lookup table and
+  /// opcode cells, interp through the legacy transition picks — both
+  /// produce bit-identical trajectories for every seed.
   Simulator(const Protocol& protocol, const Config& initial,
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1,
+            isa::Dispatch dispatch = isa::Dispatch::kBytecode);
 
   /// Perform one scheduler step. Returns true if a transition fired.
   bool step();
@@ -87,6 +92,7 @@ class Simulator {
 
  private:
   const Protocol& protocol_;
+  const isa::CompiledProtocol* compiled_ = nullptr;  ///< set iff bytecode
   std::vector<State> agents_;
   std::uint64_t accepting_agents_ = 0;
   std::uint64_t interactions_ = 0;

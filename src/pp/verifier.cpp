@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "analysis/reachability.hpp"
+#include "isa/exec.hpp"
 #include "verify/kernel.hpp"
 
 namespace ppde::pp {
@@ -40,7 +41,10 @@ Config to_dense(std::span<const u64> sparse, std::size_t num_states) {
 /// (q, q) needs at least two agents in q.
 class ConfigDomain {
  public:
-  explicit ConfigDomain(const Protocol& protocol) : protocol_(protocol) {}
+  ConfigDomain(const Protocol& protocol, isa::Dispatch dispatch)
+      : protocol_(protocol),
+        compiled_(dispatch == isa::Dispatch::kBytecode ? &protocol.compiled()
+                                                       : nullptr) {}
 
   void expand(std::span<const u64> sparse, verify::Emitter& emit) const {
     std::vector<u64> scratch;
@@ -49,6 +53,37 @@ class ConfigDomain {
       for (const u64 word_r : sparse) {
         const State r = state_of(word_r);
         if (q == r && count_of(word_q) < 2) continue;
+        if (compiled_ != nullptr) {
+          // Bytecode core: one pair-table probe, then the opcode cells in
+          // candidate order — the successor multiset and emission order
+          // (hence every node ID) are identical to the interp walk below.
+          const u32 entry = compiled_->entry_of(q, r);
+          if (entry >= isa::CompiledProtocol::kSilentOnly) continue;
+          for (const isa::Cell& cell : compiled_->cells(entry)) {
+            scratch.assign(sparse.begin(), sparse.end());
+            isa::execute_cell(
+                cell,
+                isa::make_policy(
+                    [&](u32 q2) {
+                      adjust(scratch, q, -1);
+                      adjust(scratch, q2, +1);
+                    },
+                    [&](u32 r2) {
+                      adjust(scratch, r, -1);
+                      adjust(scratch, r2, +1);
+                    },
+                    [&](u32 q2, u32 r2) {
+                      adjust(scratch, q, -1);
+                      adjust(scratch, r, -1);
+                      adjust(scratch, q2, +1);
+                      adjust(scratch, r2, +1);
+                    },
+                    [] { /* swap leaves the counts unchanged: self-loop */ },
+                    [](std::int32_t) {}));
+            emit.emit(scratch);
+          }
+          continue;
+        }
         for (const u32 index : protocol_.transitions_for(q, r)) {
           const Transition& t = protocol_.transitions()[index];
           scratch.assign(sparse.begin(), sparse.end());
@@ -80,6 +115,7 @@ class ConfigDomain {
   }
 
   const Protocol& protocol_;
+  const isa::CompiledProtocol* compiled_;  ///< set iff bytecode dispatch
 };
 
 /// Outputs of a sparse configuration, mirroring Config::output; in witness
@@ -107,7 +143,7 @@ VerificationResult verify_on(const Protocol& protocol, const Config& initial,
   kernel_options.max_bytes = options.max_bytes;
   kernel_options.threads = options.threads;
 
-  const ConfigDomain domain(protocol);
+  const ConfigDomain domain(protocol, options.dispatch);
   verify::Kernel<ConfigDomain> kernel(domain, kernel_options);
   const std::vector<std::vector<u64>> roots = {to_sparse(initial)};
   const verify::KernelStats& stats = kernel.run(roots);

@@ -52,6 +52,7 @@ std::string encode_query(const QueryParams& query) {
   json.field("window", query.window);
   json.field("budget", query.budget);
   json.field("shard", query.shard);
+  json.field("dispatch", std::string_view(query.dispatch));
   return json.finish();
 }
 
@@ -71,6 +72,7 @@ QueryParams parse_query(const Json& json) {
   query.window = json.u64("window", query.window);
   query.budget = json.u64("budget", query.budget);
   query.shard = json.u64("shard", 0);
+  query.dispatch = json.str("dispatch", query.dispatch);
   return query;
 }
 
@@ -84,6 +86,7 @@ smc::CertifyOptions certify_options_of(const QueryParams& query) {
   options.seed = query.seed;
   options.sim.stable_window = query.window;
   options.sim.max_interactions = query.budget;
+  options.dispatch = isa::parse_dispatch(query.dispatch);
   return options;
 }
 
@@ -108,6 +111,7 @@ std::string encode_batch_request(const BatchRequest& request) {
   json.field("count", request.count);
   json.field("window", request.window);
   json.field("budget", request.budget);
+  json.field("dispatch", std::string_view(request.dispatch));
   return json.finish();
 }
 
@@ -124,6 +128,7 @@ BatchRequest parse_batch_request(const Json& json) {
   request.count = json.u64("count", 0);
   request.window = json.u64("window", 90'000'000);
   request.budget = json.u64("budget", 2'000'000'000);
+  request.dispatch = json.str("dispatch", request.dispatch);
   return request;
 }
 

@@ -51,6 +51,10 @@ struct QueryParams {
   std::uint64_t window = 90'000'000;
   std::uint64_t budget = 2'000'000'000;
   std::uint64_t shard = 0;
+  /// Execution core (S26): "bytecode" or "interp". A query omitting the
+  /// field means bytecode, like the CLI omitting --dispatch; results are
+  /// bit-identical either way.
+  std::string dispatch = "bytecode";
 };
 
 std::string encode_query(const QueryParams& query);
@@ -76,6 +80,7 @@ struct BatchRequest {
   std::uint64_t count = 0;
   std::uint64_t window = 0;
   std::uint64_t budget = 0;
+  std::string dispatch = "bytecode";  ///< execution core, forwarded verbatim
 };
 
 std::string encode_batch_request(const BatchRequest& request);

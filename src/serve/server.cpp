@@ -342,7 +342,8 @@ struct Server::Impl {
 
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
-                           query.seed, 0, 0, query.window, query.budget},
+                           query.seed, 0, 0, query.window, query.budget,
+                           query.dispatch},
               certify_options.max_trials,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),
@@ -386,7 +387,7 @@ struct Server::Impl {
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/true, query.n, query.extra,
                            /*expected=*/false, query.seed, 0, 0, query.window,
-                           query.budget},
+                           query.budget, query.dispatch},
               total,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),

@@ -17,6 +17,7 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "isa/compiled.hpp"
 #include "serve/proto.hpp"
 #include "serve/wire.hpp"
 #include "smc/certify.hpp"
@@ -55,6 +56,7 @@ BatchResult run_certify_batch(const BatchRequest& request) {
   options.seed = request.seed;
   options.sim.stable_window = request.window;
   options.sim.max_interactions = request.budget;
+  options.dispatch = isa::parse_dispatch(request.dispatch);
   // threads = 1: a worker process is single-threaded by design — the
   // daemon's parallelism is processes, and a forked child must not spawn
   // threads anyway.
@@ -79,6 +81,7 @@ BatchResult run_ensemble_batch(const BatchRequest& request) {
   sim_stop.max_interactions = request.budget;
   engine::CountSimOptions sim_options;
   sim_options.null_skip = true;  // the serve protocol runs the S21 default
+  sim_options.dispatch = isa::parse_dispatch(request.dispatch);
   std::unique_ptr<engine::CountSimulator> simulator;
   const auto body = [&](unsigned, std::uint64_t, std::uint64_t seed) {
     engine::TrialResult trial;

@@ -131,13 +131,14 @@ class TrialRunner {
       index_.emplace(protocol);
     sim_options_.null_skip =
         options.engine == engine::EngineKind::kCountNullSkip;
+    sim_options_.dispatch = options.dispatch;
   }
 
   TrialOutcome run(unsigned worker, std::uint64_t seed) {
     pp::SimulationResult sim;
     TrialOutcome outcome;
     if (options_.engine == engine::EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol_, initial_, seed);
+      pp::Simulator simulator(protocol_, initial_, seed, options_.dispatch);
       sim = simulator.run_until_stable(options_.sim);
       outcome.metrics = simulator.metrics();
     } else {

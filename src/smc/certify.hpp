@@ -67,6 +67,9 @@ struct CertifyOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
   std::uint64_t seed = 1;
   engine::EngineKind engine = engine::EngineKind::kCountNullSkip;
+  /// Execution core (S26). Certificates and digests are bit-identical
+  /// across dispatch modes (and thread counts) for a given seed.
+  isa::Dispatch dispatch = isa::Dispatch::kBytecode;
   /// Per-trial stopping rule (sim.seed is ignored; trial seeds are derived
   /// from `seed`).
   pp::SimulationOptions sim;

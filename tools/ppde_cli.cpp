@@ -36,6 +36,7 @@
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
 #include "engine/ensemble.hpp"
+#include "isa/compiled.hpp"
 #include "machine/interp.hpp"
 #include "obs/progress.hpp"
 #include "obs/registry.hpp"
@@ -85,6 +86,16 @@ std::uint64_t flag_value(int argc, char** argv, const char* flag,
 double flag_double(int argc, char** argv, const char* flag, double fallback) {
   const char* text = flag_cstr(argc, argv, flag);
   return text != nullptr ? std::strtod(text, nullptr) : fallback;
+}
+
+/// Execution core selected by `--dispatch={interp,bytecode}` (S26);
+/// default bytecode. Both cores produce bit-identical trajectories,
+/// digests and verdicts, so this is a performance/debugging switch, not
+/// a semantic one. Throws std::invalid_argument on an unknown value.
+isa::Dispatch flag_dispatch(int argc, char** argv) {
+  const char* text = flag_cstr(argc, argv, "--dispatch");
+  return text != nullptr ? isa::parse_dispatch(text)
+                         : isa::Dispatch::kBytecode;
 }
 
 czerner::Construction build(int n, bool equality) {
@@ -279,13 +290,14 @@ int cmd_info(int n, bool equality) {
   return 0;
 }
 
-int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed) {
+int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed,
+                 isa::Dispatch dispatch) {
   const auto lowered = compile::lower_program(build(n, false).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
   const std::uint64_t m = conv.num_pointers + extra;
   std::printf("simulating n=%d with m = |F| + %u = %llu agents (seed %llu)\n",
               n, extra, (unsigned long long)m, (unsigned long long)seed);
-  pp::Simulator sim(conv.protocol, conv.initial_config(m), seed);
+  pp::Simulator sim(conv.protocol, conv.initial_config(m), seed, dispatch);
   pp::SimulationOptions options;
   options.stable_window = 90'000'000;
   options.max_interactions = 2'000'000'000;
@@ -310,7 +322,8 @@ int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed) {
 }
 
 int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
-                 unsigned threads, std::uint64_t seed, bool json) {
+                 unsigned threads, std::uint64_t seed, bool json,
+                 isa::Dispatch dispatch) {
   const auto lowered = compile::lower_program(build(n, false).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
   const std::uint64_t m = conv.num_pointers + extra;
@@ -319,6 +332,7 @@ int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
   options.threads = threads;
   options.master_seed = seed;
   options.engine = engine::EngineKind::kCountNullSkip;
+  options.dispatch = dispatch;
   options.sim.stable_window = 90'000'000;
   options.sim.max_interactions = 2'000'000'000;
   const engine::EnsembleStats stats =
@@ -361,6 +375,7 @@ int cmd_certify(int argc, char** argv, int n, std::uint32_t extra,
       flag_value(argc, argv, "--window", 90'000'000);
   options.sim.max_interactions =
       flag_value(argc, argv, "--budget", 2'000'000'000);
+  options.dispatch = flag_dispatch(argc, argv);
 
   const smc::Certificate cert =
       smc::certify(conv.protocol, conv.initial_config(m), expected, options);
@@ -395,6 +410,7 @@ int cmd_verify(int argc, char** argv, int n, std::uint64_t m_regs,
   options.threads = static_cast<unsigned>(
       flag_value(argc, argv, "--threads", 0));
   options.prune = has_flag(argc, argv, "--prune");
+  options.dispatch = flag_dispatch(argc, argv);
   const auto verdict =
       pp::Verifier(conv.protocol)
           .verify(conv.pi(machine::initial_state(lowered.machine, regs),
@@ -506,6 +522,8 @@ int cmd_client(int argc, char** argv, const std::vector<char*>& pos) {
     query.window = flag_value(argc, argv, "--window", query.window);
     query.budget = flag_value(argc, argv, "--budget", query.budget);
     query.shard = flag_value(argc, argv, "--shard", 0);
+    // Validate locally so a typo fails here, not server-side.
+    query.dispatch = isa::to_string(flag_dispatch(argc, argv));
   } else if (query.req != "stats" && query.req != "shutdown") {
     std::fprintf(stderr, "ppde client: unknown request '%s'\n",
                  query.req.c_str());
@@ -567,16 +585,20 @@ constexpr VerbHelp kVerbs[] = {
      "  Converted protocol statistics (full transition relation is only\n"
      "  materialised for n <= 2).\n"
      "    --dot        emit the protocol as a Graphviz digraph\n"},
-    {"simulate", "<n> <extra-agents> [seed]",
+    {"simulate", "<n> <extra-agents> [seed] [--dispatch=D]",
      "  Run the full protocol with m = |F| + extra agents until consensus\n"
      "  (per-agent reference simulator).\n"
-     "    [seed]       RNG seed (default 42)\n"},
-    {"ensemble", "<n> <extra-agents> <trials> [threads] [seed] [--json]",
+     "    [seed]       RNG seed (default 42)\n"
+     "    --dispatch=D execution core (S26): bytecode (default) or interp;\n"
+     "                 trajectories are bit-identical either way\n"},
+    {"ensemble", "<n> <extra-agents> <trials> [threads] [seed] [flags]",
      "  Run a fleet of independent trials on the count+null-skip engine\n"
      "  (S21) and report aggregate statistics.\n"
      "    [threads]    worker threads; 0 = all hardware threads (default)\n"
      "    [seed]       master seed; trial i uses derive_trial_seed(seed, i)\n"
      "                 so results are identical at every thread count\n"
+     "    --dispatch=D execution core (S26): bytecode (default) or interp;\n"
+     "                 per-trial records are bit-identical either way\n"
      "    --json       one JSONL record instead of the human summary\n"},
     {"certify", "<n> <extra-agents> [flags]",
      "  Statistical model checking (S23): an SPRT certificate that the\n"
@@ -593,6 +615,8 @@ constexpr VerbHelp kVerbs[] = {
      "    --indifference=E   SPRT indifference width (default 0.05)\n"
      "    --window=W         consensus stability window (default 9e7)\n"
      "    --budget=I         per-trial interaction budget (default 2e9)\n"
+     "    --dispatch=D       execution core (S26): bytecode (default) or\n"
+     "                       interp; the certificate digest is identical\n"
      "    --json             one JSONL certificate record\n"},
     {"verify", "<n> <m_regs> [flags]",
      "  Exact fair-run verdict from pi(C) on the parallel verification\n"
@@ -603,7 +627,10 @@ constexpr VerbHelp kVerbs[] = {
      "    --max-edges=E      edge budget (default unlimited)\n"
      "    --max-bytes=B      interner byte budget (default unlimited)\n"
      "    --prune            drop states no run can occupy before\n"
-     "                       exploring (verdict unchanged)\n"},
+     "                       exploring (verdict unchanged)\n"
+     "    --dispatch=D       execution core (S26) for the successor\n"
+     "                       generator: bytecode (default) or interp;\n"
+     "                       node IDs, SCCs and verdict are identical\n"},
     {"decide", "<n> <m> [--equality]",
      "  Program-level exhaustive decision.\n"
      "    --equality   decide the x = k(n) variant\n"},
@@ -632,8 +659,8 @@ constexpr VerbHelp kVerbs[] = {
      "  response (exit 0 iff the response says ok).\n"
      "    certify <n> <extra>   SPRT certification; accepts the same\n"
      "                          --trials/--seed/--delta/--indifference/\n"
-     "                          --alpha/--beta/--window/--budget flags as\n"
-     "                          `ppde certify`, plus --shard=K\n"
+     "                          --alpha/--beta/--window/--budget/--dispatch\n"
+     "                          flags as `ppde certify`, plus --shard=K\n"
      "    ensemble <n> <extra>  fleet summary; --trials=N is the exact\n"
      "                          fleet size\n"
      "    stats                 daemon uptime, worker pool state, and the\n"
@@ -786,13 +813,15 @@ int main(int argc, char** argv) {
     if (command == "simulate" && pos.size() >= 3)
       return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(pos[2])),
                           pos.size() >= 4 ? std::strtoull(pos[3], nullptr, 10)
-                                          : 42);
+                                          : 42,
+                          flag_dispatch(argc, argv));
     if (command == "ensemble" && pos.size() >= 4)
       return cmd_ensemble(
           n, static_cast<std::uint32_t>(std::atoi(pos[2])),
           std::strtoull(pos[3], nullptr, 10),
           pos.size() >= 5 ? static_cast<unsigned>(std::atoi(pos[4])) : 0,
-          pos.size() >= 6 ? std::strtoull(pos[5], nullptr, 10) : 42, json);
+          pos.size() >= 6 ? std::strtoull(pos[5], nullptr, 10) : 42, json,
+          flag_dispatch(argc, argv));
     if (command == "certify" && pos.size() >= 3)
       return cmd_certify(argc, argv, n,
                          static_cast<std::uint32_t>(std::atoi(pos[2])), json);
