@@ -3,18 +3,22 @@
 #include <memory>
 #include <optional>
 
+#include "engine/executor.hpp"
+#include "sched/fault.hpp"
+
 namespace ppde::analysis {
 
 pp::Config random_noise(const pp::Protocol& protocol, std::uint32_t agents,
                         support::Rng& rng,
                         const std::vector<pp::State>* pool) {
+  // Per-agent draws go through the S27 noise primitive — the same one the
+  // corrupt/burst fault plans use — with one below() call per agent, so
+  // every sweep output is bit-identical to the pre-S27 inline loop (the
+  // differential test in test_sched pins this).
   pp::Config noise(protocol.num_states());
-  for (std::uint32_t i = 0; i < agents; ++i) {
-    if (pool != nullptr)
-      noise.add((*pool)[rng.below(pool->size())]);
-    else
-      noise.add(static_cast<pp::State>(rng.below(protocol.num_states())));
-  }
+  for (std::uint32_t i = 0; i < agents; ++i)
+    noise.add(sched::uniform_noise_state(
+        static_cast<std::uint32_t>(protocol.num_states()), rng, pool));
   return noise;
 }
 
@@ -75,34 +79,16 @@ RobustnessResult sweep_simulated(const pp::Protocol& protocol,
     configs.push_back(with_noise(base, random_noise(protocol, agents, rng)));
   }
 
-  std::optional<engine::PairIndex> index;
-  if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
-  // One reusable simulator per worker (reset between trials); outcomes
-  // stay pure functions of (trial, seed).
-  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
-      engine::fleet_workers(trials, threads));
-  engine::CountSimOptions sim_options;
-  sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
+  // The shared trial body (S27): per-worker simulator reuse and engine
+  // selection live in engine::TrialExecutor; outcomes stay pure functions
+  // of (trial, seed).
+  engine::TrialExecutor executor(protocol, kind, isa::Dispatch::kBytecode,
+                                 sched::Scenario{},
+                                 engine::fleet_workers(trials, threads));
   const std::vector<engine::TrialResult> outcomes = engine::run_trial_fleet(
       trials, threads, seed,
       [&](unsigned worker, std::uint64_t trial, std::uint64_t trial_seed) {
-        engine::TrialResult outcome;
-        outcome.seed = trial_seed;
-        if (kind == engine::EngineKind::kPerAgent) {
-          pp::Simulator simulator(protocol, configs[trial], trial_seed);
-          outcome.sim = simulator.run_until_stable(options);
-          outcome.metrics = simulator.metrics();
-        } else {
-          std::unique_ptr<engine::CountSimulator>& sim = sims[worker];
-          if (!sim)
-            sim = std::make_unique<engine::CountSimulator>(
-                protocol, *index, configs[trial], trial_seed, sim_options);
-          else
-            sim->reset(configs[trial], trial_seed);
-          outcome.sim = sim->run_until_stable(options);
-          outcome.metrics = sim->metrics();
-        }
-        return outcome;
+        return executor.run(worker, configs[trial], trial_seed, options);
       });
 
   RobustnessResult result;
@@ -126,12 +112,9 @@ smc::Certificate sweep_certified(const pp::Protocol& protocol,
                                  const smc::CertifyOptions& options,
                                  engine::EngineKind kind,
                                  const std::vector<pp::State>* noise_pool) {
-  std::optional<engine::PairIndex> index;
-  if (kind != engine::EngineKind::kPerAgent) index.emplace(protocol);
-  std::vector<std::unique_ptr<engine::CountSimulator>> sims(
+  engine::TrialExecutor executor(
+      protocol, kind, options.dispatch, sched::Scenario{},
       engine::fleet_workers(options.batch, options.threads));
-  engine::CountSimOptions sim_options;
-  sim_options.null_skip = kind == engine::EngineKind::kCountNullSkip;
 
   // Unlike sweep_simulated the trial count is not known up front (the SPRT
   // decides it), so noise cannot be drawn from one sequential stream.
@@ -145,24 +128,13 @@ smc::Certificate sweep_certified(const pp::Protocol& protocol,
     const pp::Config config =
         with_noise(base, random_noise(protocol, agents, rng, noise_pool));
 
-    pp::SimulationResult sim;
-    smc::TrialOutcome outcome;
     // The scheduler continues on the same per-trial stream the noise came
     // from; distinct trials stay decorrelated by seed derivation.
-    if (kind == engine::EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol, config, rng());
-      sim = simulator.run_until_stable(options.sim);
-      outcome.metrics = simulator.metrics();
-    } else {
-      std::unique_ptr<engine::CountSimulator>& simulator = sims[worker];
-      if (!simulator)
-        simulator = std::make_unique<engine::CountSimulator>(
-            protocol, *index, config, rng(), sim_options);
-      else
-        simulator->reset(config, rng());
-      sim = simulator->run_until_stable(options.sim);
-      outcome.metrics = simulator->metrics();
-    }
+    const engine::TrialResult trial =
+        executor.run(worker, config, rng(), options.sim);
+    const pp::SimulationResult& sim = trial.sim;
+    smc::TrialOutcome outcome;
+    outcome.metrics = trial.metrics;
     outcome.stabilised =
         sim.stabilised &&
         sim.consensus_since != pp::SimulationResult::kNeverStabilised;

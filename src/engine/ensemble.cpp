@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "engine/executor.hpp"
 #include "engine/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -49,10 +50,9 @@ struct FleetMetrics {
 
 std::uint64_t derive_trial_seed(std::uint64_t master_seed,
                                 std::uint64_t trial) {
-  std::uint64_t x = master_seed + (trial + 1) * 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+  // Hoisted to support::derive_trial_seed (S27) so the sched streams use
+  // the same derivation; this alias stays for the engine's callers.
+  return support::derive_trial_seed(master_seed, trial);
 }
 
 const char* to_string(EngineKind kind) {
@@ -197,37 +197,15 @@ EnsembleStats run_ensemble(const pp::Protocol& protocol,
   const auto start_time = std::chrono::steady_clock::now();
   // One shared activity index for all count-based trials; read-only after
   // construction, so safe across the pool.
-  std::optional<PairIndex> index;
-  if (options.engine != EngineKind::kPerAgent) index.emplace(protocol);
-
-  // One reusable simulator per worker: reset() rewinds counts, weights and
-  // RNG without reallocating, so per-trial cost no longer includes O(|Q|)
-  // construction churn. A reset simulator behaves identically to a fresh
-  // one, so results stay pure functions of (trial, seed).
+  // The shared trial body (S27): engine/dispatch/scenario selection and
+  // per-worker simulator reuse live in TrialExecutor, the same body
+  // smc::certify and the serve workers run.
   const unsigned workers = fleet_workers(options.trials, options.threads);
-  std::vector<std::unique_ptr<CountSimulator>> sims(workers);
-  CountSimOptions sim_options;
-  sim_options.null_skip = options.engine == EngineKind::kCountNullSkip;
-  sim_options.dispatch = options.dispatch;
+  TrialExecutor executor(protocol, options.engine, options.dispatch,
+                         options.scenario, workers);
 
   const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
-    TrialResult trial;
-    trial.seed = seed;
-    if (options.engine == EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol, initial, seed, options.dispatch);
-      trial.sim = simulator.run_until_stable(options.sim);
-      trial.metrics = simulator.metrics();
-    } else {
-      std::unique_ptr<CountSimulator>& sim = sims[worker];
-      if (!sim)
-        sim = std::make_unique<CountSimulator>(protocol, *index, initial,
-                                               seed, sim_options);
-      else
-        sim->reset(initial, seed);
-      trial.sim = sim->run_until_stable(options.sim);
-      trial.metrics = sim->metrics();
-    }
-    return trial;
+    return executor.run(worker, initial, seed, options.sim);
   };
 
   const std::vector<TrialResult> results =

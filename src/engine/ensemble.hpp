@@ -88,6 +88,12 @@ struct EnsembleOptions {
   /// legacy interpreter. Trajectories and all aggregates are bit-identical
   /// either way; the oracle tests pin that.
   isa::Dispatch dispatch = isa::Dispatch::kBytecode;
+  /// Stress scenario (S27). The default (uniform scheduler, no faults)
+  /// keeps the count engines' fast paths and their exact pre-S27 RNG
+  /// streams; any other scenario falls back to the per-agent simulator
+  /// regardless of `engine` (graph topologies, biased weighting and fault
+  /// plans all need agent identity).
+  sched::Scenario scenario;
   /// Per-trial stopping rule; sim.seed is ignored (per-trial seeds are
   /// derived from master_seed).
   pp::SimulationOptions sim;

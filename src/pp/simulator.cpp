@@ -24,13 +24,92 @@ Simulator::Simulator(const Protocol& protocol, const Config& initial,
     if (protocol.is_accepting(q)) ++accepting_agents_;
 }
 
+Simulator::Simulator(const Protocol& protocol, const Config& initial,
+                     const sched::Scenario& scenario, std::uint64_t seed,
+                     isa::Dispatch dispatch)
+    : Simulator(protocol, initial, seed, dispatch) {
+  if (scenario.is_default()) return;
+  topo_rng_.reseed(
+      support::derive_trial_seed(seed, sched::kTopologyStream));
+  scheduler_ = sched::make_scheduler(scenario.scheduler);
+  if (scheduler_) {
+    accepting_fn_ = [this](std::uint64_t slot) {
+      return protocol_.is_accepting(agents_[slot]);
+    };
+    scheduler_->on_population(agents_.size(), topo_rng_);
+  }
+  fault_ = sched::make_fault_plan(
+      scenario.fault,
+      support::derive_trial_seed(seed, sched::kFaultStream), agents_.size());
+}
+
+/// FaultOps bound to a Simulator's agent array; keeps accepting_agents_
+/// coherent through every mutation and records whether the population
+/// count changed (which forces a scheduler topology rebuild).
+class AgentFaultOps final : public sched::FaultOps {
+ public:
+  explicit AgentFaultOps(Simulator& sim) : sim_(sim) {}
+
+  std::uint64_t population() const override { return sim_.agents_.size(); }
+  std::uint32_t num_states() const override {
+    return static_cast<std::uint32_t>(sim_.protocol_.num_states());
+  }
+
+  void set_agent(std::uint64_t slot, std::uint32_t to) override {
+    const State from = sim_.agents_[slot];
+    if (sim_.protocol_.is_accepting(from)) --sim_.accepting_agents_;
+    if (sim_.protocol_.is_accepting(to)) ++sim_.accepting_agents_;
+    sim_.agents_[slot] = to;
+  }
+
+  void add_agent(std::uint32_t q) override {
+    sim_.agents_.push_back(q);
+    if (sim_.protocol_.is_accepting(q)) ++sim_.accepting_agents_;
+    population_changed_ = true;
+  }
+
+  void remove_agent(std::uint64_t slot) override {
+    if (sim_.protocol_.is_accepting(sim_.agents_[slot]))
+      --sim_.accepting_agents_;
+    sim_.agents_[slot] = sim_.agents_.back();
+    sim_.agents_.pop_back();
+    population_changed_ = true;
+  }
+
+  std::uint32_t random_input_state(support::Rng& rng) override {
+    const auto& inputs = sim_.protocol_.input_states();
+    return inputs[rng.below(inputs.size())];
+  }
+
+  bool population_changed() const { return population_changed_; }
+
+ private:
+  Simulator& sim_;
+  bool population_changed_ = false;
+};
+
+void Simulator::run_due_faults() {
+  AgentFaultOps ops(*this);
+  while (fault_->next_due() <= interactions_) fault_->fire(interactions_, ops);
+  if (ops.population_changed() && scheduler_)
+    scheduler_->on_population(agents_.size(), topo_rng_);
+}
+
 bool Simulator::step() {
+  if (fault_ && fault_->next_due() <= interactions_) run_due_faults();
   ++interactions_;
   ++metrics_.meetings;
   const std::uint64_t m = agents_.size();
-  const std::uint64_t i = rng_.below(m);
-  std::uint64_t j = rng_.below(m - 1);
-  if (j >= i) ++j;  // ordered pair of *distinct* agents, uniform
+  std::uint64_t i, j;
+  if (scheduler_) {
+    sched::PickContext ctx{rng_, m, &accepting_fn_};
+    if (!scheduler_->pick(ctx, &i, &j)) return false;  // null meeting
+    scheduler_->on_meeting(i, j);
+  } else {
+    i = rng_.below(m);
+    j = rng_.below(m - 1);
+    if (j >= i) ++j;  // ordered pair of *distinct* agents, uniform
+  }
 
   const State q = agents_[i];
   const State r = agents_[j];
@@ -141,6 +220,7 @@ std::optional<State> Simulator::remove_random_agent(
   if (protocol_.is_accepting(removed)) --accepting_agents_;
   agents_[index] = agents_.back();
   agents_.pop_back();
+  if (scheduler_) scheduler_->on_population(agents_.size(), topo_rng_);
   return removed;
 }
 

@@ -21,6 +21,9 @@
 #include "isa/compiled.hpp"
 #include "pp/config.hpp"
 #include "pp/protocol.hpp"
+#include "sched/fault.hpp"
+#include "sched/scenario.hpp"
+#include "sched/scheduler.hpp"
 #include "support/rng.hpp"
 
 namespace ppde::pp {
@@ -60,6 +63,16 @@ class Simulator {
             std::uint64_t seed = 1,
             isa::Dispatch dispatch = isa::Dispatch::kBytecode);
 
+  /// Scenario-aware overload (S27): run under the given scheduler strategy
+  /// and fault plan. A default scenario behaves exactly like the plain
+  /// constructor — same RNG stream, same trajectory, bit for bit. The
+  /// non-uniform strategies draw meetings through the strategy object; the
+  /// topology and fault streams are split off `seed` with the fixed stream
+  /// tags in sched/scenario.hpp, so faults never perturb the meeting draws.
+  Simulator(const Protocol& protocol, const Config& initial,
+            const sched::Scenario& scenario, std::uint64_t seed = 1,
+            isa::Dispatch dispatch = isa::Dispatch::kBytecode);
+
   /// Perform one scheduler step. Returns true if a transition fired.
   bool step();
 
@@ -90,7 +103,19 @@ class Simulator {
   /// in run_until_stable) — same record the count-based engine fills.
   const engine::RunMetrics& metrics() const { return metrics_; }
 
+  /// What the trial's fault plan actually did (nullptr when the scenario
+  /// has no faults). Diagnostics only — never folded into certificates.
+  const sched::FaultStats* fault_stats() const {
+    return fault_ ? &fault_->stats() : nullptr;
+  }
+
  private:
+  friend class AgentFaultOps;
+
+  /// Fire every fault event due at the current meeting index, then rebuild
+  /// scheduler topology if the population changed.
+  void run_due_faults();
+
   const Protocol& protocol_;
   const isa::CompiledProtocol* compiled_ = nullptr;  ///< set iff bytecode
   std::vector<State> agents_;
@@ -98,6 +123,12 @@ class Simulator {
   std::uint64_t interactions_ = 0;
   engine::RunMetrics metrics_;
   support::Rng rng_;
+  // S27 scenario machinery; all null/unused for the default scenario (the
+  // legacy uniform path does not even null-check the scheduler).
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<sched::FaultPlan> fault_;
+  support::Rng topo_rng_{0};
+  std::function<bool(std::uint64_t)> accepting_fn_;
 };
 
 }  // namespace ppde::pp

@@ -1,0 +1,132 @@
+#include "sched/fault.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppde::sched {
+
+namespace {
+
+/// Geometric inter-arrival gap for a per-meeting event probability
+/// `rate`: the number of meetings until the next event, distributed
+/// Geometric(rate) on {0, 1, 2, ...} via inversion. u is uniform in
+/// (0, 1] (never 0, so log(u) is finite).
+std::uint64_t geometric_gap(double rate, support::Rng& rng) {
+  if (rate >= 1.0) return 0;
+  const double u =
+      (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
+  const double gap = std::floor(std::log(u) / std::log1p(-rate));
+  if (!(gap < 1e18)) return FaultPlan::kNever;  // rate ~ 0 underflow guard
+  return static_cast<std::uint64_t>(gap);
+}
+
+/// Overwrite `count` uniformly chosen agents with uniformly random
+/// states. Slots are drawn independently (a slot may be hit twice within
+/// one event — matching the independent-noise model of Definition 7).
+void corrupt_agents(std::uint64_t count, support::Rng& rng, FaultOps& ops,
+                    FaultStats* stats) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t slot = rng.below(ops.population());
+    const std::uint32_t to = uniform_noise_state(ops.num_states(), rng);
+    ops.set_agent(slot, to);
+    ++stats->corruptions;
+  }
+}
+
+class CorruptPlan final : public FaultPlan {
+ public:
+  CorruptPlan(const FaultSpec& spec, std::uint64_t fault_seed)
+      : rng_(fault_seed), rate_(spec.rate), agents_(spec.agents) {
+    next_ = geometric_gap(rate_, rng_);
+  }
+
+  void fire(std::uint64_t now, FaultOps& ops) override {
+    ++stats_.events;
+    corrupt_agents(agents_, rng_, ops, &stats_);
+    const std::uint64_t gap = geometric_gap(rate_, rng_);
+    next_ = gap == kNever ? kNever : now + 1 + gap;
+  }
+
+ private:
+  support::Rng rng_;
+  double rate_;
+  std::uint64_t agents_;
+};
+
+class ChurnPlan final : public FaultPlan {
+ public:
+  ChurnPlan(const FaultSpec& spec, std::uint64_t fault_seed,
+            std::uint64_t initial_population)
+      : rng_(fault_seed),
+        rate_(spec.rate),
+        max_population_(initial_population +
+                        (spec.cap == 0 ? initial_population : spec.cap)) {
+    next_ = geometric_gap(rate_, rng_);
+  }
+
+  void fire(std::uint64_t now, FaultOps& ops) override {
+    const bool prefer_arrival = rng_.coin();
+    const bool can_arrive = ops.population() < max_population_;
+    // Departures must leave at least two agents — a meeting needs a pair.
+    const bool can_depart = ops.population() > 2;
+    if ((prefer_arrival && can_arrive) || (!prefer_arrival && !can_depart)) {
+      if (can_arrive) {
+        ops.add_agent(ops.random_input_state(rng_));
+        ++stats_.events;
+        ++stats_.arrivals;
+      }
+    } else if (can_depart) {
+      ops.remove_agent(rng_.below(ops.population()));
+      ++stats_.events;
+      ++stats_.departures;
+    }
+    const std::uint64_t gap = geometric_gap(rate_, rng_);
+    next_ = gap == kNever ? kNever : now + 1 + gap;
+  }
+
+ private:
+  support::Rng rng_;
+  double rate_;
+  std::uint64_t max_population_;
+};
+
+class BurstPlan final : public FaultPlan {
+ public:
+  BurstPlan(const FaultSpec& spec, std::uint64_t fault_seed)
+      : rng_(fault_seed), bursts_(spec.bursts) {
+    next_ = bursts_.empty() ? kNever : bursts_.front().at;
+  }
+
+  void fire(std::uint64_t now, FaultOps& ops) override {
+    while (index_ < bursts_.size() && bursts_[index_].at <= now) {
+      ++stats_.events;
+      corrupt_agents(bursts_[index_].agents, rng_, ops, &stats_);
+      ++index_;
+    }
+    next_ = index_ < bursts_.size() ? bursts_[index_].at : kNever;
+  }
+
+ private:
+  support::Rng rng_;
+  std::vector<BurstEvent> bursts_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultPlan> make_fault_plan(const FaultSpec& spec,
+                                           std::uint64_t fault_seed,
+                                           std::uint64_t initial_population) {
+  switch (spec.kind) {
+    case FaultKind::kNone: return nullptr;
+    case FaultKind::kCorrupt:
+      return std::make_unique<CorruptPlan>(spec, fault_seed);
+    case FaultKind::kChurn:
+      return std::make_unique<ChurnPlan>(spec, fault_seed, initial_population);
+    case FaultKind::kBurst:
+      return std::make_unique<BurstPlan>(spec, fault_seed);
+  }
+  throw std::logic_error("make_fault_plan: unknown fault kind");
+}
+
+}  // namespace ppde::sched

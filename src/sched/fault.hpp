@@ -1,0 +1,104 @@
+// Fault-plan interface + implementations (S27).
+//
+// A FaultPlan injects adversarial events into a running trial: transient
+// state corruption (the noise model of the paper's almost
+// self-stabilisation claim, Definition 7, but struck mid-run instead of
+// at time zero), agent arrival/departure churn (the paper's closing open
+// question about dynamic populations), and scheduled corruption bursts.
+//
+// Scheduling model: the simulator polls `next_due()` before every meeting
+// draw and calls `fire(now, ops)` while it is <= the completed-meeting
+// count, so fault timing is expressed in meeting indices and is
+// independent of wall time, thread count and shard layout. Every random
+// choice a plan makes comes from its own fault stream
+// (derive_trial_seed(trial_seed, kFaultStream)), never from the meeting
+// stream — the same meeting sequence replays under different fault rates
+// until the first fault actually rewrites a state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::sched {
+
+/// Mutation surface a plan fires against, bound by the simulator. Slots
+/// are agent indices in [0, population()); removal swap-removes (the
+/// simulator's existing departure semantics), so slot identities are not
+/// stable across a departure.
+class FaultOps {
+ public:
+  virtual ~FaultOps() = default;
+
+  virtual std::uint64_t population() const = 0;
+  virtual std::uint32_t num_states() const = 0;
+
+  /// Overwrite the agent in `slot` with state `to` (transient corruption).
+  virtual void set_agent(std::uint64_t slot, std::uint32_t to) = 0;
+  /// An agent in state `q` joins the population.
+  virtual void add_agent(std::uint32_t q) = 0;
+  /// The agent in `slot` leaves the population (swap-remove).
+  virtual void remove_agent(std::uint64_t slot) = 0;
+  /// A uniformly random *input* state — arriving agents are fresh inputs,
+  /// not arbitrary noise (noise is what corrupt/burst model).
+  virtual std::uint32_t random_input_state(support::Rng& rng) = 0;
+};
+
+/// Tally of what a plan actually did to one trial. Deliberately NOT part
+/// of engine::RunMetrics: the stats are per-plan diagnostics, not part of
+/// the certified statement, so they stay out of the wire format and the
+/// digest.
+struct FaultStats {
+  std::uint64_t events = 0;       ///< fire() calls that did something
+  std::uint64_t corruptions = 0;  ///< individual state overwrites
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+};
+
+class FaultPlan {
+ public:
+  /// next_due() value meaning "no further events".
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  virtual ~FaultPlan() = default;
+
+  /// Meeting index at which the next event is due. The simulator fires
+  /// the plan while next_due() <= completed meetings.
+  std::uint64_t next_due() const { return next_; }
+
+  /// Execute the event(s) due at meeting index `now` and advance
+  /// next_due() strictly past `now`.
+  virtual void fire(std::uint64_t now, FaultOps& ops) = 0;
+
+  const FaultStats& stats() const { return stats_; }
+
+ protected:
+  std::uint64_t next_ = kNever;
+  FaultStats stats_;
+};
+
+/// Build the plan for `spec`; nullptr for FaultKind::kNone. `fault_seed`
+/// is the trial's dedicated fault stream seed
+/// (derive_trial_seed(trial_seed, kFaultStream)); `initial_population`
+/// anchors the churn cap.
+std::unique_ptr<FaultPlan> make_fault_plan(const FaultSpec& spec,
+                                           std::uint64_t fault_seed,
+                                           std::uint64_t initial_population);
+
+/// One uniformly random noise state: from `pool` if given, else uniform
+/// over all `num_states` states. This is THE noise primitive — the
+/// corrupt/burst plans and analysis::random_noise draw through it with
+/// identical RNG consumption (one below() call), which is what keeps the
+/// robustness sweeps bit-identical to their pre-S27 outputs.
+inline std::uint32_t uniform_noise_state(
+    std::uint32_t num_states, support::Rng& rng,
+    const std::vector<std::uint32_t>* pool = nullptr) {
+  if (pool != nullptr)
+    return (*pool)[rng.below(pool->size())];
+  return static_cast<std::uint32_t>(rng.below(num_states));
+}
+
+}  // namespace ppde::sched

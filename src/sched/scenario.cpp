@@ -1,0 +1,215 @@
+#include "sched/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ppde::sched {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, const std::string& text) {
+  throw std::invalid_argument("scenario: " + what + " in '" + text + "'");
+}
+
+/// Shortest %g rendering that strtod round-trips to the same double, so
+/// the canonical descriptor (and hence the certificate digest) never
+/// depends on who formatted it.
+std::string format_double(double value) {
+  char buffer[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) return buffer;
+  }
+  return buffer;
+}
+
+/// Split "name[:params]" and return the params part ("" if absent).
+std::string split_params(const std::string& text, std::string* name) {
+  const std::size_t colon = text.find(':');
+  *name = text.substr(0, colon);
+  return colon == std::string::npos ? std::string() : text.substr(colon + 1);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    parts.push_back(text.substr(start, pos - start));
+    if (pos == std::string::npos) return parts;
+    start = pos + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& text) {
+  if (token.empty() || token[0] == '-') bad("expected a number", text);
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') bad("expected a number", text);
+  return value;
+}
+
+double parse_rate(const std::string& token, const std::string& text) {
+  if (token.empty()) bad("expected a rate", text);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') bad("expected a rate", text);
+  if (!(value > 0.0) || value > 1.0) bad("rate must be in (0, 1]", text);
+  return value;
+}
+
+}  // namespace
+
+SchedulerSpec parse_scheduler(const std::string& text) {
+  SchedulerSpec spec;
+  std::string name;
+  const std::string params = split_params(text, &name);
+  if (name == "uniform") {
+    spec.kind = SchedKind::kUniform;
+    if (!params.empty()) bad("uniform takes no parameters", text);
+  } else if (name == "clique") {
+    spec.kind = SchedKind::kClique;
+    if (!params.empty()) bad("clique takes no parameters", text);
+  } else if (name == "ring") {
+    spec.kind = SchedKind::kRing;
+    if (!params.empty()) bad("ring takes no parameters", text);
+  } else if (name == "grid") {
+    spec.kind = SchedKind::kGrid;
+    if (!params.empty()) {
+      spec.width = parse_u64(params, text);
+      if (spec.width < 2) bad("grid width must be >= 2", text);
+    }
+  } else if (name == "regular") {
+    spec.kind = SchedKind::kRegular;
+    if (!params.empty()) spec.degree = parse_u64(params, text);
+    if (spec.degree < 2 || spec.degree % 2 != 0)
+      bad("regular degree must be even and >= 2", text);
+  } else if (name == "biased") {
+    spec.kind = SchedKind::kBiased;
+    if (!params.empty()) {
+      char* end = nullptr;
+      spec.bias = std::strtod(params.c_str(), &end);
+      if (end == nullptr || *end != '\0') bad("expected a weight", text);
+    }
+    if (!(spec.bias > 0.0) || spec.bias == 1.0)
+      bad("bias weight must be > 0 and != 1", text);
+  } else if (name == "aging") {
+    spec.kind = SchedKind::kAging;
+    if (!params.empty()) bad("aging takes no parameters", text);
+  } else {
+    bad("unknown scheduler '" + name + "'", text);
+  }
+  return spec;
+}
+
+FaultSpec parse_fault(const std::string& text) {
+  FaultSpec spec;
+  std::string name;
+  const std::string params = split_params(text, &name);
+  if (name == "none") {
+    spec.kind = FaultKind::kNone;
+    if (!params.empty()) bad("none takes no parameters", text);
+  } else if (name == "corrupt") {
+    spec.kind = FaultKind::kCorrupt;
+    const std::vector<std::string> parts = split(params, ',');
+    if (parts.empty() || parts.size() > 2)
+      bad("corrupt takes RATE[,AGENTS]", text);
+    spec.rate = parse_rate(parts[0], text);
+    if (parts.size() == 2) spec.agents = parse_u64(parts[1], text);
+    if (spec.agents == 0) bad("corrupt agent count must be >= 1", text);
+  } else if (name == "churn") {
+    spec.kind = FaultKind::kChurn;
+    const std::vector<std::string> parts = split(params, ',');
+    if (parts.empty() || parts.size() > 2) bad("churn takes RATE[,CAP]", text);
+    spec.rate = parse_rate(parts[0], text);
+    if (parts.size() == 2) spec.cap = parse_u64(parts[1], text);
+  } else if (name == "burst") {
+    spec.kind = FaultKind::kBurst;
+    for (const std::string& event : split(params, ';')) {
+      const std::vector<std::string> parts = split(event, ',');
+      if (parts.size() != 2) bad("burst takes AT,AGENTS[;AT,AGENTS...]", text);
+      BurstEvent burst;
+      burst.at = parse_u64(parts[0], text);
+      burst.agents = parse_u64(parts[1], text);
+      if (burst.agents == 0) bad("burst agent count must be >= 1", text);
+      spec.bursts.push_back(burst);
+    }
+    if (spec.bursts.empty()) bad("burst schedule is empty", text);
+    std::stable_sort(spec.bursts.begin(), spec.bursts.end(),
+                     [](const BurstEvent& a, const BurstEvent& b) {
+                       return a.at < b.at;
+                     });
+  } else {
+    bad("unknown fault '" + name + "'", text);
+  }
+  return spec;
+}
+
+std::string to_string(const SchedulerSpec& spec) {
+  switch (spec.kind) {
+    case SchedKind::kUniform: return "uniform";
+    case SchedKind::kClique: return "clique";
+    case SchedKind::kRing: return "ring";
+    case SchedKind::kGrid:
+      return spec.width == 0 ? "grid"
+                             : "grid:" + std::to_string(spec.width);
+    case SchedKind::kRegular: return "regular:" + std::to_string(spec.degree);
+    case SchedKind::kBiased: return "biased:" + format_double(spec.bias);
+    case SchedKind::kAging: return "aging";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCorrupt: {
+      std::string out = "corrupt:" + format_double(spec.rate);
+      if (spec.agents != 1) {
+        out += ',';
+        out += std::to_string(spec.agents);
+      }
+      return out;
+    }
+    case FaultKind::kChurn: {
+      std::string out = "churn:" + format_double(spec.rate);
+      if (spec.cap != 0) {
+        out += ',';
+        out += std::to_string(spec.cap);
+      }
+      return out;
+    }
+    case FaultKind::kBurst: {
+      std::string out = "burst:";
+      for (std::size_t i = 0; i < spec.bursts.size(); ++i) {
+        if (i != 0) out += ';';
+        out += std::to_string(spec.bursts[i].at) + "," +
+               std::to_string(spec.bursts[i].agents);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Scenario::to_string() const {
+  std::string out = sched::to_string(scheduler);
+  if (fault.kind != FaultKind::kNone) {
+    out += '+';
+    out += sched::to_string(fault);
+  }
+  return out;
+}
+
+Scenario Scenario::parse(const std::string& text) {
+  Scenario scenario;
+  const std::size_t plus = text.find('+');
+  scenario.scheduler = parse_scheduler(text.substr(0, plus));
+  if (plus != std::string::npos)
+    scenario.fault = parse_fault(text.substr(plus + 1));
+  return scenario;
+}
+
+}  // namespace ppde::sched

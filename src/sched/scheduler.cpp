@@ -1,0 +1,249 @@
+#include "sched/scheduler.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ppde::sched {
+
+namespace {
+
+/// Uniform double in [0, 1) from one 64-bit draw (53-bit mantissa).
+double uniform01(support::Rng& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Complete graph via the adjacency-sampler machinery: the meeting law is
+/// the classic uniform ordered pair of distinct agents, drawn with the
+/// exact RNG consumption of the built-in uniform path — so a clique
+/// trajectory is bit-identical to a default trajectory with the same
+/// seed. That makes `clique` the differential anchor of the whole
+/// subsystem (tests assert the equality).
+class CliqueScheduler final : public Scheduler {
+ public:
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t i = ctx.rng.below(ctx.population);
+    std::uint64_t j = ctx.rng.below(ctx.population - 1);
+    if (j >= i) ++j;
+    *initiator = i;
+    *responder = j;
+    return true;
+  }
+};
+
+/// Agents on a cycle; a meeting is a uniform agent paired with one of its
+/// two ring neighbours (fair coin).
+class RingScheduler final : public Scheduler {
+ public:
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t m = ctx.population;
+    const std::uint64_t i = ctx.rng.below(m);
+    *initiator = i;
+    *responder = ctx.rng.coin() ? (i + 1) % m : (i + m - 1) % m;
+    return true;
+  }
+};
+
+/// Circulant "twisted torus": slots 0..m-1 laid out row-major with row
+/// width W (default floor(sqrt(m))); neighbours at offsets ±1 and ±W
+/// modulo m. Well-defined and degree-4 for every population size, no
+/// ragged edge cases. A neighbour offset that wraps onto the agent itself
+/// (tiny populations) is a null meeting.
+class GridScheduler final : public Scheduler {
+ public:
+  explicit GridScheduler(std::uint64_t width) : requested_width_(width) {}
+
+  void on_population(std::uint64_t m, support::Rng&) override {
+    width_ = requested_width_;
+    if (width_ == 0) {
+      width_ = 1;
+      while ((width_ + 1) * (width_ + 1) <= m) ++width_;
+    }
+  }
+
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t m = ctx.population;
+    const std::uint64_t i = ctx.rng.below(m);
+    const std::uint64_t direction = ctx.rng.below(4);
+    const std::uint64_t offset = direction < 2 ? 1 : width_ % m;
+    const std::uint64_t j =
+        (direction & 1) == 0 ? (i + offset) % m : (i + m - offset % m) % m;
+    *initiator = i;
+    *responder = j;
+    return i != j;
+  }
+
+ private:
+  std::uint64_t requested_width_ = 0;
+  std::uint64_t width_ = 1;
+};
+
+/// Random D-regular multigraph: D/2 uniformly random permutations of the
+/// slot set, sampled from the topology stream (Fisher–Yates). Each slot
+/// has D incident half-edges — its image and preimage under every
+/// permutation. pick() draws a uniform slot and a uniform half-edge;
+/// permutation fixed points are self-loops and count as null meetings.
+/// Population changes resample the permutations (slots are renumbered by
+/// swap-removal anyway).
+class RegularScheduler final : public Scheduler {
+ public:
+  explicit RegularScheduler(std::uint64_t degree) : degree_(degree) {}
+
+  void on_population(std::uint64_t m, support::Rng& topology_rng) override {
+    const std::size_t half = degree_ / 2;
+    perms_.assign(half, {});
+    inverse_.assign(half, {});
+    for (std::size_t p = 0; p < half; ++p) {
+      std::vector<std::uint32_t>& perm = perms_[p];
+      perm.resize(m);
+      std::iota(perm.begin(), perm.end(), 0);
+      for (std::uint64_t k = m; k > 1; --k) {
+        const std::uint64_t other = topology_rng.below(k);
+        std::swap(perm[k - 1], perm[other]);
+      }
+      std::vector<std::uint32_t>& inverse = inverse_[p];
+      inverse.resize(m);
+      for (std::uint64_t k = 0; k < m; ++k) inverse[perm[k]] = k;
+    }
+  }
+
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t i = ctx.rng.below(ctx.population);
+    const std::uint64_t edge = ctx.rng.below(degree_);
+    const std::size_t half = degree_ / 2;
+    const std::uint64_t j = edge < half ? perms_[edge][i]
+                                        : inverse_[edge - half][i];
+    *initiator = i;
+    *responder = j;
+    return i != j;
+  }
+
+ private:
+  std::uint64_t degree_;
+  std::vector<std::vector<std::uint32_t>> perms_;
+  std::vector<std::vector<std::uint32_t>> inverse_;
+};
+
+/// Adversarially biased pair weighting: an agent in an accepting state is
+/// selected with relative weight G, a rejecting agent with weight 1
+/// (exact rejection sampling against the max weight). G < 1 starves the
+/// accepting side of interactions — the adversary that most directly
+/// attacks a consensus-window heuristic.
+class BiasedScheduler final : public Scheduler {
+ public:
+  explicit BiasedScheduler(double bias) : bias_(bias) {}
+
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t i = weighted_slot(ctx, ctx.population, ~0ull);
+    const std::uint64_t j = weighted_slot(ctx, ctx.population, i);
+    *initiator = i;
+    *responder = j;
+    return true;
+  }
+
+ private:
+  std::uint64_t weighted_slot(PickContext& ctx, std::uint64_t m,
+                              std::uint64_t exclude) {
+    const double max_weight = bias_ > 1.0 ? bias_ : 1.0;
+    // Rejection sampling terminates with probability 1; the iteration cap
+    // (hit only when one side has weight ~0 relative to the other and the
+    // population is all the other side) degrades to the uniform pick so a
+    // meeting is always produced.
+    for (int round = 0; round < 4096; ++round) {
+      std::uint64_t slot = ctx.rng.below(exclude == ~0ull ? m : m - 1);
+      if (exclude != ~0ull && slot >= exclude) ++slot;
+      const bool accepting =
+          ctx.accepting != nullptr && (*ctx.accepting)(slot);
+      const double weight = accepting ? bias_ : 1.0;
+      if (weight >= max_weight || uniform01(ctx.rng) * max_weight < weight)
+        return slot;
+    }
+    std::uint64_t slot = ctx.rng.below(exclude == ~0ull ? m : m - 1);
+    if (exclude != ~0ull && slot >= exclude) ++slot;
+    return slot;
+  }
+
+  double bias_;
+};
+
+/// Fairness-quota scheduler: the initiator is always the least recently
+/// met agent (an O(1) intrusive LRU list over slots), the responder is
+/// uniform among the rest. The strongest-fairness counterpoint to the
+/// biased adversary: no agent can be starved for more than one list
+/// rotation. Population changes rebuild (and hence reset) the recency
+/// order in slot order.
+class AgingScheduler final : public Scheduler {
+ public:
+  void on_population(std::uint64_t m, support::Rng&) override {
+    next_.resize(m);
+    prev_.resize(m);
+    for (std::uint64_t s = 0; s < m; ++s) {
+      next_[s] = s + 1 < m ? s + 1 : kNil;
+      prev_[s] = s > 0 ? s - 1 : kNil;
+    }
+    head_ = 0;
+    tail_ = m - 1;
+  }
+
+  bool pick(PickContext& ctx, std::uint64_t* initiator,
+            std::uint64_t* responder) override {
+    const std::uint64_t m = ctx.population;
+    const std::uint64_t i = head_;
+    std::uint64_t j = ctx.rng.below(m - 1);
+    if (j >= i) ++j;
+    *initiator = i;
+    *responder = j;
+    return true;
+  }
+
+  void on_meeting(std::uint64_t initiator, std::uint64_t responder) override {
+    touch(initiator);
+    touch(responder);
+  }
+
+ private:
+  static constexpr std::uint64_t kNil = ~std::uint64_t{0};
+
+  void touch(std::uint64_t slot) {
+    if (slot == tail_) return;
+    // Unlink.
+    const std::uint64_t p = prev_[slot];
+    const std::uint64_t n = next_[slot];
+    if (p != kNil) next_[p] = n;
+    if (n != kNil) prev_[n] = p;
+    if (head_ == slot) head_ = n;
+    // Append at the tail (most recently met).
+    prev_[slot] = tail_;
+    next_[slot] = kNil;
+    next_[tail_] = slot;
+    tail_ = slot;
+  }
+
+  std::vector<std::uint64_t> next_;
+  std::vector<std::uint64_t> prev_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerSpec& spec) {
+  switch (spec.kind) {
+    case SchedKind::kUniform: return nullptr;
+    case SchedKind::kClique: return std::make_unique<CliqueScheduler>();
+    case SchedKind::kRing: return std::make_unique<RingScheduler>();
+    case SchedKind::kGrid: return std::make_unique<GridScheduler>(spec.width);
+    case SchedKind::kRegular:
+      return std::make_unique<RegularScheduler>(spec.degree);
+    case SchedKind::kBiased:
+      return std::make_unique<BiasedScheduler>(spec.bias);
+    case SchedKind::kAging: return std::make_unique<AgingScheduler>();
+  }
+  throw std::logic_error("make_scheduler: unknown scheduler kind");
+}
+
+}  // namespace ppde::sched

@@ -1,0 +1,68 @@
+// Scheduler strategy interface + implementations (S27).
+//
+// A Scheduler decides which ordered (initiator, responder) pair of agent
+// slots meets next. The uniform default never constructs one — the
+// simulators keep their original inline draw (and their original RNG
+// streams) when Scenario::is_default(); a Scheduler object only exists
+// for the non-uniform strategies, which all require agent identity and
+// therefore run on the per-agent pp::Simulator.
+//
+// Determinism contract: pick() consumes only the PickContext's meeting
+// stream, on_population() consumes only the dedicated topology stream
+// (sched::kTopologyStream), and neither reads any global state, so a
+// trial's meeting sequence is a pure function of its derived seed under
+// every strategy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sched/scenario.hpp"
+#include "support/rng.hpp"
+
+namespace ppde::sched {
+
+/// Everything a strategy may consult when drawing the next pair.
+struct PickContext {
+  support::Rng& rng;         ///< the trial's meeting stream
+  std::uint64_t population;  ///< current number of agents (>= 2)
+  /// State predicate for state-aware strategies (biased): is the agent in
+  /// slot s currently in an accepting state? Bound by the simulator.
+  const std::function<bool(std::uint64_t)>* accepting = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Draw the next meeting's ordered pair of distinct agent slots in
+  /// [0, population). Returns false for a null meeting that selects no
+  /// valid pair (e.g. a self-loop edge of a sampled multigraph); the
+  /// caller counts the meeting and applies no transition.
+  virtual bool pick(PickContext& ctx, std::uint64_t* initiator,
+                    std::uint64_t* responder) = 0;
+
+  /// The population changed to `m` agents (initial load, fault arrival or
+  /// departure): rebuild any per-slot structure from the topology stream.
+  /// Slot identities are not stable across a change (departures
+  /// swap-remove), so strategies rebuild rather than patch.
+  virtual void on_population(std::uint64_t m, support::Rng& topology_rng) {
+    (void)m;
+    (void)topology_rng;
+  }
+
+  /// Called after the pair returned by pick() actually met (recency
+  /// bookkeeping for the aging strategy).
+  virtual void on_meeting(std::uint64_t initiator, std::uint64_t responder) {
+    (void)initiator;
+    (void)responder;
+  }
+};
+
+/// Strategy factory. Returns nullptr for SchedKind::kUniform — callers
+/// keep the built-in uniform draw (the digest-parity fast path).
+std::unique_ptr<Scheduler> make_scheduler(const SchedulerSpec& spec);
+
+}  // namespace ppde::sched

@@ -53,6 +53,8 @@ std::string encode_query(const QueryParams& query) {
   json.field("budget", query.budget);
   json.field("shard", query.shard);
   json.field("dispatch", std::string_view(query.dispatch));
+  if (!query.scenario.empty())
+    json.field("scenario", std::string_view(query.scenario));
   return json.finish();
 }
 
@@ -73,6 +75,7 @@ QueryParams parse_query(const Json& json) {
   query.budget = json.u64("budget", query.budget);
   query.shard = json.u64("shard", 0);
   query.dispatch = json.str("dispatch", query.dispatch);
+  query.scenario = json.str("scenario", "");
   return query;
 }
 
@@ -87,6 +90,10 @@ smc::CertifyOptions certify_options_of(const QueryParams& query) {
   options.sim.stable_window = query.window;
   options.sim.max_interactions = query.budget;
   options.dispatch = isa::parse_dispatch(query.dispatch);
+  // Throws std::invalid_argument on a malformed descriptor — callers
+  // reject the query at admission (handle_connection) before any work.
+  if (!query.scenario.empty())
+    options.scenario = sched::Scenario::parse(query.scenario);
   return options;
 }
 
@@ -112,6 +119,8 @@ std::string encode_batch_request(const BatchRequest& request) {
   json.field("window", request.window);
   json.field("budget", request.budget);
   json.field("dispatch", std::string_view(request.dispatch));
+  if (!request.scenario.empty())
+    json.field("scenario", std::string_view(request.scenario));
   return json.finish();
 }
 
@@ -129,6 +138,7 @@ BatchRequest parse_batch_request(const Json& json) {
   request.window = json.u64("window", 90'000'000);
   request.budget = json.u64("budget", 2'000'000'000);
   request.dispatch = json.str("dispatch", request.dispatch);
+  request.scenario = json.str("scenario", "");
   return request;
 }
 

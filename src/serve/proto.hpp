@@ -55,6 +55,12 @@ struct QueryParams {
   /// field means bytecode, like the CLI omitting --dispatch; results are
   /// bit-identical either way.
   std::string dispatch = "bytecode";
+  /// Stress scenario descriptor (S27), e.g. "ring+corrupt:0.001". Empty
+  /// means the default scenario (uniform scheduler, no faults) and — like
+  /// the digest-scoping rule it mirrors — is omitted from the encoded
+  /// query, so pre-S27 clients and servers interoperate unchanged. A
+  /// malformed descriptor is rejected at admission with an error frame.
+  std::string scenario{};
 };
 
 std::string encode_query(const QueryParams& query);
@@ -81,6 +87,9 @@ struct BatchRequest {
   std::uint64_t window = 0;
   std::uint64_t budget = 0;
   std::string dispatch = "bytecode";  ///< execution core, forwarded verbatim
+  /// Scenario descriptor, forwarded verbatim ("" = default, field omitted
+  /// on the wire — workers predating S27 only ever see default batches).
+  std::string scenario{};
 };
 
 std::string encode_batch_request(const BatchRequest& request);

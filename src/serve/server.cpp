@@ -28,6 +28,7 @@
 #include "czerner/construction.hpp"
 #include "engine/ensemble.hpp"
 #include "obs/registry.hpp"
+#include "sched/scenario.hpp"
 #include "serve/proto.hpp"
 #include "serve/supervisor.hpp"
 #include "serve/wire.hpp"
@@ -343,7 +344,7 @@ struct Server::Impl {
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
                            query.seed, 0, 0, query.window, query.budget,
-                           query.dispatch},
+                           query.dispatch, query.scenario},
               certify_options.max_trials,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),
@@ -387,7 +388,7 @@ struct Server::Impl {
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/true, query.n, query.extra,
                            /*expected=*/false, query.seed, 0, 0, query.window,
-                           query.budget, query.dispatch},
+                           query.budget, query.dispatch, query.scenario},
               total,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),
@@ -420,8 +421,13 @@ struct Server::Impl {
 
     smc::JsonWriter out;
     out.field("ok", true);
-    out.raw_field("summary", smc::to_jsonl(stats, m, query.seed,
-                                           engine::EngineKind::kCountNullSkip));
+    // Non-default scenarios run on the per-agent fallback in the workers;
+    // report the engine that actually executed.
+    out.raw_field("summary",
+                  smc::to_jsonl(stats, m, query.seed,
+                                query.scenario.empty()
+                                    ? engine::EngineKind::kCountNullSkip
+                                    : engine::EngineKind::kPerAgent));
     return out.finish();
   }
 
@@ -491,6 +497,17 @@ struct Server::Impl {
       metrics.queries_rejected.add();
       respond_and_close(fd, encode_error("n must be >= 1"));
       return;
+    }
+    // Reject a malformed scenario descriptor at admission, before the
+    // query consumes any worker time.
+    if (!query.scenario.empty()) {
+      try {
+        (void)sched::Scenario::parse(query.scenario);
+      } catch (const std::exception& error) {
+        metrics.queries_rejected.add();
+        respond_and_close(fd, encode_error(error.what()));
+        return;
+      }
     }
     if (query.trials > options.max_trials_cap) {
       metrics.queries_rejected.add();

@@ -17,7 +17,9 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "engine/executor.hpp"
 #include "isa/compiled.hpp"
+#include "sched/scenario.hpp"
 #include "serve/proto.hpp"
 #include "serve/wire.hpp"
 #include "smc/certify.hpp"
@@ -57,6 +59,8 @@ BatchResult run_certify_batch(const BatchRequest& request) {
   options.sim.stable_window = request.window;
   options.sim.max_interactions = request.budget;
   options.dispatch = isa::parse_dispatch(request.dispatch);
+  if (!request.scenario.empty())
+    options.scenario = sched::Scenario::parse(request.scenario);
   // threads = 1: a worker process is single-threaded by design — the
   // daemon's parallelism is processes, and a forked child must not spawn
   // threads anyway.
@@ -79,22 +83,17 @@ BatchResult run_ensemble_batch(const BatchRequest& request) {
   pp::SimulationOptions sim_stop;
   sim_stop.stable_window = request.window;
   sim_stop.max_interactions = request.budget;
-  engine::CountSimOptions sim_options;
-  sim_options.null_skip = true;  // the serve protocol runs the S21 default
-  sim_options.dispatch = isa::parse_dispatch(request.dispatch);
-  std::unique_ptr<engine::CountSimulator> simulator;
-  const auto body = [&](unsigned, std::uint64_t, std::uint64_t seed) {
-    engine::TrialResult trial;
-    trial.seed = seed;
-    if (!simulator)
-      simulator = std::make_unique<engine::CountSimulator>(
-          cached.conversion.protocol, *cached.index, initial, seed,
-          sim_options);
-    else
-      simulator->reset(initial, seed);
-    trial.sim = simulator->run_until_stable(sim_stop);
-    trial.metrics = simulator->metrics();
-    return trial;
+  // The shared trial body (S27): the serve protocol runs the S21 default
+  // engine (count + null-skip) for the default scenario; a non-default
+  // scenario falls back to the per-agent simulator inside the executor.
+  sched::Scenario scenario;
+  if (!request.scenario.empty())
+    scenario = sched::Scenario::parse(request.scenario);
+  engine::TrialExecutor executor(
+      cached.conversion.protocol, engine::EngineKind::kCountNullSkip,
+      isa::parse_dispatch(request.dispatch), scenario, /*workers=*/1);
+  const auto body = [&](unsigned worker, std::uint64_t, std::uint64_t seed) {
+    return executor.run(worker, initial, seed, sim_stop);
   };
   const std::vector<engine::TrialResult> trials = engine::run_trial_range(
       request.first, request.count, /*threads=*/1, request.seed, body);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/count_sim.hpp"
+#include "engine/executor.hpp"
 #include "engine/pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -112,45 +113,28 @@ Certificate certify_trials(const TrialFn& body,
 
 namespace {
 
-/// The per-trial workload certify() folds, reusable by shard range runs:
-/// one shared activity index for all count-based trials (read-only after
-/// construction, exactly as in engine::run_ensemble), and one reusable
-/// simulator per worker — reset() between trials keeps each outcome a
-/// pure function of (trial, seed) without per-trial allocation churn.
+/// The per-trial workload certify() folds, reusable by shard range runs.
+/// Engine/dispatch/scenario selection and per-worker simulator reuse live
+/// in engine::TrialExecutor (S27) — the same body run_ensemble and the
+/// serve workers run; this class only maps the run to a TrialOutcome
+/// against the expected output.
 class TrialRunner {
  public:
   TrialRunner(const pp::Protocol& protocol, const pp::Config& initial,
               bool expected_output, const CertifyOptions& options,
               unsigned workers)
-      : protocol_(protocol),
-        initial_(initial),
+      : initial_(initial),
         expected_output_(expected_output),
         options_(options),
-        sims_(workers) {
-    if (options.engine != engine::EngineKind::kPerAgent)
-      index_.emplace(protocol);
-    sim_options_.null_skip =
-        options.engine == engine::EngineKind::kCountNullSkip;
-    sim_options_.dispatch = options.dispatch;
-  }
+        executor_(protocol, options.engine, options.dispatch,
+                  options.scenario, workers) {}
 
   TrialOutcome run(unsigned worker, std::uint64_t seed) {
-    pp::SimulationResult sim;
+    const engine::TrialResult trial =
+        executor_.run(worker, initial_, seed, options_.sim);
+    const pp::SimulationResult& sim = trial.sim;
     TrialOutcome outcome;
-    if (options_.engine == engine::EngineKind::kPerAgent) {
-      pp::Simulator simulator(protocol_, initial_, seed, options_.dispatch);
-      sim = simulator.run_until_stable(options_.sim);
-      outcome.metrics = simulator.metrics();
-    } else {
-      std::unique_ptr<engine::CountSimulator>& simulator = sims_[worker];
-      if (!simulator)
-        simulator = std::make_unique<engine::CountSimulator>(
-            protocol_, *index_, initial_, seed, sim_options_);
-      else
-        simulator->reset(initial_, seed);
-      sim = simulator->run_until_stable(options_.sim);
-      outcome.metrics = simulator->metrics();
-    }
+    outcome.metrics = trial.metrics;
     outcome.stabilised =
         sim.stabilised &&
         sim.consensus_since != pp::SimulationResult::kNeverStabilised;
@@ -163,13 +147,10 @@ class TrialRunner {
   }
 
  private:
-  const pp::Protocol& protocol_;
   const pp::Config& initial_;
   bool expected_output_;
   const CertifyOptions& options_;
-  std::optional<engine::PairIndex> index_;
-  engine::CountSimOptions sim_options_;
-  std::vector<std::unique_ptr<engine::CountSimulator>> sims_;
+  engine::TrialExecutor executor_;
 };
 
 }  // namespace
@@ -236,7 +217,10 @@ std::string describe(const Certificate& cert) {
       static_cast<unsigned long long>(cert.protocol_fingerprint),
       static_cast<unsigned long long>(cert.seed), cert.wall_seconds,
       cert.threads_used);
-  return buffer;
+  std::string out = buffer;
+  if (!cert.scenario.empty())
+    out += "scenario .......... " + cert.scenario + "\n";
+  return out;
 }
 
 }  // namespace ppde::smc

@@ -70,6 +70,12 @@ struct CertifyOptions {
   /// Execution core (S26). Certificates and digests are bit-identical
   /// across dispatch modes (and thread counts) for a given seed.
   isa::Dispatch dispatch = isa::Dispatch::kBytecode;
+  /// Stress scenario (S27): scheduler strategy + fault plan each trial
+  /// runs under. Part of the certified statement — a non-default scenario
+  /// is folded into the certificate payload (and hence the digest), so a
+  /// claim is certified *per scenario*; the default emits nothing and
+  /// reproduces pre-S27 certificates byte for byte.
+  sched::Scenario scenario;
   /// Per-trial stopping rule (sim.seed is ignored; trial seeds are derived
   /// from `seed`).
   pp::SimulationOptions sim;
@@ -107,6 +113,11 @@ struct Certificate {
   std::uint64_t seed = 0;
   std::uint64_t max_trials = 0;
   std::uint64_t interaction_budget = 0;  ///< per-trial scheduler budget
+  /// Canonical scenario descriptor; empty for the default scenario, in
+  /// which case the payload omits the field entirely (digest-scoping rule,
+  /// sched/scenario.hpp: uniform certificates stay byte-identical to
+  /// pre-S27 ones; every stressed claim gets its own digest space).
+  std::string scenario;
 
   // -- evidence (all deterministic given the statement) ------------------
   std::uint64_t trials = 0;      ///< outcomes folded before the SPRT stopped

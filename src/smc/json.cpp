@@ -106,6 +106,11 @@ std::string certificate_payload(const Certificate& cert) {
   json.field("seed", cert.seed);
   json.field("max_trials", cert.max_trials);
   json.field("interaction_budget", cert.interaction_budget);
+  // Digest-scoping rule (S27): the default scenario emits no field at all
+  // — uniform certificates stay byte-identical to pre-S27 ones — while a
+  // stressed scenario's canonical descriptor scopes the digest.
+  if (!cert.scenario.empty())
+    json.field("scenario", std::string_view(cert.scenario));
   json.field("trials", cert.trials);
   json.field("successes", cert.successes);
   json.field("stabilised", cert.stabilised);

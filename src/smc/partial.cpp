@@ -105,6 +105,8 @@ Certificate certificate_statement(const CertifyOptions& options) {
   cert.seed = options.seed;
   cert.max_trials = options.max_trials;
   cert.interaction_budget = options.sim.max_interactions;
+  if (!options.scenario.is_default())
+    cert.scenario = options.scenario.to_string();
   return cert;
 }
 

@@ -12,6 +12,30 @@
 
 namespace ppde::support {
 
+/// One SplitMix64 step: advances `x` by the golden-ratio increment and
+/// returns the mixed output. The seed expander behind Rng::reseed and the
+/// per-trial / per-stream seed derivation below — one definition, so the
+/// engine, serve and sched layers cannot drift apart.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The (trial+1)-th element of the SplitMix64 stream anchored at
+/// `master_seed`: trial i always gets the same decorrelated 64-bit seed no
+/// matter which worker (thread or process) runs it, so every ensemble,
+/// certificate and shard layout is reproducible from one number. Also used
+/// with fixed stream tags to split one trial seed into independent
+/// scheduler/topology/fault RNG streams (sched/scenario.hpp).
+inline std::uint64_t derive_trial_seed(std::uint64_t master_seed,
+                                       std::uint64_t trial) {
+  std::uint64_t x = master_seed + trial * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(x);
+}
+
 /// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate every BENCH_*.json report against its versioned schema.
+
+One pass over all machine-readable benchmark reports, dispatched on the
+schema tag each report leads with (bench_engine_v / bench_serve_v /
+bench_sched_v). CI smoke jobs call this instead of re-growing per-job
+grep pipelines; EXPERIMENTS.md numbers are copied from the same files.
+
+Usage:
+    python3 tools/check_bench.py [FILE...]
+
+With no arguments, validates every BENCH_*.json in the repository root
+(the directory above this script). Exits non-zero with a per-file message
+on the first schema violation.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def fail(path, message):
+    raise SystemExit(f"{path}: {message}")
+
+
+def require(path, condition, message):
+    if not condition:
+        fail(path, message)
+
+
+def check_engine(path, doc):
+    """bench_engine_v == 2: per-(mode, dispatch, m) throughput rows."""
+    require(path, doc.get("bench_engine_v") == 2,
+            f"bench_engine_v != 2 (got {doc.get('bench_engine_v')})")
+    rows = doc.get("rows")
+    require(path, isinstance(rows, list) and rows, "rows missing or empty")
+    for i, row in enumerate(rows):
+        for key in ("protocol", "m", "mode", "dispatch", "firings_per_sec",
+                    "effective_meetings_per_sec", "threads"):
+            require(path, key in row, f"rows[{i}] missing {key}")
+        # Rates must be real positive numbers, not zeros or NaN.
+        require(path, row["firings_per_sec"] > 0,
+                f"rows[{i}] nonpositive firings_per_sec")
+        require(path, row["effective_meetings_per_sec"] > 0,
+                f"rows[{i}] nonpositive effective_meetings_per_sec")
+    # All three engine modes, both dispatch cores (S26), the large
+    # population point.
+    modes = {row["mode"] for row in rows}
+    for mode in ("per-agent", "count-based", "count+null-skip"):
+        require(path, mode in modes, f"missing mode {mode}")
+    dispatches = {row["dispatch"] for row in rows}
+    for dispatch in ("interp", "bytecode"):
+        require(path, dispatch in dispatches, f"missing dispatch {dispatch}")
+    require(path, any(row["m"] == 100014 for row in rows),
+            "missing m=100014 row")
+
+
+def check_serve(path, doc):
+    """bench_serve_v == 1: certify digests by worker count + scaling."""
+    require(path, doc.get("bench_serve_v") == 1,
+            f"bench_serve_v != 1 (got {doc.get('bench_serve_v')})")
+    runs = doc.get("runs")
+    require(path, isinstance(runs, list) and runs, "runs missing or empty")
+    digests = set()
+    for i, run in enumerate(runs):
+        for key in ("workers", "wall_seconds", "verdict", "digest"):
+            require(path, key in run, f"runs[{i}] missing {key}")
+        digests.add(run["digest"])
+    # The whole point of the daemon: sharding is invisible to the digest.
+    require(path, len(digests) == 1,
+            f"certificate digest varies across worker counts: {digests}")
+    require(path, doc.get("digest_identical") is True,
+            "digest_identical flag not true")
+    ensemble_runs = doc.get("ensemble_runs")
+    require(path, isinstance(ensemble_runs, list) and ensemble_runs,
+            "ensemble_runs missing or empty")
+    for i, run in enumerate(ensemble_runs):
+        for key in ("workers", "wall_seconds", "speedup"):
+            require(path, key in run, f"ensemble_runs[{i}] missing {key}")
+
+
+def check_sched(path, doc):
+    """bench_sched_v == 1: scheduler x construction convergence table."""
+    require(path, doc.get("bench_sched_v") == 1,
+            f"bench_sched_v != 1 (got {doc.get('bench_sched_v')})")
+    trials = doc.get("trials")
+    require(path, isinstance(trials, int) and trials > 0,
+            "trials missing or nonpositive")
+    rows = doc.get("rows")
+    require(path, isinstance(rows, list) and rows, "rows missing or empty")
+    for i, row in enumerate(rows):
+        for key in ("construction", "scenario", "population", "window",
+                    "budget", "stabilised", "accepted", "interactions_p50",
+                    "parallel_time_p50", "total_firings", "wall_seconds"):
+            require(path, key in row, f"rows[{i}] missing {key}")
+        require(path, row["population"] >= 2, f"rows[{i}] population < 2")
+        require(path, 0 <= row["stabilised"] <= trials,
+                f"rows[{i}] stabilised out of [0, trials]")
+        require(path, 0 <= row["accepted"] <= row["stabilised"],
+                f"rows[{i}] accepted > stabilised")
+        require(path, row["interactions_p50"] > 0,
+                f"rows[{i}] nonpositive interactions_p50")
+    # The table must actually cover the S27 matrix: every scheduler
+    # strategy and at least one of each fault kind, over >= 3
+    # constructions (threshold protocol + the two baselines).
+    constructions = {row["construction"] for row in rows}
+    require(path, len(constructions) >= 3,
+            f"expected >= 3 constructions, got {sorted(constructions)}")
+    schedulers = {row["scenario"].split("+")[0].split(":")[0]
+                  for row in rows}
+    for scheduler in ("uniform", "ring", "grid", "regular", "biased",
+                      "aging"):
+        require(path, scheduler in schedulers,
+                f"missing scheduler {scheduler}")
+    faults = {row["scenario"].split("+")[1].split(":")[0]
+              for row in rows if "+" in row["scenario"]}
+    for fault in ("corrupt", "churn", "burst"):
+        require(path, fault in faults, f"missing fault plan {fault}")
+
+
+CHECKERS = {
+    "bench_engine_v": check_engine,
+    "bench_serve_v": check_serve,
+    "bench_sched_v": check_sched,
+}
+
+
+def check_file(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(path, f"unreadable or invalid JSON: {error}")
+    for tag, checker in CHECKERS.items():
+        if tag in doc:
+            checker(path, doc)
+            print(f"{path}: OK ({tag} = {doc[tag]})")
+            return
+    fail(path, f"no recognised schema tag (one of {sorted(CHECKERS)})")
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        raise SystemExit("check_bench: no BENCH_*.json files found")
+    for path in paths:
+        check_file(path)
+    print(f"{len(paths)} report(s) valid")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

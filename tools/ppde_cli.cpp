@@ -46,6 +46,7 @@
 #include "progmodel/explore.hpp"
 #include "progmodel/flat.hpp"
 #include "progmodel/sample_programs.hpp"
+#include "sched/scenario.hpp"
 #include "serve/client.hpp"
 #include "serve/proto.hpp"
 #include "serve/server.hpp"
@@ -96,6 +97,19 @@ isa::Dispatch flag_dispatch(int argc, char** argv) {
   const char* text = flag_cstr(argc, argv, "--dispatch");
   return text != nullptr ? isa::parse_dispatch(text)
                          : isa::Dispatch::kBytecode;
+}
+
+/// Stress scenario (S27) selected by `--scheduler=...` and `--fault=...`;
+/// both default to the classic uniform, fault-free model. Throws
+/// std::invalid_argument (with the offending descriptor) on a malformed
+/// value.
+sched::Scenario flag_scenario(int argc, char** argv) {
+  sched::Scenario scenario;
+  if (const char* text = flag_cstr(argc, argv, "--scheduler"))
+    scenario.scheduler = sched::parse_scheduler(text);
+  if (const char* text = flag_cstr(argc, argv, "--fault"))
+    scenario.fault = sched::parse_fault(text);
+  return scenario;
 }
 
 czerner::Construction build(int n, bool equality) {
@@ -290,18 +304,30 @@ int cmd_info(int n, bool equality) {
   return 0;
 }
 
-int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed,
-                 isa::Dispatch dispatch) {
+int cmd_simulate(int argc, char** argv, int n, std::uint32_t extra,
+                 std::uint64_t seed, isa::Dispatch dispatch,
+                 const sched::Scenario& scenario) {
   const auto lowered = compile::lower_program(build(n, false).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
   const std::uint64_t m = conv.num_pointers + extra;
   std::printf("simulating n=%d with m = |F| + %u = %llu agents (seed %llu)\n",
               n, extra, (unsigned long long)m, (unsigned long long)seed);
-  pp::Simulator sim(conv.protocol, conv.initial_config(m), seed, dispatch);
+  if (!scenario.is_default())
+    std::printf("scenario: %s\n", scenario.to_string().c_str());
+  pp::Simulator sim(conv.protocol, conv.initial_config(m), scenario, seed,
+                    dispatch);
   pp::SimulationOptions options;
-  options.stable_window = 90'000'000;
-  options.max_interactions = 2'000'000'000;
+  options.stable_window = flag_value(argc, argv, "--window", 90'000'000);
+  options.max_interactions =
+      flag_value(argc, argv, "--budget", 2'000'000'000);
   const auto result = sim.run_until_stable(options);
+  if (const sched::FaultStats* faults = sim.fault_stats())
+    std::printf("faults: %llu events (%llu corruptions, %llu arrivals, "
+                "%llu departures)\n",
+                (unsigned long long)faults->events,
+                (unsigned long long)faults->corruptions,
+                (unsigned long long)faults->arrivals,
+                (unsigned long long)faults->departures);
   if (!result.stabilised) {
     std::printf("no consensus within %llu interactions\n",
                 (unsigned long long)options.max_interactions);
@@ -323,7 +349,7 @@ int cmd_simulate(int n, std::uint32_t extra, std::uint64_t seed,
 
 int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
                  unsigned threads, std::uint64_t seed, bool json,
-                 isa::Dispatch dispatch) {
+                 isa::Dispatch dispatch, const sched::Scenario& scenario) {
   const auto lowered = compile::lower_program(build(n, false).program);
   const auto conv = compile::machine_to_protocol(lowered.machine);
   const std::uint64_t m = conv.num_pointers + extra;
@@ -333,6 +359,7 @@ int cmd_ensemble(int n, std::uint32_t extra, std::uint64_t trials,
   options.master_seed = seed;
   options.engine = engine::EngineKind::kCountNullSkip;
   options.dispatch = dispatch;
+  options.scenario = scenario;
   options.sim.stable_window = 90'000'000;
   options.sim.max_interactions = 2'000'000'000;
   const engine::EnsembleStats stats =
@@ -376,6 +403,7 @@ int cmd_certify(int argc, char** argv, int n, std::uint32_t extra,
   options.sim.max_interactions =
       flag_value(argc, argv, "--budget", 2'000'000'000);
   options.dispatch = flag_dispatch(argc, argv);
+  options.scenario = flag_scenario(argc, argv);
 
   const smc::Certificate cert =
       smc::certify(conv.protocol, conv.initial_config(m), expected, options);
@@ -524,6 +552,11 @@ int cmd_client(int argc, char** argv, const std::vector<char*>& pos) {
     query.shard = flag_value(argc, argv, "--shard", 0);
     // Validate locally so a typo fails here, not server-side.
     query.dispatch = isa::to_string(flag_dispatch(argc, argv));
+    // Same local validation for the scenario; the wire carries the
+    // canonical rendering and omits the field for the default scenario
+    // (pre-S27 servers keep working).
+    const sched::Scenario scenario = flag_scenario(argc, argv);
+    if (!scenario.is_default()) query.scenario = scenario.to_string();
   } else if (query.req != "stats" && query.req != "shutdown") {
     std::fprintf(stderr, "ppde client: unknown request '%s'\n",
                  query.req.c_str());
@@ -585,12 +618,18 @@ constexpr VerbHelp kVerbs[] = {
      "  Converted protocol statistics (full transition relation is only\n"
      "  materialised for n <= 2).\n"
      "    --dot        emit the protocol as a Graphviz digraph\n"},
-    {"simulate", "<n> <extra-agents> [seed] [--dispatch=D]",
+    {"simulate", "<n> <extra-agents> [seed] [flags]",
      "  Run the full protocol with m = |F| + extra agents until consensus\n"
      "  (per-agent reference simulator).\n"
-     "    [seed]       RNG seed (default 42)\n"
-     "    --dispatch=D execution core (S26): bytecode (default) or interp;\n"
-     "                 trajectories are bit-identical either way\n"},
+     "    [seed]        RNG seed (default 42)\n"
+     "    --window=W    consensus stability window (default 9e7)\n"
+     "    --budget=I    interaction budget (default 2e9)\n"
+     "    --dispatch=D  execution core (S26): bytecode (default) or interp;\n"
+     "                  trajectories are bit-identical either way\n"
+     "    --scheduler=S meeting scheduler (S27): uniform (default), clique,\n"
+     "                  ring, grid[:W], regular[:D], biased[:G], aging\n"
+     "    --fault=F     fault plan (S27): none (default), corrupt:RATE[,K],\n"
+     "                  churn:RATE[,CAP], burst:AT,K[;AT,K...]\n"},
     {"ensemble", "<n> <extra-agents> <trials> [threads] [seed] [flags]",
      "  Run a fleet of independent trials on the count+null-skip engine\n"
      "  (S21) and report aggregate statistics.\n"
@@ -599,6 +638,10 @@ constexpr VerbHelp kVerbs[] = {
      "                 so results are identical at every thread count\n"
      "    --dispatch=D execution core (S26): bytecode (default) or interp;\n"
      "                 per-trial records are bit-identical either way\n"
+     "    --scheduler=S / --fault=F\n"
+     "                 stress scenario (S27); a non-default scenario falls\n"
+     "                 back to the per-agent simulator (fast paths are\n"
+     "                 uniform-only), results stay seed-deterministic\n"
      "    --json       one JSONL record instead of the human summary\n"},
     {"certify", "<n> <extra-agents> [flags]",
      "  Statistical model checking (S23): an SPRT certificate that the\n"
@@ -617,6 +660,15 @@ constexpr VerbHelp kVerbs[] = {
      "    --budget=I         per-trial interaction budget (default 2e9)\n"
      "    --dispatch=D       execution core (S26): bytecode (default) or\n"
      "                       interp; the certificate digest is identical\n"
+     "    --scheduler=S      meeting scheduler (S27): uniform (default),\n"
+     "                       clique, ring, grid[:W], regular[:D],\n"
+     "                       biased[:G], aging\n"
+     "    --fault=F          fault plan (S27): none (default),\n"
+     "                       corrupt:RATE[,K], churn:RATE[,CAP],\n"
+     "                       burst:AT,K[;AT,K...]\n"
+     "                       A non-default scenario becomes part of the\n"
+     "                       certified statement: the canonical descriptor\n"
+     "                       is folded into the certificate digest\n"
      "    --json             one JSONL certificate record\n"},
     {"verify", "<n> <m_regs> [flags]",
      "  Exact fair-run verdict from pi(C) on the parallel verification\n"
@@ -659,8 +711,9 @@ constexpr VerbHelp kVerbs[] = {
      "  response (exit 0 iff the response says ok).\n"
      "    certify <n> <extra>   SPRT certification; accepts the same\n"
      "                          --trials/--seed/--delta/--indifference/\n"
-     "                          --alpha/--beta/--window/--budget/--dispatch\n"
-     "                          flags as `ppde certify`, plus --shard=K\n"
+     "                          --alpha/--beta/--window/--budget/--dispatch/\n"
+     "                          --scheduler/--fault flags as `ppde certify`,\n"
+     "                          plus --shard=K\n"
      "    ensemble <n> <extra>  fleet summary; --trials=N is the exact\n"
      "                          fleet size\n"
      "    stats                 daemon uptime, worker pool state, and the\n"
@@ -811,17 +864,19 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "simulate" && pos.size() >= 3)
-      return cmd_simulate(n, static_cast<std::uint32_t>(std::atoi(pos[2])),
+      return cmd_simulate(argc, argv, n,
+                          static_cast<std::uint32_t>(std::atoi(pos[2])),
                           pos.size() >= 4 ? std::strtoull(pos[3], nullptr, 10)
                                           : 42,
-                          flag_dispatch(argc, argv));
+                          flag_dispatch(argc, argv),
+                          flag_scenario(argc, argv));
     if (command == "ensemble" && pos.size() >= 4)
       return cmd_ensemble(
           n, static_cast<std::uint32_t>(std::atoi(pos[2])),
           std::strtoull(pos[3], nullptr, 10),
           pos.size() >= 5 ? static_cast<unsigned>(std::atoi(pos[4])) : 0,
           pos.size() >= 6 ? std::strtoull(pos[5], nullptr, 10) : 42, json,
-          flag_dispatch(argc, argv));
+          flag_dispatch(argc, argv), flag_scenario(argc, argv));
     if (command == "certify" && pos.size() >= 3)
       return cmd_certify(argc, argv, n,
                          static_cast<std::uint32_t>(std::atoi(pos[2])), json);
