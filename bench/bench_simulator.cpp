@@ -13,9 +13,11 @@
 // regression artefact.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string_view>
+#include <vector>
 
 #include "baselines/flock.hpp"
 #include "baselines/majority.hpp"
@@ -25,6 +27,7 @@
 #include "czerner/construction.hpp"
 #include "engine/count_sim.hpp"
 #include "engine/ensemble.hpp"
+#include "engine/simd.hpp"
 #include "isa/compiled.hpp"
 #include "pp/simulator.hpp"
 #include "pp/verifier.hpp"
@@ -133,45 +136,119 @@ void print_engine_comparison(std::uint32_t extra_agents,
 
 // ---------------------------------------------------------------------------
 // Machine-readable perf regression report (--json[=path]). One row per
-// (m, engine mode, dispatch mode) on the converted Czerner n=1 protocol;
-// the perf-smoke CI job validates the schema and archives the file so
-// throughput trends stay visible across commits. firings_per_sec is the
-// regression metric (work actually done); effective_meetings_per_sec
-// counts closed-form-skipped null meetings too and is the figure
-// comparable across engine modes. Schema v2 adds the "dispatch" field
-// (S26): both execution cores produce bit-identical trajectories, so the
-// rows differ only in throughput.
+// (m, engine mode, dispatch mode, harness, batch width) on the converted
+// Czerner n=1 protocol; the perf-smoke CI job validates the schema and
+// archives the file so throughput trends stay visible across commits.
+// firings_per_sec is the regression metric (work actually done);
+// effective_meetings_per_sec counts closed-form-skipped null meetings too
+// and is the figure comparable across engine modes. Schema v2 added the
+// "dispatch" field (S26). Schema v3 (S28) adds "harness" — "step" rows
+// drive one simulator's step() loop, "fleet" rows drive run_ensemble at
+// threads = 1 — and "batch", the lockstep lane width (1 on every scalar
+// row). Fleet rows exist for batch 1 vs 8 vs 16 on count+null-skip so the
+// lockstep win (or shortfall) is measured where it ships, and their
+// physics counters are bit-identical across widths by construction.
 // ---------------------------------------------------------------------------
 
+struct ReportRow {
+  std::uint32_t m;
+  const char* mode;
+  const char* dispatch;
+  const char* harness;
+  std::uint32_t batch;
+  double firings_per_sec;
+  double effective_meetings_per_sec;
+};
+
+/// One fleet measurement: `trials` independent count+null-skip trials run
+/// to a fixed per-trial interaction budget (the window is set beyond the
+/// budget so no trial stabilises early — every width does identical
+/// work). Throughput is summed firings (resp. meetings, skipped included)
+/// over fleet wall time.
+ReportRow measure_fleet(const compile::ProtocolConversion& conv,
+                        std::uint32_t m, std::uint32_t batch,
+                        std::uint64_t trials, std::uint64_t per_trial) {
+  engine::EnsembleOptions options;
+  options.trials = trials;
+  options.threads = 1;
+  options.master_seed = 13;
+  options.engine = engine::EngineKind::kCountNullSkip;
+  options.dispatch = isa::Dispatch::kBytecode;
+  options.batch = batch;
+  options.sim.stable_window = ~std::uint64_t{0} / 4;
+  options.sim.max_interactions = per_trial;
+  const engine::EnsembleStats stats =
+      engine::run_ensemble(conv.protocol, conv.initial_config(m), options);
+  const double wall = stats.wall_seconds > 0 ? stats.wall_seconds : 1e-9;
+  return {m,
+          "count+null-skip",
+          "bytecode",
+          "fleet",
+          batch,
+          static_cast<double>(stats.totals.firings) / wall,
+          static_cast<double>(stats.totals.meetings) / wall};
+}
+
 int write_json_report(const char* path, double budget_seconds) {
+  const auto lowered =
+      compile::lower_program(czerner::build_construction(1).program);
+  const auto conv = compile::machine_to_protocol(lowered.machine);
+
+  std::vector<ReportRow> rows;
+  for (const std::uint32_t extra : {10'000u, 100'000u}) {
+    double null_skip_bytecode_rate = 0.0;
+    std::uint32_t m = 0;
+    for (const isa::Dispatch dispatch :
+         {isa::Dispatch::kInterp, isa::Dispatch::kBytecode}) {
+      const EngineComparison comparison =
+          measure_engines(extra, budget_seconds, dispatch);
+      m = comparison.m;
+      for (const EngineRow& row : comparison.rows) {
+        const double eff =
+            static_cast<double>(row.interactions) / row.seconds;
+        const double firings =
+            static_cast<double>(row.firings) / row.seconds;
+        rows.push_back({comparison.m, row.name, isa::to_string(dispatch),
+                        "step", 1, firings, eff});
+        if (dispatch == isa::Dispatch::kBytecode &&
+            std::string_view(row.name) == "count+null-skip")
+          null_skip_bytecode_rate = eff;
+      }
+    }
+    // Fleet rows: per-trial budget calibrated from the step loop's
+    // measured rate so the scalar fleet spends ~budget_seconds; every
+    // width then runs the identical trial workload.
+    const std::uint64_t trials = 32;
+    const std::uint64_t per_trial = std::max<std::uint64_t>(
+        100'000,
+        static_cast<std::uint64_t>(null_skip_bytecode_rate * budget_seconds) /
+            trials);
+    for (const std::uint32_t batch : {1u, 8u, 16u})
+      rows.push_back(measure_fleet(conv, m, batch, trials, per_trial));
+  }
+
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_simulator: cannot open %s for writing\n",
                  path);
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench_engine_v\": 2,\n  \"rows\": [");
+  std::fprintf(out,
+               "{\n  \"bench_engine_v\": 3,\n  \"simd\": \"%s\",\n"
+               "  \"rows\": [",
+               engine::simd::isa_name());
   bool first = true;
-  for (const std::uint32_t extra : {10'000u, 100'000u}) {
-    for (const isa::Dispatch dispatch :
-         {isa::Dispatch::kInterp, isa::Dispatch::kBytecode}) {
-      const EngineComparison comparison =
-          measure_engines(extra, budget_seconds, dispatch);
-      for (const EngineRow& row : comparison.rows) {
-        const double eff =
-            static_cast<double>(row.interactions) / row.seconds;
-        const double firings =
-            static_cast<double>(row.firings) / row.seconds;
-        std::fprintf(out,
-                     "%s\n    {\"protocol\": \"czerner-n1-converted\", "
-                     "\"m\": %u, \"mode\": \"%s\", \"dispatch\": \"%s\", "
-                     "\"firings_per_sec\": %.6e, "
-                     "\"effective_meetings_per_sec\": %.6e, \"threads\": 1}",
-                     first ? "" : ",", comparison.m, row.name,
-                     isa::to_string(dispatch), firings, eff);
-        first = false;
-      }
-    }
+  for (const ReportRow& row : rows) {
+    std::fprintf(out,
+                 "%s\n    {\"protocol\": \"czerner-n1-converted\", "
+                 "\"m\": %u, \"mode\": \"%s\", \"dispatch\": \"%s\", "
+                 "\"harness\": \"%s\", \"batch\": %u, "
+                 "\"firings_per_sec\": %.6e, "
+                 "\"effective_meetings_per_sec\": %.6e, \"threads\": 1}",
+                 first ? "" : ",", row.m, row.mode, row.dispatch, row.harness,
+                 row.batch, row.firings_per_sec,
+                 row.effective_meetings_per_sec);
+    first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);

@@ -1,0 +1,148 @@
+#include "engine/batch_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/simd.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ppde::engine {
+
+unsigned BatchSimulator::resolve_width(std::uint32_t requested) {
+  if (requested == 0) return simd::preferred_width();
+  return static_cast<unsigned>(
+      std::min<std::uint32_t>(std::max<std::uint32_t>(requested, 1),
+                              kMaxWidth));
+}
+
+BatchSimulator::BatchSimulator(const pp::Protocol& protocol,
+                               const PairIndex& index, CountSimOptions options,
+                               unsigned width)
+    : protocol_(&protocol),
+      index_(&index),
+      options_(options),
+      lanes_(std::max(width, 1u)) {
+  const std::size_t w = lanes_.size();
+  rngs_.resize(w);
+  draw_lane_.resize(w);
+  zero_lane_.resize(w);
+  log1p_.resize(w);
+  log_u_.resize(w);
+  raw_.resize(w);
+  skip_.resize(w);
+}
+
+void BatchSimulator::run_range(const pp::Config& initial,
+                               const pp::SimulationOptions& options,
+                               std::uint64_t master_seed,
+                               std::uint64_t first_trial, std::size_t count,
+                               TrialResult* out) {
+  if (count == 0) return;
+  // Batch-level observability (S24/S28): occupancy gauge plus a refill
+  // counter, both updated only at retire/refill events — never per sweep.
+  static obs::Gauge& occupancy =
+      obs::Registry::global().gauge("engine.batch_lanes");
+  static obs::Counter& refills =
+      obs::Registry::global().counter("engine.lane_refills");
+  obs::ObsSpan span("batch_range", "engine");
+  span.set_value(static_cast<double>(count));
+
+  std::size_t next = 0;  // next unstarted trial offset in [0, count)
+  unsigned live = 0;
+  const auto start_lane = [&](Lane& lane) {
+    const std::uint64_t seed =
+        support::derive_trial_seed(master_seed, first_trial + next);
+    if (!lane.sim)
+      lane.sim = std::make_unique<CountSimulator>(*protocol_, *index_,
+                                                  initial, seed, options_);
+    else
+      lane.sim->reset(initial, seed);
+    lane.sim->ls_begin(lane.ls, options);
+    lane.offset = next;
+    lane.seed = seed;
+    lane.live = true;
+    lane.started = std::chrono::steady_clock::now();
+    ++next;
+    ++live;
+  };
+  for (Lane& lane : lanes_) {
+    if (next >= count) break;
+    start_lane(lane);
+  }
+  occupancy.set(static_cast<double>(live));
+
+  while (live > 0) {
+    // Phase 1 — classify: which live lanes consume a geometric draw this
+    // sweep. Frozen/budget endings settle inside ls_wants_draw; a lane at
+    // p >= 1 fires with skip 0 and no draw.
+    std::size_t n_draw = 0;
+    std::size_t n_zero = 0;
+    for (std::uint32_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = lanes_[i];
+      if (!lane.live) continue;
+      if (lane.sim->ls_wants_draw(lane.ls)) {
+        draw_lane_[n_draw] = i;
+        log1p_[n_draw] = lane.sim->ls_log1p();
+        rngs_[n_draw] = &lane.sim->rng();
+        ++n_draw;
+      } else if (!lane.ls.done) {
+        zero_lane_[n_zero++] = i;
+      }
+    }
+
+    // Phase 2 — one SIMD pass steps every drawing lane's xoshiro state
+    // (bit-identical to per-lane operator(), engine/simd.hpp).
+    simd::rng_next_batch(rngs_.data(), n_draw, raw_.data());
+
+    // Phase 3 — the geometric inversion, batched. The log loop stays on
+    // scalar libm calls (the bit-identicality note in simd.hpp); the
+    // u-conversion and the divide/floor/clamp reuse the exact helpers the
+    // scalar sampler runs, so autovectorising them is value-preserving
+    // (correctly-rounded IEEE ops only).
+    for (std::size_t i = 0; i < n_draw; ++i)
+      log_u_[i] = std::log(support::to_unit_open(raw_[i]));
+    for (std::size_t i = 0; i < n_draw; ++i)
+      skip_[i] = geom_skip_count(log_u_[i], log1p_[i]);
+
+    // Phase 4 — fire. Any further draws a firing needs (weight target,
+    // Lemire rejections, candidate picks) come scalar from the lane's own
+    // generator, preserving per-trial draw order exactly.
+    for (std::size_t i = 0; i < n_draw; ++i) {
+      Lane& lane = lanes_[draw_lane_[i]];
+      lane.sim->ls_fire(lane.ls, skip_[i]);
+    }
+    for (std::size_t i = 0; i < n_zero; ++i) {
+      Lane& lane = lanes_[zero_lane_[i]];
+      lane.sim->ls_fire(lane.ls, 0);
+    }
+
+    // Phase 5 — retire finished lanes and refill from the range.
+    bool changed = false;
+    for (Lane& lane : lanes_) {
+      if (!lane.live || !lane.ls.done) continue;
+      lane.sim->ls_finish(lane.ls);
+      TrialResult& trial = out[lane.offset];
+      trial.sim = lane.ls.result;
+      trial.metrics = lane.sim->metrics();
+      // A lane's wall clock is its residency in the batch; B lanes share
+      // the core, so sums over trials exceed elapsed time (wall_seconds
+      // is non-deterministic by contract everywhere it appears).
+      trial.metrics.wall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        lane.started)
+              .count();
+      trial.seed = lane.seed;
+      lane.live = false;
+      --live;
+      changed = true;
+      if (next < count) {
+        start_lane(lane);
+        refills.add(1);
+      }
+    }
+    if (changed) occupancy.set(static_cast<double>(live));
+  }
+}
+
+}  // namespace ppde::engine

@@ -1,0 +1,104 @@
+// Lockstep trial batching (DESIGN.md S28).
+//
+// One worker thread advances B independent trials ("lanes") one firing
+// per sweep instead of running them to completion one after another. Each
+// lane is a complete CountSimulator — counts, weights, activity matrix,
+// its own xoshiro256** stream seeded by derive_trial_seed — driven
+// through the Lockstep API that the scalar run_until_stable itself runs
+// on. What batching buys is the per-sweep draw: every live lane needs
+// exactly one raw 64-bit geometric draw per firing, and those draws are
+// produced by one SIMD pass over the transposed lane RNG states
+// (engine/simd.hpp) followed by shared loops for the u-conversion, the
+// (scalar-libm) log, and the vectorisable divide/floor of the geometric
+// inversion. Firing itself — weight descent, responder walk, candidate
+// pick, list surgery — stays scalar per lane: it is irregular,
+// data-dependent work, but eight independent lanes of it give the
+// out-of-order core real instruction-level parallelism where the scalar
+// path exposes one serial dependency chain.
+//
+// Bit-identicality law: a lane's trajectory is a pure function of
+// (initial, seed), byte for byte equal to the scalar TrialExecutor path —
+// the batched stepper reproduces Rng::operator() exactly (integer SIMD),
+// the geometric chain reuses the very helpers the scalar sampler calls,
+// and all further draws a firing makes (Lemire rejections included) come
+// scalar from the lane's own generator in unchanged order. The one
+// reported quantity that differs is RunMetrics::wall_seconds: a lane's
+// wall clock covers its residency in the batch, during which B−1 other
+// lanes share the core — sums over overlapping lanes exceed elapsed
+// time. wall_seconds is documented as non-deterministic everywhere it
+// appears; every differential test compares metrics excluding it.
+//
+// Lane-refill law: when a lane's trial finishes (stabilises or exhausts
+// its budget) the lane retires its TrialResult and is immediately
+// reseeded with the next unstarted trial of the range — so ragged trial
+// lengths keep all lanes busy until the range drains, and the *set* of
+// (trial, seed) pairs executed is independent of how lengths interleave.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/count_sim.hpp"
+#include "engine/ensemble.hpp"
+
+namespace ppde::engine {
+
+class BatchSimulator {
+ public:
+  /// Lanes are indexed by bits of 64-bit scratch masks downstream and each
+  /// lane owns O(|Q|) state; 64 is already far past the useful width.
+  static constexpr unsigned kMaxWidth = 64;
+
+  /// Resolve a requested width: 0 (auto) → simd::preferred_width(),
+  /// otherwise clamped to [1, kMaxWidth]. Width 1 is a valid degenerate
+  /// batch (one lane — useful in differential tests), though callers
+  /// normally route width 1 to the plain scalar path.
+  static unsigned resolve_width(std::uint32_t requested);
+
+  /// `protocol` and `index` must outlive the simulator. Lanes are created
+  /// lazily on first use and reused (CountSimulator::reset) across trials
+  /// and across run_range calls.
+  BatchSimulator(const pp::Protocol& protocol, const PairIndex& index,
+                 CountSimOptions options, unsigned width);
+
+  /// Run trials [first_trial, first_trial + count) from `initial`, each
+  /// with its global seed derive_trial_seed(master_seed, first_trial + i),
+  /// writing results to out[0..count). Requires options.null_skip (the
+  /// lockstep protocol only drives the null-skip engine). Not
+  /// thread-safe; fleets keep one BatchSimulator per worker.
+  void run_range(const pp::Config& initial,
+                 const pp::SimulationOptions& options,
+                 std::uint64_t master_seed, std::uint64_t first_trial,
+                 std::size_t count, TrialResult* out);
+
+  unsigned width() const { return static_cast<unsigned>(lanes_.size()); }
+
+ private:
+  struct Lane {
+    std::unique_ptr<CountSimulator> sim;
+    CountSimulator::Lockstep ls;
+    std::size_t offset = 0;  ///< index into the current range's out[]
+    std::uint64_t seed = 0;
+    bool live = false;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  const pp::Protocol* protocol_;
+  const PairIndex* index_;
+  CountSimOptions options_;
+  std::vector<Lane> lanes_;
+  // Per-sweep SoA scratch, indexed by *draw slot* (compacted over the
+  // lanes that want a draw this sweep), sized to the lane count once.
+  std::vector<support::Rng*> rngs_;
+  std::vector<std::uint32_t> draw_lane_;
+  std::vector<std::uint32_t> zero_lane_;
+  std::vector<double> log1p_;
+  std::vector<double> log_u_;
+  std::vector<std::uint64_t> raw_;
+  std::vector<std::uint64_t> skip_;
+};
+
+}  // namespace ppde::engine

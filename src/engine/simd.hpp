@@ -1,0 +1,211 @@
+// Batched RNG stepping for the lockstep trial core (DESIGN.md S28).
+//
+// The batch simulator advances B independent trials one firing per sweep;
+// each sweep consumes exactly one geometric draw per live lane. The draw
+// itself is pure integer work — one xoshiro256** step per lane — and the
+// lane states are independent, so a sweep's draws vectorise perfectly:
+// transpose four lanes' state words into SoA vectors, run the xoshiro
+// update on all four at once, transpose back. Integer SIMD is exact, so
+// the produced stream is *bit-identical* to calling Rng::operator() on
+// each lane in turn — the property every differential test pins.
+//
+// Dispatch is resolved at runtime (`__builtin_cpu_supports("avx2")`), not
+// at compile time: the AVX2 body carries a target attribute so the one
+// binary runs on any x86-64 and lights up the vector path where the CPU
+// has it. aarch64 gets a NEON 2-lane path; everything else the scalar
+// loop, which is also the reference the unit tests compare against.
+//
+// Floating-point note, because it decides what does NOT live here: of the
+// geometric-skip chain u = to_unit_open(raw); k = floor(log(u)/log1p(-p)),
+// the division and floor are correctly-rounded IEEE operations (VDIVPD /
+// VROUNDPD) and could vectorise bit-identically — but std::log is libm,
+// and vector log implementations (libmvec and friends) do not promise the
+// same last bit. So the log stays a scalar loop per lane
+// (engine/batch_sim.cpp) and this header batches only the integer RNG
+// step, where the win is anyway: the xoshiro dependency chain no longer
+// serialises lane after lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PPDE_SIMD_X86 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define PPDE_SIMD_NEON 1
+#endif
+
+namespace ppde::engine::simd {
+
+/// Scalar reference: one xoshiro step per lane, in lane order. Exactly
+/// `out[i] = (*rngs[i])()`.
+inline void rng_next_scalar(support::Rng* const* rngs, std::size_t n,
+                            std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*rngs[i])();
+}
+
+#if defined(PPDE_SIMD_X86)
+
+__attribute__((target("avx2"))) inline __m256i avx2_rotl(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                         _mm256_srli_epi64(x, 64 - k));
+}
+
+/// Four lanes per iteration: load each lane's four state words, transpose
+/// to SoA (vector Sk holds word k of all four lanes), run the xoshiro256**
+/// update once on the vectors, transpose back, store. The multiplications
+/// by 5 and 9 are shift-adds (AVX2 has no 64-bit multiply, and none is
+/// needed). Remainder lanes fall through to the scalar reference.
+__attribute__((target("avx2"))) inline void rng_next_avx2(
+    support::Rng* const* rngs, std::size_t n, std::uint64_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto* p0 =
+        reinterpret_cast<const __m256i*>(rngs[i + 0]->state_words());
+    const auto* p1 =
+        reinterpret_cast<const __m256i*>(rngs[i + 1]->state_words());
+    const auto* p2 =
+        reinterpret_cast<const __m256i*>(rngs[i + 2]->state_words());
+    const auto* p3 =
+        reinterpret_cast<const __m256i*>(rngs[i + 3]->state_words());
+    const __m256i r0 = _mm256_loadu_si256(p0);
+    const __m256i r1 = _mm256_loadu_si256(p1);
+    const __m256i r2 = _mm256_loadu_si256(p2);
+    const __m256i r3 = _mm256_loadu_si256(p3);
+    // 4x4 u64 transpose (rows = lanes, columns = state words). The
+    // unpack/permute network is an involution, so the same four
+    // instructions transpose back after the update.
+    __m256i t0 = _mm256_unpacklo_epi64(r0, r1);
+    __m256i t1 = _mm256_unpackhi_epi64(r0, r1);
+    __m256i t2 = _mm256_unpacklo_epi64(r2, r3);
+    __m256i t3 = _mm256_unpackhi_epi64(r2, r3);
+    __m256i s0 = _mm256_permute2x128_si256(t0, t2, 0x20);
+    __m256i s1 = _mm256_permute2x128_si256(t1, t3, 0x20);
+    __m256i s2 = _mm256_permute2x128_si256(t0, t2, 0x31);
+    __m256i s3 = _mm256_permute2x128_si256(t1, t3, 0x31);
+    // result = rotl(s1 * 5, 7) * 9, from the pre-update s1.
+    const __m256i mul5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+    const __m256i rot = avx2_rotl(mul5, 7);
+    const __m256i result = _mm256_add_epi64(rot, _mm256_slli_epi64(rot, 3));
+    // State update.
+    const __m256i t = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, t);
+    s3 = avx2_rotl(s3, 45);
+    // Transpose back and store each lane's updated words.
+    t0 = _mm256_unpacklo_epi64(s0, s1);
+    t1 = _mm256_unpackhi_epi64(s0, s1);
+    t2 = _mm256_unpacklo_epi64(s2, s3);
+    t3 = _mm256_unpackhi_epi64(s2, s3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[i + 0]->state_words()),
+                        _mm256_permute2x128_si256(t0, t2, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[i + 1]->state_words()),
+                        _mm256_permute2x128_si256(t1, t3, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[i + 2]->state_words()),
+                        _mm256_permute2x128_si256(t0, t2, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rngs[i + 3]->state_words()),
+                        _mm256_permute2x128_si256(t1, t3, 0x31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), result);
+  }
+  rng_next_scalar(rngs + i, n - i, out + i);
+}
+
+#elif defined(PPDE_SIMD_NEON)
+
+inline uint64x2_t neon_rotl(uint64x2_t x, int k) {
+  return vorrq_u64(vshlq_u64(x, vdupq_n_s64(k)),
+                   vshlq_u64(x, vdupq_n_s64(k - 64)));
+}
+
+/// Two lanes per iteration; same SoA scheme as the AVX2 path with 2x2
+/// transposes (vtrn1q/vtrn2q on u64 pairs).
+inline void rng_next_neon(support::Rng* const* rngs, std::size_t n,
+                          std::uint64_t* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t* a = rngs[i + 0]->state_words();
+    const std::uint64_t* b = rngs[i + 1]->state_words();
+    const uint64x2_t a_lo = vld1q_u64(a);      // [a0, a1]
+    const uint64x2_t a_hi = vld1q_u64(a + 2);  // [a2, a3]
+    const uint64x2_t b_lo = vld1q_u64(b);
+    const uint64x2_t b_hi = vld1q_u64(b + 2);
+    uint64x2_t s0 = vtrn1q_u64(a_lo, b_lo);  // [a0, b0]
+    uint64x2_t s1 = vtrn2q_u64(a_lo, b_lo);  // [a1, b1]
+    uint64x2_t s2 = vtrn1q_u64(a_hi, b_hi);
+    uint64x2_t s3 = vtrn2q_u64(a_hi, b_hi);
+    const uint64x2_t mul5 =
+        vaddq_u64(s1, vshlq_n_u64(s1, 2));
+    const uint64x2_t rot = neon_rotl(mul5, 7);
+    const uint64x2_t result = vaddq_u64(rot, vshlq_n_u64(rot, 3));
+    const uint64x2_t t = vshlq_n_u64(s1, 17);
+    s2 = veorq_u64(s2, s0);
+    s3 = veorq_u64(s3, s1);
+    s1 = veorq_u64(s1, s2);
+    s0 = veorq_u64(s0, s3);
+    s2 = veorq_u64(s2, t);
+    s3 = neon_rotl(s3, 45);
+    vst1q_u64(rngs[i + 0]->state_words(), vtrn1q_u64(s0, s1));
+    vst1q_u64(rngs[i + 0]->state_words() + 2, vtrn1q_u64(s2, s3));
+    vst1q_u64(rngs[i + 1]->state_words(), vtrn2q_u64(s0, s1));
+    vst1q_u64(rngs[i + 1]->state_words() + 2, vtrn2q_u64(s2, s3));
+    vst1q_u64(out + i, result);
+  }
+  rng_next_scalar(rngs + i, n - i, out + i);
+}
+
+#endif
+
+/// Name of the stepper the host resolved to — surfaced by benches and
+/// `ppde describe`-style diagnostics.
+inline const char* isa_name() {
+#if defined(PPDE_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  return "scalar";
+#elif defined(PPDE_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// Advance each of `rngs[0..n)` by exactly one xoshiro256** output, into
+/// `out[0..n)` — bit-identical to `out[i] = (*rngs[i])()` in lane order,
+/// via the widest integer path the host supports. Lane pointers must be
+/// distinct generators.
+inline void rng_next_batch(support::Rng* const* rngs, std::size_t n,
+                           std::uint64_t* out) {
+#if defined(PPDE_SIMD_X86)
+  static const bool kAvx2 = __builtin_cpu_supports("avx2");
+  if (kAvx2) {
+    rng_next_avx2(rngs, n, out);
+    return;
+  }
+  rng_next_scalar(rngs, n, out);
+#elif defined(PPDE_SIMD_NEON)
+  rng_next_neon(rngs, n, out);
+#else
+  rng_next_scalar(rngs, n, out);
+#endif
+}
+
+/// Lane count the auto policy (batch = 0) resolves to. One — i.e. the
+/// scalar path — because the lockstep core measures *slower* than scalar
+/// on the reference container (EXPERIMENTS.md S28: batch-8 runs at 0.88x
+/// scalar at m ≈ 100k). The batched xoshiro stepper costs 1.58 ns/draw
+/// against 1.37 scalar (the 4x4 state transpose through memory outweighs
+/// xoshiro's ALU work), ln(U) must stay scalar libm for bit-identical
+/// trajectories, and interleaving B trials dilutes the L1 residency of
+/// each lane's count/weight state — so the batch has nothing left to
+/// amortise. Explicit widths (--batch=N) still engage the lockstep core,
+/// bit-identical by construction, and the BENCH_engine.json `batch` rows
+/// re-measure the tradeoff on every host so this default stays honest.
+inline unsigned preferred_width() { return 1; }
+
+}  // namespace ppde::engine::simd

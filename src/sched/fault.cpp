@@ -13,8 +13,7 @@ namespace {
 /// (0, 1] (never 0, so log(u) is finite).
 std::uint64_t geometric_gap(double rate, support::Rng& rng) {
   if (rate >= 1.0) return 0;
-  const double u =
-      (static_cast<double>(rng() >> 11) + 1.0) * 0x1.0p-53;
+  const double u = support::to_unit_open(rng());
   const double gap = std::floor(std::log(u) / std::log1p(-rate));
   if (!(gap < 1e18)) return FaultPlan::kNever;  // rate ~ 0 underflow guard
   return static_cast<std::uint64_t>(gap);

@@ -8,9 +8,7 @@ namespace ppde::sched {
 namespace {
 
 /// Uniform double in [0, 1) from one 64-bit draw (53-bit mantissa).
-double uniform01(support::Rng& rng) {
-  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
-}
+double uniform01(support::Rng& rng) { return support::to_unit(rng()); }
 
 /// Complete graph via the adjacency-sampler machinery: the meeting law is
 /// the classic uniform ordered pair of distinct agents, drawn with the

@@ -61,6 +61,11 @@ struct QueryParams {
   /// query, so pre-S27 clients and servers interoperate unchanged. A
   /// malformed descriptor is rejected at admission with an error frame.
   std::string scenario{};
+  /// Lockstep batch width (S28): 0 = auto, 1 = off, N = N lanes per
+  /// worker. 0 is omitted from the encoded query (pre-S28 interop);
+  /// results and digests are bit-identical at every width, so the field
+  /// only steers worker-side throughput.
+  std::uint32_t batch = 0;
 };
 
 std::string encode_query(const QueryParams& query);
@@ -90,6 +95,9 @@ struct BatchRequest {
   /// Scenario descriptor, forwarded verbatim ("" = default, field omitted
   /// on the wire — workers predating S27 only ever see default batches).
   std::string scenario{};
+  /// Lockstep batch width, forwarded verbatim (0 = auto, omitted on the
+  /// wire; a pre-S28 worker ignoring it still ships identical records).
+  std::uint32_t batch = 0;
 };
 
 std::string encode_batch_request(const BatchRequest& request);

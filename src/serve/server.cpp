@@ -344,7 +344,7 @@ struct Server::Impl {
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
                            query.seed, 0, 0, query.window, query.budget,
-                           query.dispatch, query.scenario},
+                           query.dispatch, query.scenario, query.batch},
               certify_options.max_trials,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),
@@ -388,7 +388,8 @@ struct Server::Impl {
     Pump pump{supervisor,
               BatchRequest{/*ensemble=*/true, query.n, query.extra,
                            /*expected=*/false, query.seed, 0, 0, query.window,
-                           query.budget, query.dispatch, query.scenario},
+                           query.budget, query.dispatch, query.scenario,
+                           query.batch},
               total,
               std::max<std::uint64_t>(1, query.shard ? query.shard
                                                      : options.shard),

@@ -387,17 +387,24 @@ TEST(Proto, QueryRoundTripsAndDefaults) {
   query.seed = 7;
   query.delta = 0.1;
   query.indifference = 0.8;
+  query.batch = 8;
   const QueryParams parsed = parse_query(Json::parse(encode_query(query)));
   EXPECT_EQ(parsed.req, "certify");
   EXPECT_EQ(parsed.extra, 8u);
   EXPECT_EQ(parsed.trials, 24u);
   EXPECT_DOUBLE_EQ(parsed.indifference, 0.8);
+  EXPECT_EQ(parsed.batch, 8u);
   // A minimal request means the same as the CLI's flag defaults.
   const QueryParams defaults =
       parse_query(Json::parse(R"({"req":"certify"})"));
   EXPECT_EQ(defaults.trials, 4096u);
   EXPECT_EQ(defaults.seed, 42u);
   EXPECT_DOUBLE_EQ(defaults.delta, 0.01);
+  EXPECT_EQ(defaults.batch, 0u);
+  // The auto width is the wire default and therefore omitted (pre-S28
+  // servers keep accepting these queries).
+  query.batch = 0;
+  EXPECT_EQ(encode_query(query).find("\"batch\""), std::string::npos);
   EXPECT_THROW(parse_query(Json::parse(R"({"n":1})")), std::runtime_error);
 }
 
@@ -431,11 +438,24 @@ TEST(Worker, BatchRecordsMatchInProcessOutcomes) {
   request.count = 4;
   request.window = 1'000'000;
   request.budget = 100'000'000;
-  write_frame(pair[0], encode_batch_request(request));
-  std::string payload;
-  ASSERT_TRUE(read_frame(pair[0], payload));
-  const BatchResult result =
-      parse_batch_result(Json::parse(payload), false);
+  // The same range at three lockstep widths (S28): default/auto, forced
+  // scalar, and an explicit lane count. Records must be identical — the
+  // width steers worker throughput only.
+  std::vector<BatchResult> results;
+  for (const std::uint32_t batch : {0u, 1u, 4u}) {
+    request.batch = batch;
+    write_frame(pair[0], encode_batch_request(request));
+    std::string payload;
+    ASSERT_TRUE(read_frame(pair[0], payload));
+    results.push_back(parse_batch_result(Json::parse(payload), false));
+  }
+  const BatchResult& result = results[0];
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].records.size(), result.records.size());
+    for (std::size_t j = 0; j < result.records.size(); ++j)
+      EXPECT_EQ(results[i].records[j], result.records[j])
+          << "width variant " << i << " record " << j;
+  }
   write_frame(pair[0], encode_exit());
   int status = 0;
   ::waitpid(pid, &status, 0);

@@ -65,6 +65,70 @@ TEST(Rng, ChanceMatchesRatio) {
   EXPECT_NEAR(hits, 30'000, 1'200);
 }
 
+TEST(Rng, FillMatchesRepeatedCalls) {
+  Rng a(77), b(77);
+  std::uint64_t bulk[37];
+  a.fill(bulk, 37);
+  for (std::uint64_t value : bulk) ASSERT_EQ(value, b());
+  // The generators are in the same state afterwards.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, JumpCommutesWithStepping) {
+  // jump() applies a fixed power of the (linear) transition map, so
+  // step-then-jump and jump-then-step land in the same state — the
+  // property that makes jump() usable for carving disjoint substreams.
+  Rng a(9), b(9);
+  a();
+  a.jump();
+  b.jump();
+  b();
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(a(), b());
+  // And a jumped stream decorrelates from the original.
+  Rng base(9), jumped(9);
+  jumped.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (base() == jumped()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UnitHelpersAreExactBitPatterns) {
+  // to_unit maps raw -> [0,1), to_unit_open maps raw -> (0,1]; both are
+  // pinned expressions (53-bit mantissa scaling) shared by the scalar and
+  // lockstep geometric samplers — any change breaks recorded trajectories.
+  EXPECT_EQ(to_unit(0), 0.0);
+  EXPECT_DOUBLE_EQ(to_unit_open(0), 0x1.0p-53);
+  EXPECT_EQ(to_unit_open(~std::uint64_t{0}), 1.0);
+  EXPECT_LT(to_unit(~std::uint64_t{0}), 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t raw = rng();
+    const double closed = to_unit(raw);
+    const double open = to_unit_open(raw);
+    ASSERT_GE(closed, 0.0);
+    ASSERT_LT(closed, 1.0);
+    ASSERT_GT(open, 0.0);
+    ASSERT_LE(open, 1.0);
+    // Exactly the documented expressions, bit for bit.
+    ASSERT_EQ(closed, static_cast<double>(raw >> 11) * 0x1.0p-53);
+    ASSERT_EQ(open, (static_cast<double>(raw >> 11) + 1.0) * 0x1.0p-53);
+  }
+}
+
+TEST(Rng, StateWordsExposeTheWholeState) {
+  // The lockstep SIMD stepper reads and writes the four state words
+  // in place; round-tripping them must reproduce the exact stream.
+  Rng a(123);
+  std::uint64_t saved[4];
+  for (int i = 0; i < 4; ++i) saved[i] = a.state_words()[i];
+  const std::uint64_t expected = a();
+  Rng b(0);
+  for (int i = 0; i < 4; ++i) b.state_words()[i] = saved[i];
+  EXPECT_EQ(b(), expected);
+  EXPECT_EQ(b(), a());
+}
+
 // -- hashing --------------------------------------------------------------------
 
 TEST(Hash, CombineOrderSensitive) {

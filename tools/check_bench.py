@@ -8,10 +8,20 @@ grep pipelines; EXPERIMENTS.md numbers are copied from the same files.
 
 Usage:
     python3 tools/check_bench.py [FILE...]
+    python3 tools/check_bench.py --fresh FRESH.json [--factor 2.0] \
+        [--warn-only] [FILE...]
 
-With no arguments, validates every BENCH_*.json in the repository root
-(the directory above this script). Exits non-zero with a per-file message
-on the first schema violation.
+With no positional arguments, validates every BENCH_*.json in the
+repository root (the directory above this script). Exits non-zero with a
+per-file message on the first schema violation.
+
+--fresh FRESH.json additionally compares the committed BENCH_engine.json
+against a just-measured report on the current machine and flags any row
+whose throughput deviates by more than --factor (default 2.0) in either
+direction — a committed baseline from different hardware or predating an
+engine change fails loudly instead of anchoring EXPERIMENTS.md to numbers
+nobody can reproduce. --warn-only prints deviations without failing (for
+noisy CI runners).
 """
 
 import glob
@@ -30,20 +40,29 @@ def require(path, condition, message):
 
 
 def check_engine(path, doc):
-    """bench_engine_v == 2: per-(mode, dispatch, m) throughput rows."""
-    require(path, doc.get("bench_engine_v") == 2,
-            f"bench_engine_v != 2 (got {doc.get('bench_engine_v')})")
+    """bench_engine_v == 3: per-(mode, dispatch, harness, batch, m) rows."""
+    require(path, doc.get("bench_engine_v") == 3,
+            f"bench_engine_v != 3 (got {doc.get('bench_engine_v')})")
+    require(path, doc.get("simd") in ("avx2", "neon", "scalar"),
+            f"bad simd tag {doc.get('simd')!r}")
     rows = doc.get("rows")
     require(path, isinstance(rows, list) and rows, "rows missing or empty")
     for i, row in enumerate(rows):
-        for key in ("protocol", "m", "mode", "dispatch", "firings_per_sec",
-                    "effective_meetings_per_sec", "threads"):
+        for key in ("protocol", "m", "mode", "dispatch", "harness", "batch",
+                    "firings_per_sec", "effective_meetings_per_sec",
+                    "threads"):
             require(path, key in row, f"rows[{i}] missing {key}")
         # Rates must be real positive numbers, not zeros or NaN.
         require(path, row["firings_per_sec"] > 0,
                 f"rows[{i}] nonpositive firings_per_sec")
         require(path, row["effective_meetings_per_sec"] > 0,
                 f"rows[{i}] nonpositive effective_meetings_per_sec")
+        require(path, row["harness"] in ("step", "fleet"),
+                f"rows[{i}] bad harness {row['harness']!r}")
+        require(path, isinstance(row["batch"], int) and row["batch"] >= 1,
+                f"rows[{i}] bad batch {row['batch']!r}")
+        require(path, row["harness"] == "fleet" or row["batch"] == 1,
+                f"rows[{i}] step row with batch != 1")
     # All three engine modes, both dispatch cores (S26), the large
     # population point.
     modes = {row["mode"] for row in rows}
@@ -54,6 +73,61 @@ def check_engine(path, doc):
         require(path, dispatch in dispatches, f"missing dispatch {dispatch}")
     require(path, any(row["m"] == 100014 for row in rows),
             "missing m=100014 row")
+    # The S28 lockstep matrix: scalar and batched fleet rows at the large
+    # population, so the batch win (or shortfall) is always on record.
+    fleet = [row for row in rows
+             if row["harness"] == "fleet" and row["m"] == 100014]
+    require(path, any(row["batch"] == 1 for row in fleet),
+            "missing fleet batch=1 row at m=100014")
+    require(path, any(row["batch"] > 1 for row in fleet),
+            "missing fleet batch>1 row at m=100014")
+
+
+def row_key(row):
+    """Identity of one engine row across re-measures of the same machine."""
+    return (row["protocol"], row["m"], row["mode"], row["dispatch"],
+            row["harness"], row["batch"], row["threads"])
+
+
+def compare_fresh(baseline_path, fresh_path, factor, warn_only):
+    """Flag baseline rows deviating more than `factor`x from a fresh
+    re-measure on the current machine. A committed BENCH_engine.json from
+    different hardware (or a stale one after an engine change) fails here
+    instead of silently anchoring EXPERIMENTS.md to numbers nobody can
+    reproduce."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    for doc, path in ((baseline, baseline_path), (fresh, fresh_path)):
+        require(path, "bench_engine_v" in doc,
+                "--fresh compares bench_engine_v reports only")
+    fresh_rows = {row_key(row): row for row in fresh["rows"]}
+    deviations = []
+    missing = []
+    for row in baseline["rows"]:
+        other = fresh_rows.get(row_key(row))
+        if other is None:
+            missing.append(row_key(row))
+            continue
+        for metric in ("firings_per_sec", "effective_meetings_per_sec"):
+            ratio = row[metric] / other[metric]
+            if ratio > factor or ratio < 1.0 / factor:
+                deviations.append(
+                    f"{row_key(row)} {metric}: baseline {row[metric]:.3e} "
+                    f"vs fresh {other[metric]:.3e} ({ratio:.2f}x)")
+    for key in missing:
+        print(f"check_bench: fresh report has no row {key}")
+    for line in deviations:
+        print(f"check_bench: deviation > {factor}x: {line}")
+    if not deviations and not missing:
+        print(f"check_bench: {baseline_path} within {factor}x of "
+              f"{fresh_path} on all {len(baseline['rows'])} rows")
+    elif not warn_only:
+        raise SystemExit(
+            f"{baseline_path}: {len(deviations)} row(s) deviate more than "
+            f"{factor}x from {fresh_path} (re-measure and commit, or "
+            f"run with --warn-only)")
 
 
 def check_serve(path, doc):
@@ -141,15 +215,49 @@ def check_file(path):
 
 
 def main(argv):
-    paths = argv[1:]
+    args = argv[1:]
+    fresh = None
+    factor = 2.0
+    warn_only = False
+    paths = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--fresh":
+            i += 1
+            fresh = args[i]
+        elif arg.startswith("--fresh="):
+            fresh = arg.split("=", 1)[1]
+        elif arg == "--factor":
+            i += 1
+            factor = float(args[i])
+        elif arg.startswith("--factor="):
+            factor = float(arg.split("=", 1)[1])
+        elif arg == "--warn-only":
+            warn_only = True
+        elif arg.startswith("-"):
+            raise SystemExit(f"check_bench: unknown flag {arg}")
+        else:
+            paths.append(arg)
+        i += 1
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     if not paths:
-        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
     if not paths:
         raise SystemExit("check_bench: no BENCH_*.json files found")
     for path in paths:
         check_file(path)
     print(f"{len(paths)} report(s) valid")
+    if fresh is not None:
+        check_file(fresh)
+        baseline = next(
+            (path for path in paths
+             if os.path.basename(path) == "BENCH_engine.json"), None)
+        if baseline is None:
+            raise SystemExit(
+                "check_bench: --fresh needs BENCH_engine.json among the "
+                "validated reports")
+        compare_fresh(baseline, fresh, factor, warn_only)
 
 
 if __name__ == "__main__":
