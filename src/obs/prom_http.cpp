@@ -1,0 +1,103 @@
+#include "obs/prom_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ppde::obs {
+
+PromHttpServer::PromHttpServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("prom_http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("prom_http: cannot listen on port " +
+                             std::to_string(port) + ": " + error);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+PromHttpServer::~PromHttpServer() { stop(); }
+
+void PromHttpServer::start() {
+  if (listen_fd_ < 0 || thread_.joinable()) return;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void PromHttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void PromHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, 200) <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval timeout{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+    // Read until the header terminator (we only care about the request
+    // line) or the buffer cap; a scrape request is a few hundred bytes.
+    std::string request;
+    char buffer[1024];
+    while (request.size() < 8192 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+      if (got <= 0) break;
+      request.append(buffer, static_cast<std::size_t>(got));
+    }
+
+    std::string response;
+    if (request.rfind("GET /metrics", 0) == 0) {
+      const std::string body = Registry::global().to_prometheus();
+      response =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Connection: close\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body;
+    } else {
+      response =
+          "HTTP/1.1 404 Not Found\r\n"
+          "Content-Length: 0\r\nConnection: close\r\n\r\n";
+    }
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t wrote = ::send(fd, response.data() + sent,
+                                   response.size() - sent, MSG_NOSIGNAL);
+      if (wrote <= 0) break;
+      sent += static_cast<std::size_t>(wrote);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace ppde::obs

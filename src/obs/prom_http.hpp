@@ -1,0 +1,49 @@
+// Minimal single-threaded Prometheus scrape endpoint (DESIGN.md S29).
+//
+// A deliberately tiny HTTP/1.1 responder for exactly one route:
+// `GET /metrics` returns `Registry::global().to_prometheus()` as
+// `text/plain; version=0.0.4`. Everything else is a 404. One thread,
+// one connection at a time, blocking reads with a short timeout —
+// Prometheus scrapes are rare (seconds apart) and small, so this is the
+// whole requirement; anything fancier would be a liability inside the
+// certification daemon. The listener binds in the constructor (so port
+// conflicts surface before the daemon reports ready) but only spawns
+// its thread in start(): the serve supervisor forks workers strictly
+// before any thread exists, and this class must respect that ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace ppde::obs {
+
+class PromHttpServer {
+ public:
+  /// Bind 127.0.0.1:`port` (0 = ephemeral). Throws std::runtime_error
+  /// if the socket cannot be created or bound.
+  explicit PromHttpServer(std::uint16_t port);
+  ~PromHttpServer();
+
+  /// The bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  /// Spawn the accept thread. Call only after any fork() is done.
+  void start();
+
+  /// Stop the accept thread and close the socket. Idempotent.
+  void stop();
+
+  PromHttpServer(const PromHttpServer&) = delete;
+  PromHttpServer& operator=(const PromHttpServer&) = delete;
+
+ private:
+  void serve_loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ppde::obs

@@ -28,6 +28,21 @@ void Histogram::record(std::uint64_t value) {
     ;
 }
 
+void Histogram::merge_from(const MetricSnapshot& delta) {
+  const unsigned limit = static_cast<unsigned>(
+      delta.buckets.size() < kBuckets ? delta.buckets.size() : kBuckets);
+  for (unsigned b = 0; b < limit; ++b)
+    if (delta.buckets[b] != 0)
+      buckets_[b].fetch_add(delta.buckets[b], std::memory_order_relaxed);
+  count_.fetch_add(delta.count, std::memory_order_relaxed);
+  sum_.fetch_add(delta.sum, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (delta.max > seen &&
+         !max_.compare_exchange_weak(seen, delta.max,
+                                     std::memory_order_relaxed))
+    ;
+}
+
 std::uint64_t Histogram::quantile_upper(double q) const {
   const std::uint64_t total = count();
   if (total == 0) return 0;
@@ -144,6 +159,9 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
         metric.p50 = histogram.quantile_upper(0.5);
         metric.p90 = histogram.quantile_upper(0.9);
         metric.p99 = histogram.quantile_upper(0.99);
+        metric.buckets.resize(Histogram::kBuckets);
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+          metric.buckets[b] = histogram.bucket(b);
         break;
       }
     }
@@ -234,6 +252,86 @@ std::string Registry::to_json() const {
     }
   }
   out += '}';
+  return out;
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "ppde_";
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  char buffer[160];
+  const auto append_u64 = [&](std::uint64_t value) {
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+  };
+  for (const MetricSnapshot& metric : snapshot()) {
+    const std::string name = prometheus_name(metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n" + name + ' ';
+        append_u64(static_cast<std::uint64_t>(metric.value));
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + ' ';
+        if (std::isnan(metric.value))
+          out += "NaN";
+        else if (std::isinf(metric.value))
+          out += metric.value > 0 ? "+Inf" : "-Inf";
+        else {
+          std::snprintf(buffer, sizeof buffer, "%.17g", metric.value);
+          out += buffer;
+        }
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        // Emit cumulative buckets up to the highest populated native
+        // bucket; le="2^k" covers native buckets 0..k (header caveat on
+        // exact power-of-two samples applies).
+        unsigned highest = 0;
+        for (unsigned b = 0; b < metric.buckets.size(); ++b)
+          if (metric.buckets[b] != 0) highest = b;
+        std::uint64_t cumulative = 0;
+        for (unsigned b = 0; b <= highest && b < metric.buckets.size();
+             ++b) {
+          cumulative += metric.buckets[b];
+          out += name + "_bucket{le=\"";
+          // 2^64 (b == 64) has no exact u64 edge; render it literally.
+          if (b >= 64)
+            out += "18446744073709551616";
+          else
+            append_u64(std::uint64_t{1} << b);
+          out += "\"} ";
+          append_u64(cumulative);
+          out += '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        append_u64(metric.count);
+        out += '\n';
+        out += name + "_sum ";
+        append_u64(metric.sum);
+        out += '\n';
+        out += name + "_count ";
+        append_u64(metric.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
   return out;
 }
 

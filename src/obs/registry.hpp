@@ -72,12 +72,22 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+struct MetricSnapshot;
+
 class Histogram {
  public:
   /// Bucket b (b >= 1) holds values in [2^(b-1), 2^b); bucket 0 holds 0.
   static constexpr unsigned kBuckets = 65;
 
   void record(std::uint64_t value);
+
+  /// Fold another histogram's (delta) snapshot into this one: buckets,
+  /// count and sum add; max takes the larger value. Bucket-merging N
+  /// snapshots is exactly equivalent to replaying their raw samples —
+  /// both land each sample in the same log₂ bucket — so the serve
+  /// daemon's fleet roll-up (S29) loses nothing an in-process histogram
+  /// would have had. Safe from any thread; commutative and associative.
+  void merge_from(const MetricSnapshot& delta);
 
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
@@ -111,6 +121,10 @@ struct MetricSnapshot {
   std::uint64_t p50 = 0;     ///< histogram bucket upper edges
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
+  /// Histograms only: raw per-bucket counts (Histogram::kBuckets wide).
+  /// Carried so snapshots can be diffed (worker deltas) and re-merged
+  /// losslessly on the daemon side via Histogram::merge_from.
+  std::vector<std::uint64_t> buckets;
 };
 
 class Registry {
@@ -139,6 +153,18 @@ class Registry {
   /// Metric names are [a-z0-9._-] identifiers, so no string escaping is
   /// needed; non-finite gauge values render as null.
   std::string to_json() const;
+
+  /// snapshot() in Prometheus text exposition format 0.0.4. Metric
+  /// names are prefixed with `ppde_` and sanitised ('.'/'-' → '_').
+  /// Histograms render as cumulative `_bucket` series with exact
+  /// power-of-two `le` edges: the series at le="2^k" counts samples in
+  /// native buckets 0..k, i.e. values < 2^k plus the value 2^k-1 — the
+  /// log₂ bucketing means an exact power-of-two sample 2^k lands one
+  /// edge higher; tails stay correct to the factor-of-2 bucket
+  /// resolution. A terminal `+Inf` bucket equals `_count`, and `_sum`
+  /// is exact. Served by `stats?format=prometheus` and the daemon's
+  /// `--prom-port` HTTP `/metrics` listener (S29).
+  std::string to_prometheus() const;
 };
 
 }  // namespace ppde::obs

@@ -1,0 +1,104 @@
+#include "obs/rollup.hpp"
+
+namespace ppde::obs {
+
+namespace {
+
+MetricSnapshot baseline_of(const MetricSnapshot& current) {
+  MetricSnapshot base;
+  base.name = current.name;
+  base.kind = current.kind;
+  return base;
+}
+
+}  // namespace
+
+DeltaTracker::DeltaTracker() {
+  for (MetricSnapshot& metric : Registry::global().snapshot())
+    last_.emplace(metric.name, std::move(metric));
+}
+
+std::vector<MetricSnapshot> DeltaTracker::collect() {
+  std::vector<MetricSnapshot> deltas;
+  for (MetricSnapshot& current : Registry::global().snapshot()) {
+    auto it = last_.find(current.name);
+    const MetricSnapshot base =
+        it != last_.end() ? it->second : baseline_of(current);
+    switch (current.kind) {
+      case MetricKind::kCounter: {
+        // Counters are monotone; reset() in tests can move them
+        // backwards, in which case the whole post-reset value is new.
+        const double delta =
+            current.value >= base.value ? current.value - base.value
+                                        : current.value;
+        if (delta != 0.0) {
+          MetricSnapshot out = baseline_of(current);
+          out.value = delta;
+          deltas.push_back(std::move(out));
+        }
+        break;
+      }
+      case MetricKind::kGauge:
+        // Last-write-wins; ship only on change (bitwise, so a gauge
+        // rewritten to the same value stays off the wire).
+        if (current.value != base.value ||
+            (current.value != current.value) !=
+                (base.value != base.value)) {
+          MetricSnapshot out = baseline_of(current);
+          out.value = current.value;
+          deltas.push_back(std::move(out));
+        }
+        break;
+      case MetricKind::kHistogram: {
+        // A reset() moved the histogram backwards: everything now in it
+        // is new (mirrors the counter rule above).
+        const bool rewound = current.count < base.count;
+        const MetricSnapshot& effective =
+            rewound ? baseline_of(current) : base;
+        if (current.count != effective.count ||
+            current.max != effective.max) {
+          MetricSnapshot out = baseline_of(current);
+          out.count = current.count - effective.count;
+          out.sum = current.sum - effective.sum;
+          out.max = current.max;  // cumulative; merge takes the larger
+          out.buckets.resize(current.buckets.size());
+          for (std::size_t b = 0; b < current.buckets.size(); ++b)
+            out.buckets[b] =
+                current.buckets[b] - (b < effective.buckets.size()
+                                          ? effective.buckets[b]
+                                          : 0);
+          deltas.push_back(std::move(out));
+        }
+        break;
+      }
+    }
+    if (it != last_.end())
+      it->second = std::move(current);
+    else
+      last_.emplace(current.name, std::move(current));
+  }
+  return deltas;
+}
+
+void merge_deltas(std::string_view prefix,
+                  const std::vector<MetricSnapshot>& deltas) {
+  Registry& registry = Registry::global();
+  std::string name;
+  for (const MetricSnapshot& delta : deltas) {
+    name.assign(prefix);
+    name += delta.name;
+    switch (delta.kind) {
+      case MetricKind::kCounter:
+        registry.counter(name).add(static_cast<std::uint64_t>(delta.value));
+        break;
+      case MetricKind::kGauge:
+        registry.gauge(name).set(delta.value);
+        break;
+      case MetricKind::kHistogram:
+        registry.histogram(name).merge_from(delta);
+        break;
+    }
+  }
+}
+
+}  // namespace ppde::obs

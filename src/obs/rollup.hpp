@@ -1,0 +1,58 @@
+// Fleet metric roll-up: delta snapshots on the worker, namespaced
+// merge on the daemon (DESIGN.md S29).
+//
+// A serve worker's obs::Registry is process-local; its counters and
+// latency histograms are invisible to the daemon's `stats` query unless
+// they travel on the wire. Shipping *cumulative* snapshots would make
+// the merge order- and duplicate-sensitive (every batch reply would
+// re-add the worker's lifetime totals), so workers ship *deltas*: a
+// DeltaTracker remembers the last-shipped snapshot and collect() returns
+// only what changed since — a counter increment, a gauge's new value, a
+// histogram's per-bucket increments (plus its cumulative max, which
+// merges by taking the larger value). Deltas make the daemon-side fold
+// commutative and associative by construction: any interleaving of any
+// workers' deltas sums to the same fleet totals (test_obs pins this).
+//
+// The daemon folds deltas into its own registry under a `worker.`
+// prefix (merge_deltas), so `stats` and the Prometheus exposition
+// report fleet-wide `worker.engine.trials_done`, `worker.serve.
+// trials_executed`, per-trial latency tails, etc., next to the daemon's
+// own `serve.*` metrics. The tracker's baseline is taken at
+// construction, so counts inherited across fork() (the prefork
+// supervisor copies the daemon's registry into every child) are never
+// re-reported as worker work.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace ppde::obs {
+
+/// Worker-side: diffs successive global-registry snapshots. A returned
+/// MetricSnapshot is a *delta*: counters carry the increment in `value`,
+/// gauges their current value (shipped only when changed), histograms
+/// per-bucket/count/sum increments and the cumulative max. Metrics with
+/// no change since the last collect() are omitted.
+class DeltaTracker {
+ public:
+  /// Baseline = the registry's current state (nothing inherited across
+  /// fork() is ever shipped).
+  DeltaTracker();
+
+  std::vector<MetricSnapshot> collect();
+
+ private:
+  std::map<std::string, MetricSnapshot> last_;
+};
+
+/// Daemon-side: fold worker deltas into the global registry, each metric
+/// renamed `<prefix><name>` (the serve daemon passes "worker."). Safe
+/// from any thread; commutative and associative across deltas.
+void merge_deltas(std::string_view prefix,
+                  const std::vector<MetricSnapshot>& deltas);
+
+}  // namespace ppde::obs

@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include <set>
+
+#include "obs/registry.hpp"
 #include "smc/json.hpp"  // the one JSON emitter in the repo (S23)
 
 namespace ppde::obs {
@@ -54,11 +57,16 @@ struct Tracer::Impl {
   TracerOptions options;
   std::FILE* file = nullptr;
   std::uint64_t epoch_ns = 0;
+  bool capture = false;  // capture mode: no file, no collector thread
 
   std::mutex rings_mutex;  // guards rings + draining (one drainer at a time)
   std::vector<std::unique_ptr<ThreadRing>> rings;
   std::uint32_t next_tid = 1;  // tid 0 is the process-metadata pseudo-thread
   std::uint64_t written = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t truncated_events = 0;  // suppressed past max_file_bytes
+  bool truncated = false;
+  std::set<std::uint64_t> announced_pids;  // foreign process_name records
 
   std::thread collector;
   std::mutex control_mutex;
@@ -79,6 +87,20 @@ struct Tracer::Impl {
     if (file == nullptr) return;  // closed by an interrupt_stop()
     std::fputs(object.c_str(), file);
     std::fputs(last ? "\n" : ",\n", file);
+    bytes_written += object.size() + 2;
+    if (options.max_file_bytes != 0 && bytes_written >= options.max_file_bytes)
+      truncated = true;
+  }
+
+  /// True (and accounted) when the size cap says this event must be
+  /// suppressed rather than written. Callers hold rings_mutex.
+  bool suppress_for_cap() {
+    if (!truncated) return false;
+    ++truncated_events;
+    static Counter& counter =
+        Registry::global().counter("obs.trace_truncated");
+    counter.add(1);
+    return true;
   }
 
   std::string serialise(const TraceEvent& event, std::uint32_t tid) const {
@@ -118,18 +140,49 @@ struct Tracer::Impl {
 
   /// Drain every ring to the file. Serialised by rings_mutex, so it is
   /// safe from the collector thread and from stop() after the join.
+  /// Capture-mode tracers are drained by drain_capture() instead; here
+  /// (their finish() path) leftover events are simply discarded.
   void drain() {
     std::lock_guard<std::mutex> lock(rings_mutex);
     for (const std::unique_ptr<ThreadRing>& ring : rings) {
       const std::uint64_t head = ring->head.load(std::memory_order_acquire);
       std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
       for (; tail != head; ++tail) {
+        if (capture || file == nullptr) continue;
+        if (suppress_for_cap()) continue;
         write_line(serialise(ring->slots[tail & ring->mask], ring->tid),
                    /*last=*/false);
         ++written;
       }
       ring->tail.store(head, std::memory_order_release);
     }
+  }
+
+  /// Capture-mode drain: move every ring's pending events out as owned,
+  /// absolute-timestamped records.
+  std::vector<CapturedEvent> drain_to_memory() {
+    std::lock_guard<std::mutex> lock(rings_mutex);
+    std::vector<CapturedEvent> out;
+    for (const std::unique_ptr<ThreadRing>& ring : rings) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+      for (; tail != head; ++tail) {
+        const TraceEvent& event = ring->slots[tail & ring->mask];
+        CapturedEvent captured;
+        captured.name = event.name;
+        captured.cat = event.cat;
+        captured.kind = event.kind;
+        captured.ts_ns = epoch_ns + event.ts_ns;
+        captured.dur_ns = event.dur_ns;
+        captured.tid = ring->tid;
+        captured.value = event.value;
+        captured.has_value = event.has_value;
+        out.push_back(std::move(captured));
+        ++written;
+      }
+      ring->tail.store(head, std::memory_order_release);
+    }
+    return out;
   }
 
   void collector_loop() {
@@ -163,11 +216,13 @@ struct Tracer::Impl {
       stop_requested = true;
     }
     control_cv.notify_all();
-    collector.join();
+    if (collector.joinable()) collector.join();
     drain();  // anything recorded since the collector's final pass
+    if (file == nullptr) return true;  // capture mode: nothing on disk
 
     // Footer: summary metadata (drop accounting) and the closing bracket —
-    // the whole file is one valid JSON array.
+    // the whole file is one valid JSON array. Written even past the size
+    // cap (it is a handful of bytes and keeps the array valid).
     smc::JsonWriter summary;
     summary.field("obs_trace_v", 1);
     summary.field("ph", std::string_view("M"));
@@ -177,6 +232,7 @@ struct Tracer::Impl {
     smc::JsonWriter args;
     args.field("written", written);
     args.field("dropped", total_dropped());
+    args.field("truncated", truncated_events);
     summary.raw_field("args", args.finish());
     write_line(summary.finish(), /*last=*/true);
     std::fputs("]\n", file);
@@ -188,6 +244,61 @@ struct Tracer::Impl {
       file = nullptr;
     }
     return true;
+  }
+
+  /// Serialise a foreign (worker) event under this tracer's epoch with an
+  /// explicit pid. Callers hold rings_mutex.
+  std::string serialise_foreign(std::uint64_t pid,
+                                const CapturedEvent& event) const {
+    smc::JsonWriter json;
+    json.field("name", std::string_view(event.name));
+    json.field("cat", std::string_view(event.cat));
+    const std::uint64_t rel_ns =
+        event.ts_ns > epoch_ns ? event.ts_ns - epoch_ns : 0;
+    const double ts_us = static_cast<double>(rel_ns) / 1000.0;
+    switch (event.kind) {
+      case TraceEvent::Kind::kComplete:
+        json.field("ph", std::string_view("X"));
+        json.field("ts", ts_us);
+        json.field("dur", static_cast<double>(event.dur_ns) / 1000.0);
+        break;
+      case TraceEvent::Kind::kCounter:
+        json.field("ph", std::string_view("C"));
+        json.field("ts", ts_us);
+        break;
+      case TraceEvent::Kind::kInstant:
+        json.field("ph", std::string_view("i"));
+        json.field("ts", ts_us);
+        json.field("s", std::string_view("t"));
+        break;
+    }
+    json.field("pid", pid);
+    json.field("tid", static_cast<std::uint64_t>(event.tid));
+    if (event.kind == TraceEvent::Kind::kCounter) {
+      smc::JsonWriter args;
+      args.field("value", event.value);
+      json.raw_field("args", args.finish());
+    } else if (event.has_value) {
+      smc::JsonWriter args;
+      args.field("n", event.value);
+      json.raw_field("args", args.finish());
+    }
+    return json.finish();
+  }
+
+  /// Emit a process_name metadata record for a foreign pid, once per pid.
+  /// Callers hold rings_mutex.
+  void announce_locked(std::uint64_t pid, const std::string& group_name) {
+    if (file == nullptr || !announced_pids.insert(pid).second) return;
+    smc::JsonWriter meta;
+    meta.field("ph", std::string_view("M"));
+    meta.field("name", std::string_view("process_name"));
+    meta.field("pid", pid);
+    meta.field("tid", std::uint64_t{0});
+    smc::JsonWriter args;
+    args.field("name", std::string_view(group_name));
+    meta.raw_field("args", args.finish());
+    write_line(meta.finish(), /*last=*/false);
   }
 };
 
@@ -233,6 +344,43 @@ bool Tracer::start(const std::string& path, const TracerOptions& options) {
   return true;
 }
 
+bool Tracer::start_capture(const TracerOptions& options) {
+  if (g_active.load(std::memory_order_relaxed) != nullptr) return false;
+  auto* impl = new Impl;
+  impl->id = g_next_tracer_id.fetch_add(1, std::memory_order_relaxed);
+  impl->options = options;
+  std::uint32_t capacity = 1;
+  while (capacity * 2 <= impl->options.ring_capacity && capacity < (1u << 20))
+    capacity *= 2;
+  impl->options.ring_capacity = capacity;
+  impl->capture = true;
+  impl->epoch_ns = now_ns();
+  Tracer* tracer = new Tracer(impl);
+  tracer->epoch_ns_ = impl->epoch_ns;
+  // No file, no collector thread: the owner drains via drain_capture().
+  g_active.store(tracer, std::memory_order_release);
+  return true;
+}
+
+bool Tracer::capturing() {
+  Tracer* tracer = g_active.load(std::memory_order_relaxed);
+  return tracer != nullptr && tracer->impl_->capture;
+}
+
+std::vector<CapturedEvent> Tracer::drain_capture() {
+  Tracer* tracer = g_active.load(std::memory_order_relaxed);
+  if (tracer == nullptr || !tracer->impl_->capture) return {};
+  return tracer->impl_->drain_to_memory();
+}
+
+void Tracer::reset_after_fork() {
+  // Leak whatever the child inherited: its collector thread did not
+  // survive the fork and its FILE* is shared with the parent, so the
+  // only safe interaction is none at all.
+  g_active.store(nullptr, std::memory_order_relaxed);
+  tl_cache = {};
+}
+
 void Tracer::stop() {
   Tracer* tracer = g_active.load(std::memory_order_relaxed);
   if (tracer == nullptr) return;
@@ -266,6 +414,23 @@ void Tracer::record(const TraceEvent& event) {
   }
   ring->slots[head & ring->mask] = event;
   ring->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::emit_foreign(std::uint64_t pid, const std::string& group_name,
+                          const CapturedEvent& event) {
+  std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+  if (impl_->capture || impl_->file == nullptr) return;
+  impl_->announce_locked(pid, group_name);
+  if (impl_->suppress_for_cap()) return;
+  impl_->write_line(impl_->serialise_foreign(pid, event), /*last=*/false);
+  ++impl_->written;
+}
+
+void Tracer::announce_process(std::uint64_t pid,
+                              const std::string& group_name) {
+  std::lock_guard<std::mutex> lock(impl_->rings_mutex);
+  if (impl_->capture) return;
+  impl_->announce_locked(pid, group_name);
 }
 
 std::uint64_t Tracer::dropped() const { return impl_->total_dropped(); }

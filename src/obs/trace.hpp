@@ -41,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ppde::obs {
 
@@ -70,6 +71,28 @@ struct TracerOptions {
   std::uint32_t ring_capacity = 1u << 14;
   /// Collector wake-up period.
   std::uint32_t flush_period_ms = 100;
+  /// Stop emitting event lines once the file reaches this many bytes
+  /// (0 = unlimited). Past the cap the collector counts each suppressed
+  /// event in the `obs.trace_truncated` registry counter instead of
+  /// growing the file; the footer is still written so the trace on disk
+  /// stays one valid JSON array. CLI: `--trace-max-mb=N` (S29).
+  std::uint64_t max_file_bytes = 0;
+};
+
+/// A trace event drained out of a *capture-mode* tracer (S29): names are
+/// owned strings (safe to ship across a process boundary) and the
+/// timestamp is absolute steady-clock nanoseconds — CLOCK_MONOTONIC is
+/// machine-global on Linux, so the serve daemon can rebase a worker's
+/// events onto its own tracer epoch and stitch one coherent timeline.
+struct CapturedEvent {
+  std::string name;
+  std::string cat;
+  TraceEvent::Kind kind = TraceEvent::Kind::kComplete;
+  std::uint64_t ts_ns = 0;   ///< absolute now_ns() timebase
+  std::uint64_t dur_ns = 0;  ///< kComplete only
+  std::uint32_t tid = 0;     ///< producing thread's ring id
+  double value = 0.0;
+  bool has_value = false;
 };
 
 /// The process-wide tracer. At most one is active; instrumentation sites
@@ -83,6 +106,31 @@ class Tracer {
   /// Drain everything, write the trace footer, close the file, uninstall.
   /// No-op when no tracer is active.
   static void stop();
+
+  /// Install a *capture-mode* tracer: no file, no collector thread.
+  /// Instrumentation sites record into the usual per-thread rings; the
+  /// owner periodically calls drain_capture() to take the accumulated
+  /// events as structured CapturedEvent records. This is how a serve
+  /// worker participates in distributed tracing (S29): it captures its
+  /// spans per batch and ships them back on the wire for the daemon to
+  /// stitch. Returns false if a tracer is already active.
+  static bool start_capture(const TracerOptions& options = {});
+
+  /// True when the active tracer is capture-mode.
+  static bool capturing();
+
+  /// Drain every ring of a capture-mode tracer and return the events
+  /// (absolute timestamps, owned strings). Empty if no capture-mode
+  /// tracer is active. Call from the thread(s) that own the protocol —
+  /// serialised internally, safe alongside concurrent record() calls.
+  static std::vector<CapturedEvent> drain_capture();
+
+  /// Forget any tracer inherited across fork() without touching it.
+  /// A child process must not drain rings, join the collector, or share
+  /// the parent's FILE*; clearing the active pointer (and leaking the
+  /// inherited copy-on-write Impl) lets the child start its own capture
+  /// tracer cleanly. Called in the serve supervisor's child branch.
+  static void reset_after_fork();
 
   /// Interrupt-path variant of stop() for SIGINT/SIGTERM handling (S25):
   /// drains the rings, writes the footer and closes the file so the trace
@@ -106,6 +154,21 @@ class Tracer {
   /// Append one event to the calling thread's ring (lock-free; drops and
   /// counts the event if the ring is full).
   void record(const TraceEvent& event);
+
+  /// Stitch a foreign process's event into this (file-mode) tracer: the
+  /// event is written with `pid` — not the tracer's own pid 1 — so every
+  /// worker lands in its own Perfetto track group; the first event per
+  /// pid also emits a `process_name` metadata record naming the group
+  /// (e.g. "ppde worker 1234"). `event.ts_ns` is absolute (a capture-
+  /// mode drain) and is rebased onto this tracer's epoch. Thread-safe;
+  /// a no-op on capture-mode tracers and after the file is closed.
+  void emit_foreign(std::uint64_t pid, const std::string& group_name,
+                    const CapturedEvent& event);
+
+  /// Announce a foreign process's track-group name without an event, so
+  /// every fleet worker appears in the trace even before (or without)
+  /// contributing spans. Idempotent per pid.
+  void announce_process(std::uint64_t pid, const std::string& group_name);
 
   /// Convenience: a counter sample ("ph":"C").
   void counter(const char* name, double value) {

@@ -36,6 +36,182 @@ std::uint64_t element_hex(const std::vector<Json>& fields, std::size_t i) {
   return fields[i].as_hex_u64();
 }
 
+const std::string& element_str(const std::vector<Json>& fields,
+                               std::size_t i) {
+  if (i >= fields.size())
+    throw std::runtime_error("serve proto: short record array");
+  return fields[i].as_string();
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+// -- observability sidecar of a batch result (S29) --------------------------
+//
+// Trace events travel as compact arrays
+//   ["name","cat",kind,ts_ns,dur_ns,tid,has_value,"value-bits"]
+// with ts/dur as exact decimal u64 and the optional span value as the hex
+// of its IEEE-754 bit pattern (the wire's standard double convention).
+// Metric deltas are tagged by kind:
+//   ["name",0,counter_delta]
+//   ["name",1,"gauge-bits"]
+//   ["name",2,count,sum,max,[[bucket,delta],...]]   (sparse buckets)
+
+void append_trace_events(std::string& out,
+                         const std::vector<obs::CapturedEvent>& events) {
+  out += ",\"trace\":[";
+  bool first = true;
+  for (const obs::CapturedEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_json_string(out, event.name);
+    out += ',';
+    append_json_string(out, event.cat);
+    out += ',';
+    append_u64(out, static_cast<std::uint64_t>(event.kind));
+    out += ',';
+    append_u64(out, event.ts_ns);
+    out += ',';
+    append_u64(out, event.dur_ns);
+    out += ',';
+    append_u64(out, event.tid);
+    out += ',';
+    out += event.has_value ? '1' : '0';
+    out += ',';
+    append_hex_string(out, std::bit_cast<std::uint64_t>(event.value));
+    out += ']';
+  }
+  out += ']';
+}
+
+void append_metric_deltas(std::string& out,
+                          const std::vector<obs::MetricSnapshot>& deltas) {
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const obs::MetricSnapshot& delta : deltas) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_json_string(out, delta.name);
+    out += ',';
+    switch (delta.kind) {
+      case obs::MetricKind::kCounter:
+        out += '0';
+        out += ',';
+        append_u64(out, static_cast<std::uint64_t>(delta.value));
+        break;
+      case obs::MetricKind::kGauge:
+        out += '1';
+        out += ',';
+        append_hex_string(out, std::bit_cast<std::uint64_t>(delta.value));
+        break;
+      case obs::MetricKind::kHistogram: {
+        out += '2';
+        out += ',';
+        append_u64(out, delta.count);
+        out += ',';
+        append_u64(out, delta.sum);
+        out += ',';
+        append_u64(out, delta.max);
+        out += ",[";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < delta.buckets.size(); ++b) {
+          if (delta.buckets[b] == 0) continue;
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          out += '[';
+          append_u64(out, b);
+          out += ',';
+          append_u64(out, delta.buckets[b]);
+          out += ']';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += ']';
+  }
+  out += ']';
+}
+
+std::vector<obs::CapturedEvent> parse_trace_events(const Json& array) {
+  std::vector<obs::CapturedEvent> events;
+  for (const Json& entry : array.items()) {
+    const std::vector<Json>& fields = entry.items();
+    obs::CapturedEvent event;
+    event.name = element_str(fields, 0);
+    event.cat = element_str(fields, 1);
+    const std::uint64_t kind = element_u64(fields, 2);
+    if (kind > static_cast<std::uint64_t>(obs::TraceEvent::Kind::kInstant))
+      throw std::runtime_error("serve proto: bad trace event kind");
+    event.kind = static_cast<obs::TraceEvent::Kind>(kind);
+    event.ts_ns = element_u64(fields, 3);
+    event.dur_ns = element_u64(fields, 4);
+    event.tid = static_cast<std::uint32_t>(element_u64(fields, 5));
+    event.has_value = element_u64(fields, 6) != 0;
+    event.value = std::bit_cast<double>(element_hex(fields, 7));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<obs::MetricSnapshot> parse_metric_deltas(const Json& array) {
+  std::vector<obs::MetricSnapshot> deltas;
+  for (const Json& entry : array.items()) {
+    const std::vector<Json>& fields = entry.items();
+    obs::MetricSnapshot delta;
+    delta.name = element_str(fields, 0);
+    switch (element_u64(fields, 1)) {
+      case 0:
+        delta.kind = obs::MetricKind::kCounter;
+        delta.value = static_cast<double>(element_u64(fields, 2));
+        break;
+      case 1:
+        delta.kind = obs::MetricKind::kGauge;
+        delta.value = std::bit_cast<double>(element_hex(fields, 2));
+        break;
+      case 2: {
+        delta.kind = obs::MetricKind::kHistogram;
+        delta.count = element_u64(fields, 2);
+        delta.sum = element_u64(fields, 3);
+        delta.max = element_u64(fields, 4);
+        if (fields.size() < 6)
+          throw std::runtime_error("serve proto: short histogram delta");
+        for (const Json& pair : fields[5].items()) {
+          const std::vector<Json>& parts = pair.items();
+          const std::uint64_t bucket = element_u64(parts, 0);
+          if (bucket >= obs::Histogram::kBuckets)
+            throw std::runtime_error("serve proto: bad histogram bucket");
+          if (delta.buckets.size() <= bucket)
+            delta.buckets.resize(bucket + 1, 0);
+          delta.buckets[bucket] = element_u64(parts, 1);
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("serve proto: bad metric delta kind");
+    }
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
 }  // namespace
 
 std::string encode_query(const QueryParams& query) {
@@ -57,6 +233,9 @@ std::string encode_query(const QueryParams& query) {
     json.field("scenario", std::string_view(query.scenario));
   if (query.batch != 0)
     json.field("batch", static_cast<std::uint64_t>(query.batch));
+  if (!query.format.empty())
+    json.field("format", std::string_view(query.format));
+  if (query.recent != 0) json.field("recent", query.recent);
   return json.finish();
 }
 
@@ -79,6 +258,8 @@ QueryParams parse_query(const Json& json) {
   query.dispatch = json.str("dispatch", query.dispatch);
   query.scenario = json.str("scenario", "");
   query.batch = static_cast<std::uint32_t>(json.u64("batch", 0));
+  query.format = json.str("format", "");
+  query.recent = json.u64("recent", 0);
   return query;
 }
 
@@ -127,6 +308,7 @@ std::string encode_batch_request(const BatchRequest& request) {
     json.field("scenario", std::string_view(request.scenario));
   if (request.batch != 0)
     json.field("batch", static_cast<std::uint64_t>(request.batch));
+  if (request.trace_id != 0) json.field("trace_id", request.trace_id);
   return json.finish();
 }
 
@@ -146,6 +328,7 @@ BatchRequest parse_batch_request(const Json& json) {
   request.dispatch = json.str("dispatch", request.dispatch);
   request.scenario = json.str("scenario", "");
   request.batch = static_cast<std::uint32_t>(json.u64("batch", 0));
+  request.trace_id = json.u64("trace_id", 0);
   return request;
 }
 
@@ -235,7 +418,15 @@ std::string encode_batch_result(const BatchResult& result, bool ensemble) {
       out += ']';
     }
   }
-  out += "]}";
+  out += ']';
+  if (result.worker_pid != 0) {
+    out += ",\"pid\":";
+    append_u64(out, result.worker_pid);
+  }
+  if (!result.trace.empty()) append_trace_events(out, result.trace);
+  if (!result.metric_deltas.empty())
+    append_metric_deltas(out, result.metric_deltas);
+  out += '}';
   return out;
 }
 
@@ -275,6 +466,11 @@ BatchResult parse_batch_result(const Json& json, bool ensemble) {
       result.ensemble_records.push_back(record);
     }
   }
+  result.worker_pid = json.u64("pid", 0);
+  if (const Json* trace = json.find("trace"))
+    result.trace = parse_trace_events(*trace);
+  if (const Json* metrics = json.find("metrics"))
+    result.metric_deltas = parse_metric_deltas(*metrics);
   return result;
 }
 

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "engine/ensemble.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/wire.hpp"
 #include "smc/certify.hpp"
 #include "smc/partial.hpp"
@@ -66,6 +68,13 @@ struct QueryParams {
   /// results and digests are bit-identical at every width, so the field
   /// only steers worker-side throughput.
   std::uint32_t batch = 0;
+  /// Stats-only (S29): "" = the JSON reply, "prometheus" = wrap the
+  /// text exposition in {"ok":true,"prometheus":"..."}. Omitted when
+  /// empty (pre-S29 interop).
+  std::string format{};
+  /// Stats-only (S29): return the newest N flight-recorder records as a
+  /// "recent" array. 0 (omitted on the wire) disables.
+  std::uint64_t recent = 0;
 };
 
 std::string encode_query(const QueryParams& query);
@@ -98,6 +107,12 @@ struct BatchRequest {
   /// Lockstep batch width, forwarded verbatim (0 = auto, omitted on the
   /// wire; a pre-S28 worker ignoring it still ships identical records).
   std::uint32_t batch = 0;
+  /// Distributed tracing (S29): the daemon's query_seq for the query
+  /// this batch belongs to, 0 (omitted on the wire) when the daemon is
+  /// not tracing. A nonzero id asks the worker to run the batch under a
+  /// capture-mode tracer and ship the drained span deltas back in the
+  /// result; a pre-S29 worker ignores it and ships identical records.
+  std::uint64_t trace_id = 0;
 };
 
 std::string encode_batch_request(const BatchRequest& request);
@@ -138,6 +153,12 @@ struct BatchResult {
   std::uint64_t first = 0;
   std::vector<smc::TrialRecord> records;           ///< certify batches
   std::vector<EnsembleRecord> ensemble_records;    ///< ensemble batches
+  /// Observability sidecar (S29). None of it feeds the canonical fold:
+  /// parse_batch_result round-trips records identically whether these
+  /// fields are present, absent, or dropped by an old peer.
+  std::uint64_t worker_pid = 0;  ///< producing process, for track groups
+  std::vector<obs::CapturedEvent> trace;  ///< drained worker span deltas
+  std::vector<obs::MetricSnapshot> metric_deltas;  ///< registry deltas
 };
 
 std::string encode_batch_result(const BatchResult& result, bool ensemble);

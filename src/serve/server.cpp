@@ -27,7 +27,11 @@
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
 #include "engine/ensemble.hpp"
+#include "obs/flight.hpp"
+#include "obs/prom_http.hpp"
 #include "obs/registry.hpp"
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
 #include "sched/scenario.hpp"
 #include "serve/proto.hpp"
 #include "serve/supervisor.hpp"
@@ -79,7 +83,10 @@ struct Metrics {
   obs::Counter& batches_dispatched;
   obs::Counter& worker_deaths;
   obs::Counter& trials_reassigned;
+  obs::Counter& trials_delivered;
   obs::Gauge& active;
+  obs::Gauge& queue_depth;
+  obs::Histogram& admission_wait;
 
   static Metrics& get() {
     static Metrics metrics{
@@ -88,7 +95,10 @@ struct Metrics {
         obs::Registry::global().counter("serve.batches_dispatched"),
         obs::Registry::global().counter("serve.worker_deaths"),
         obs::Registry::global().counter("serve.trials_reassigned"),
+        obs::Registry::global().counter("serve.trials_delivered"),
         obs::Registry::global().gauge("serve.active_queries"),
+        obs::Registry::global().gauge("serve.queue_depth"),
+        obs::Registry::global().histogram("serve.admission_wait_micros"),
     };
     return metrics;
   }
@@ -121,7 +131,29 @@ struct Pump {
   /// Fired after every successful batch dispatch (the server counts
   /// process-wide dispatches for the kill_worker_after test hook).
   std::function<void()> on_dispatch;
+  /// Observability hook (S29): fired for every successfully parsed batch
+  /// result, before deliver, with the supervisor slot and the daemon-side
+  /// dispatch-to-collect latency. The server stitches worker trace
+  /// events, folds metric deltas, and attributes per-worker latency to
+  /// the query's flight record here.
+  std::function<void(int, const BatchResult&, std::uint64_t)> observe;
   double wall_budget = 0.0;  ///< seconds; <= 0 = unlimited
+
+  // Filled by run() for the flight record.
+  std::uint64_t batches_collected = 0;
+  std::uint64_t trials_reassigned = 0;
+
+  struct Inflight {
+    Range range;
+    Clock::time_point sent;
+  };
+
+  static std::uint64_t micros_since(Clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+  }
 
   /// "" on success; an error message otherwise.
   std::string run() {
@@ -129,13 +161,14 @@ struct Pump {
     const Clock::time_point started = Clock::now();
     std::uint64_t frontier = 0;
     std::deque<Range> retry;
-    std::map<int, Range> inflight;
+    std::map<int, Inflight> inflight;
 
     const auto retire = [&](int worker, const Range& range, bool reassign) {
       supervisor.report_dead(worker);
       metrics.worker_deaths.add();
       if (reassign) {
         metrics.trials_reassigned.add(range.count);
+        trials_reassigned += range.count;
         retry.push_back(range);
       }
     };
@@ -178,6 +211,8 @@ struct Pump {
         prototype.count = range.count;
         bool sent = false;
         try {
+          obs::ObsSpan span("dispatch", "serve");
+          span.set_value(static_cast<double>(range.first));
           write_frame(supervisor.fd(worker), encode_batch_request(prototype));
           sent = true;
         } catch (...) {
@@ -191,7 +226,7 @@ struct Pump {
           retry.pop_front();
         else
           frontier += range.count;
-        inflight.emplace(worker, range);
+        inflight.emplace(worker, Inflight{range, Clock::now()});
         metrics.batches_dispatched.add();
         if (on_dispatch) on_dispatch();
       }
@@ -207,7 +242,7 @@ struct Pump {
       std::vector<pollfd> fds;
       std::vector<int> workers;
       fds.reserve(inflight.size());
-      for (const auto& [worker, range] : inflight) {
+      for (const auto& [worker, entry] : inflight) {
         fds.push_back(pollfd{supervisor.fd(worker), POLLIN, 0});
         workers.push_back(worker);
       }
@@ -215,7 +250,7 @@ struct Pump {
       for (std::size_t i = 0; i < fds.size(); ++i) {
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         const int worker = workers[i];
-        const Range range = inflight.at(worker);
+        const Inflight entry = inflight.at(worker);
         inflight.erase(worker);
         std::string payload;
         bool ok = false;
@@ -224,15 +259,17 @@ struct Pump {
         } catch (...) {
         }
         if (!ok) {
-          retire(worker, range, /*reassign=*/true);
+          retire(worker, entry.range, /*reassign=*/true);
           continue;
         }
         try {
           BatchResult result =
               parse_batch_result(Json::parse(payload), prototype.ensemble);
+          ++batches_collected;
+          if (observe) observe(worker, result, micros_since(entry.sent));
           deliver(std::move(result));
         } catch (const std::exception&) {
-          retire(worker, range, /*reassign=*/true);
+          retire(worker, entry.range, /*reassign=*/true);
           continue;
         }
         supervisor.release(worker);
@@ -246,9 +283,9 @@ struct Pump {
   /// Read (and deliver) every outstanding response so worker sockets hold
   /// no stale frames for the next query. Late results of ranges that were
   /// also re-run elsewhere are exact duplicates; the sinks drop them.
-  void drain(std::map<int, Range>& inflight) {
+  void drain(std::map<int, Inflight>& inflight) {
     Metrics& metrics = Metrics::get();
-    for (const auto& [worker, range] : inflight) {
+    for (const auto& [worker, entry] : inflight) {
       std::string payload;
       bool ok = false;
       try {
@@ -263,6 +300,8 @@ struct Pump {
       try {
         BatchResult result =
             parse_batch_result(Json::parse(payload), prototype.ensemble);
+        ++batches_collected;
+        if (observe) observe(worker, result, micros_since(entry.sent));
         deliver(std::move(result));
         supervisor.release(worker);
       } catch (const std::exception&) {
@@ -286,15 +325,32 @@ struct Server::Impl {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> dispatched_total{0};
   std::atomic<bool> kill_fired{false};
+
+  /// One admitted query waiting for a runner.
+  struct QueuedJob {
+    int fd = -1;
+    QueryParams query;
+    std::uint64_t seq = 0;  ///< query_seq == trace_id (S29)
+    Clock::time_point enqueued;
+  };
+
   std::mutex queue_mutex;
   std::condition_variable queue_cv;
-  std::deque<std::pair<int, QueryParams>> queue;
+  std::deque<QueuedJob> queue;
   std::vector<std::thread> runners;
+
+  std::atomic<std::uint64_t> next_seq{1};
+  obs::FlightRecorder flight;
+  std::unique_ptr<obs::PromHttpServer> prom;
 
   explicit Impl(const ServerOptions& server_options)
       : options(server_options),
         supervisor(SupervisorOptions{server_options.workers,
-                                     server_options.remote_workers}) {
+                                     server_options.remote_workers}),
+        flight(server_options.flight_capacity) {
+    if (options.prom_port >= 0)
+      prom = std::make_unique<obs::PromHttpServer>(
+          static_cast<std::uint16_t>(options.prom_port));
     listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0)
       throw std::runtime_error("ppde serve: cannot create socket");
@@ -332,7 +388,36 @@ struct Server::Impl {
       supervisor.kill_one();
   }
 
-  std::string run_certify(const QueryParams& query) {
+  /// The shared observability tail of a batch result (S29): stitch the
+  /// worker's trace events into the daemon's tracer, fold its metric
+  /// deltas into `worker.*`, and attribute latency to the flight record.
+  void observe_result(int worker, const BatchResult& result,
+                      std::uint64_t micros, obs::QueryFlight& record) {
+    if (!result.metric_deltas.empty())
+      obs::merge_deltas("worker.", result.metric_deltas);
+    if (obs::Tracer* tracer = obs::Tracer::active();
+        tracer != nullptr && result.worker_pid != 0 &&
+        !result.trace.empty()) {
+      const std::string group =
+          "ppde worker " + std::to_string(result.worker_pid);
+      for (const obs::CapturedEvent& event : result.trace)
+        tracer->emit_foreign(result.worker_pid, group, event);
+    }
+    record.trials_executed += result.records.size();
+    record.trials_executed += result.ensemble_records.size();
+    Metrics::get().trials_delivered.add(result.records.size() +
+                                        result.ensemble_records.size());
+    for (obs::WorkerLatency& latency : record.workers) {
+      if (latency.worker != worker) continue;
+      ++latency.batches;
+      latency.total_micros += micros;
+      latency.max_micros = std::max(latency.max_micros, micros);
+      return;
+    }
+    record.workers.push_back(obs::WorkerLatency{worker, 1, micros, micros});
+  }
+
+  std::string run_certify(const QueryParams& query, obs::QueryFlight& record) {
     const Clock::time_point began = Clock::now();
     const Statement& statement = cached_statement(query.n);
     const std::uint64_t m = statement.num_pointers + query.extra;
@@ -341,22 +426,38 @@ struct Server::Impl {
     const smc::CertifyOptions certify_options = certify_options_of(query);
     smc::StreamingMerger merger(certify_options);
 
-    Pump pump{supervisor,
-              BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
-                           query.seed, 0, 0, query.window, query.budget,
-                           query.dispatch, query.scenario, query.batch},
-              certify_options.max_trials,
-              std::max<std::uint64_t>(1, query.shard ? query.shard
-                                                     : options.shard),
-              /*speculate_factor=*/2,
-              [&] { return merger.next_needed(); },
-              [&] { return merger.decided(); },
-              [&](BatchResult&& result) {
-                merger.absorb(result.first, std::move(result.records));
-              },
-              [this] { note_dispatch(); },
-              options.max_query_seconds};
+    obs::ObsSpan query_span("query", "serve");
+    query_span.set_value(static_cast<double>(record.seq));
+
+    Pump pump{
+        .supervisor = supervisor,
+        .prototype =
+            BatchRequest{/*ensemble=*/false, query.n, query.extra, expected,
+                         query.seed, 0, 0, query.window, query.budget,
+                         query.dispatch, query.scenario, query.batch,
+                         /*trace_id=*/obs::Tracer::active() != nullptr
+                             ? record.seq
+                             : 0},
+        .total_trials = certify_options.max_trials,
+        .shard = std::max<std::uint64_t>(1, query.shard ? query.shard
+                                                        : options.shard),
+        .speculate_factor = 2};
+    pump.next_needed = [&] { return merger.next_needed(); };
+    pump.done = [&] { return merger.decided(); };
+    pump.deliver = [&](BatchResult&& result) {
+      obs::ObsSpan fold_span("merge_fold", "serve");
+      fold_span.set_value(static_cast<double>(result.first));
+      merger.absorb(result.first, std::move(result.records));
+    };
+    pump.on_dispatch = [this] { note_dispatch(); };
+    pump.observe = [&](int worker, const BatchResult& result,
+                       std::uint64_t micros) {
+      observe_result(worker, result, micros, record);
+    };
+    pump.wall_budget = options.max_query_seconds;
     const std::string error = pump.run();
+    record.batches = pump.batches_collected;
+    record.reassigned = pump.trials_reassigned;
     if (!error.empty()) return encode_error(error);
 
     smc::Certificate certificate = merger.finish();
@@ -365,6 +466,12 @@ struct Server::Impl {
     certificate.expected_output = expected;
     certificate.wall_seconds = seconds_since(began);
     certificate.threads_used = supervisor.alive();
+    record.verdict = smc::to_string(certificate.verdict);
+    char digest_hex[20];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(
+                      smc::certificate_digest(certificate)));
+    record.digest = digest_hex;
 
     smc::JsonWriter out;
     out.field("ok", true);
@@ -374,7 +481,8 @@ struct Server::Impl {
     return out.finish();
   }
 
-  std::string run_ensemble(const QueryParams& query) {
+  std::string run_ensemble(const QueryParams& query,
+                           obs::QueryFlight& record) {
     const Clock::time_point began = Clock::now();
     const Statement& statement = cached_statement(query.n);
     const std::uint64_t m = statement.num_pointers + query.extra;
@@ -385,28 +493,41 @@ struct Server::Impl {
     std::vector<char> seen(total, 0);
     std::uint64_t remaining = total;
 
-    Pump pump{supervisor,
-              BatchRequest{/*ensemble=*/true, query.n, query.extra,
-                           /*expected=*/false, query.seed, 0, 0, query.window,
-                           query.budget, query.dispatch, query.scenario,
-                           query.batch},
-              total,
-              std::max<std::uint64_t>(1, query.shard ? query.shard
-                                                     : options.shard),
-              /*speculate_factor=*/0,
-              nullptr,
-              [&] { return remaining == 0; },
-              [&](BatchResult&& result) {
-                for (const EnsembleRecord& record : result.ensemble_records) {
-                  if (record.trial >= total || seen[record.trial]) continue;
-                  seen[record.trial] = 1;
-                  records[record.trial] = record;
-                  --remaining;
-                }
-              },
-              [this] { note_dispatch(); },
-              options.max_query_seconds};
+    obs::ObsSpan query_span("query", "serve");
+    query_span.set_value(static_cast<double>(record.seq));
+
+    Pump pump{
+        .supervisor = supervisor,
+        .prototype =
+            BatchRequest{/*ensemble=*/true, query.n, query.extra,
+                         /*expected=*/false, query.seed, 0, 0, query.window,
+                         query.budget, query.dispatch, query.scenario,
+                         query.batch,
+                         /*trace_id=*/obs::Tracer::active() != nullptr
+                             ? record.seq
+                             : 0},
+        .total_trials = total,
+        .shard = std::max<std::uint64_t>(1, query.shard ? query.shard
+                                                        : options.shard),
+        .speculate_factor = 0};
+    pump.done = [&] { return remaining == 0; };
+    pump.deliver = [&](BatchResult&& result) {
+      for (const EnsembleRecord& record_entry : result.ensemble_records) {
+        if (record_entry.trial >= total || seen[record_entry.trial]) continue;
+        seen[record_entry.trial] = 1;
+        records[record_entry.trial] = record_entry;
+        --remaining;
+      }
+    };
+    pump.on_dispatch = [this] { note_dispatch(); };
+    pump.observe = [&](int worker, const BatchResult& result,
+                       std::uint64_t micros) {
+      observe_result(worker, result, micros, record);
+    };
+    pump.wall_budget = options.max_query_seconds;
     const std::string error = pump.run();
+    record.batches = pump.batches_collected;
+    record.reassigned = pump.trials_reassigned;
     if (!error.empty()) return encode_error(error);
 
     // Reconstruct per-trial results in trial order; aggregation is then
@@ -432,7 +553,7 @@ struct Server::Impl {
     return out.finish();
   }
 
-  std::string run_stats() {
+  std::string run_stats(const QueryParams& query) {
     std::uint64_t depth = 0;
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
@@ -440,11 +561,32 @@ struct Server::Impl {
     }
     smc::JsonWriter out;
     out.field("ok", true);
+    if (query.format == "prometheus") {
+      // The scrape text as one escaped JSON string — for clients that want
+      // the exposition without the daemon opening a second port.
+      out.field("prometheus",
+                std::string_view(obs::Registry::global().to_prometheus()));
+      return out.finish();
+    }
+    if (!query.format.empty())
+      return encode_error("unknown stats format '" + query.format + "'");
     out.field("uptime_seconds", seconds_since(started));
     out.field("workers_alive", static_cast<std::uint64_t>(supervisor.alive()));
     out.field("workers_total", static_cast<std::uint64_t>(supervisor.total()));
     out.field("queue_depth", depth);
     out.raw_field("metrics", obs::Registry::global().to_json());
+    if (query.recent != 0) {
+      // Newest-first flight records, each already a complete JSON object.
+      std::string array = "[";
+      bool first_record = true;
+      for (const obs::QueryFlight& record : flight.recent(query.recent)) {
+        if (!first_record) array += ",";
+        first_record = false;
+        array += obs::FlightRecorder::to_json(record);
+      }
+      array += "]";
+      out.raw_field("recent", array);
+    }
     return out.finish();
   }
 
@@ -457,6 +599,19 @@ struct Server::Impl {
       // The client went away; nothing to clean up beyond the fd.
     }
     ::close(fd);
+  }
+
+  /// Record a query rejected at admission in the flight recorder, so
+  /// `stats?recent=N` explains refusals, not just completions.
+  void record_rejection(const QueryParams& query, const std::string& why) {
+    obs::QueryFlight record;
+    record.seq = next_seq.fetch_add(1);
+    record.req = query.req;
+    record.n = query.n < 0 ? 0 : static_cast<std::uint64_t>(query.n);
+    record.trials = query.trials;
+    record.outcome = "rejected";
+    record.detail = why;
+    flight.add(std::move(record));
   }
 
   void handle_connection(int fd) {
@@ -478,7 +633,7 @@ struct Server::Impl {
     }
     metrics.queries_total.add();
     if (query.req == "stats") {
-      respond_and_close(fd, run_stats());
+      respond_and_close(fd, run_stats(query));
       return;
     }
     if (query.req == "shutdown") {
@@ -491,11 +646,13 @@ struct Server::Impl {
     }
     if (query.req != "certify" && query.req != "ensemble") {
       metrics.queries_rejected.add();
+      record_rejection(query, "unknown req '" + query.req + "'");
       respond_and_close(fd, encode_error("unknown req '" + query.req + "'"));
       return;
     }
     if (query.n < 1) {
       metrics.queries_rejected.add();
+      record_rejection(query, "n must be >= 1");
       respond_and_close(fd, encode_error("n must be >= 1"));
       return;
     }
@@ -506,12 +663,14 @@ struct Server::Impl {
         (void)sched::Scenario::parse(query.scenario);
       } catch (const std::exception& error) {
         metrics.queries_rejected.add();
+        record_rejection(query, error.what());
         respond_and_close(fd, encode_error(error.what()));
         return;
       }
     }
     if (query.trials > options.max_trials_cap) {
       metrics.queries_rejected.add();
+      record_rejection(query, "trial budget exceeds the daemon cap");
       respond_and_close(
           fd, encode_error("trial budget exceeds the daemon cap of " +
                            std::to_string(options.max_trials_cap)));
@@ -521,10 +680,13 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lock(queue_mutex);
       if (queue.size() >= options.queue_limit) {
         metrics.queries_rejected.add();
+        record_rejection(query, "queue full");
         respond_and_close(fd, encode_error("queue full", /*busy=*/true));
         return;
       }
-      queue.emplace_back(fd, query);
+      queue.push_back(QueuedJob{fd, std::move(query), next_seq.fetch_add(1),
+                                Clock::now()});
+      metrics.queue_depth.set(static_cast<double>(queue.size()));
     }
     queue_cv.notify_one();
   }
@@ -532,7 +694,7 @@ struct Server::Impl {
   void runner_loop() {
     Metrics& metrics = Metrics::get();
     while (true) {
-      std::pair<int, QueryParams> job{-1, {}};
+      QueuedJob job;
       {
         std::unique_lock<std::mutex> lock(queue_mutex);
         queue_cv.wait(lock,
@@ -540,22 +702,63 @@ struct Server::Impl {
         if (queue.empty()) return;  // stop requested and drained
         job = std::move(queue.front());
         queue.pop_front();
+        metrics.queue_depth.set(static_cast<double>(queue.size()));
       }
+      const std::uint64_t waited = Pump::micros_since(job.enqueued);
+      metrics.admission_wait.record(waited);
       metrics.active.set(metrics.active.value() + 1.0);
+
+      obs::QueryFlight record;
+      record.seq = job.seq;
+      record.req = job.query.req;
+      record.n = static_cast<std::uint64_t>(job.query.n);
+      record.trials = job.query.trials;
+      record.outcome = "ok";
+      record.queue_wait_micros = waited;
+      // A queue_wait instant on the daemon track marks where the query sat
+      // before a runner picked it up (the span itself belongs to no thread).
+      {
+        obs::ObsSpan wait_mark("queue_wait", "serve");
+        wait_mark.set_value(static_cast<double>(waited));
+      }
+
+      const Clock::time_point began = Clock::now();
       std::string response;
       try {
-        response = job.second.req == "ensemble" ? run_ensemble(job.second)
-                                                : run_certify(job.second);
+        response = job.query.req == "ensemble"
+                       ? run_ensemble(job.query, record)
+                       : run_certify(job.query, record);
       } catch (const std::exception& error) {
         response = encode_error(error.what());
+        record.detail = error.what();
       }
-      respond_and_close(job.first, response);
+      record.wall_seconds = seconds_since(began);
+      // An "ok":false frame is an error outcome; capture the message so the
+      // flight recorder explains it without the client's copy of the reply.
+      if (response.rfind("{\"ok\":false", 0) == 0) {
+        record.outcome = "error";
+        if (record.detail.empty()) record.detail = response;
+      }
+      flight.add(std::move(record));
+      respond_and_close(job.fd, response);
       metrics.active.set(metrics.active.value() - 1.0);
     }
   }
 
   void run() {
     std::signal(SIGPIPE, SIG_IGN);
+    // Announce every live local worker as a trace track group up front, so
+    // a fleet member shows in the stitched trace even before (or without)
+    // its first traced batch.
+    if (obs::Tracer* tracer = obs::Tracer::active()) {
+      for (const pid_t pid : supervisor.live_pids())
+        tracer->announce_process(
+            static_cast<std::uint64_t>(pid),
+            "ppde worker " + std::to_string(pid));
+    }
+    // The scrape listener's thread starts here — after the constructor's
+    // fork()s — never in the constructor.
+    if (prom) prom->start();
     for (unsigned i = 0; i < std::max(1u, options.max_active); ++i)
       runners.emplace_back([this] { runner_loop(); });
     while (!stop.load()) {
@@ -569,11 +772,12 @@ struct Server::Impl {
     queue_cv.notify_all();
     for (std::thread& runner : runners) runner.join();
     runners.clear();
+    if (prom) prom->stop();
     // Reject whatever was still queued (runners exit once the queue is
     // empty; anything left arrived in the stop window).
     std::lock_guard<std::mutex> lock(queue_mutex);
-    for (auto& [fd, query] : queue)
-      respond_and_close(fd, encode_error("server shutting down"));
+    for (QueuedJob& job : queue)
+      respond_and_close(job.fd, encode_error("server shutting down"));
     queue.clear();
   }
 
@@ -589,6 +793,10 @@ Server::Server(const ServerOptions& options)
 Server::~Server() = default;
 
 std::uint16_t Server::port() const { return impl_->port; }
+
+std::uint16_t Server::prom_port() const {
+  return impl_->prom ? impl_->prom->port() : 0;
+}
 
 void Server::run() { impl_->run(); }
 

@@ -45,6 +45,13 @@ struct ServerOptions {
   /// Test hook (CI killed-worker scenario): SIGKILL one local worker after
   /// this many batches have been dispatched process-wide. 0 = never.
   std::uint64_t kill_worker_after = 0;
+  /// Prometheus scrape endpoint (S29): -1 = disabled, 0 = ephemeral
+  /// (Server::prom_port() reports the bound port), N = fixed port. A
+  /// single-threaded HTTP listener serving GET /metrics on 127.0.0.1.
+  std::int32_t prom_port = -1;
+  /// Flight-recorder capacity: how many recent query records `stats`
+  /// with `recent=N` can reach back over.
+  std::size_t flight_capacity = 128;
 };
 
 class Server {
@@ -56,6 +63,9 @@ class Server {
   ~Server();
 
   std::uint16_t port() const;
+
+  /// The bound Prometheus scrape port, or 0 when disabled.
+  std::uint16_t prom_port() const;
 
   /// Serve until request_stop(). Ignores SIGPIPE for the whole process
   /// (worker deaths surface as EPIPE write errors, not signals).

@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/proto.hpp"
 #include "serve/wire.hpp"
@@ -31,6 +32,10 @@ Supervisor::Supervisor(const SupervisorOptions& options) {
     }
     if (pid == 0) {
       ::close(pair[0]);
+      // Any tracer inherited from the daemon is unusable in the child
+      // (shared FILE*, no collector thread): forget it so the worker can
+      // install its own capture-mode tracer for stitched queries (S29).
+      obs::Tracer::reset_after_fork();
       int status = 0;
       try {
         worker_main(pair[1]);
@@ -133,6 +138,14 @@ unsigned Supervisor::alive() const {
   for (const Slot& slot : slots_)
     if (slot.alive) ++count;
   return count;
+}
+
+std::vector<pid_t> Supervisor::live_pids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<pid_t> pids;
+  for (const Slot& slot : slots_)
+    if (slot.alive && slot.pid >= 0) pids.push_back(slot.pid);
+  return pids;
 }
 
 bool Supervisor::kill_one() {

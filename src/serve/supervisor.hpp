@@ -53,6 +53,12 @@ class Supervisor {
   unsigned alive() const;
   unsigned total() const { return static_cast<unsigned>(slots_.size()); }
 
+  /// Pids of the live *local* workers (remote slots have none). The
+  /// daemon announces these as trace track groups up front, so every
+  /// fleet member appears in a stitched trace even before its first
+  /// batch (S29).
+  std::vector<pid_t> live_pids() const;
+
   /// Test hook (serve-smoke's killed-worker path): SIGKILL one live local
   /// worker. Returns false if there is none.
   bool kill_one();

@@ -63,6 +63,12 @@ class Json {
   std::uint64_t as_hex_u64() const;
   const std::vector<Json>& items() const;  ///< array elements
 
+  /// Re-serialise this value as compact JSON. Number tokens are emitted
+  /// verbatim (the raw-text property above makes this an exact
+  /// round-trip); strings are re-escaped. Used by `ppde client --recent`
+  /// to print the flight-recorder array as JSONL.
+  std::string dump() const;
+
   // -- object access ------------------------------------------------------
   /// Member lookup; nullptr when absent or not an object.
   const Json* find(std::string_view key) const;

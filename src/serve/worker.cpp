@@ -19,6 +19,9 @@
 #include "engine/ensemble.hpp"
 #include "engine/executor.hpp"
 #include "isa/compiled.hpp"
+#include "obs/registry.hpp"
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
 #include "sched/scenario.hpp"
 #include "serve/proto.hpp"
 #include "serve/wire.hpp"
@@ -122,14 +125,43 @@ BatchResult run_ensemble_batch(const BatchRequest& request) {
 }  // namespace
 
 bool worker_main(int fd) {
+  // Process-lifetime observability state (S29). The tracker's baseline
+  // excludes whatever registry values were inherited across fork(), so
+  // only this worker's own work ever ships as a delta; the static
+  // persists across worker_listen connections.
+  static obs::DeltaTracker tracker;
+  static obs::Counter& trials_executed =
+      obs::Registry::global().counter("serve.trials_executed");
+  static obs::Histogram& batch_micros =
+      obs::Registry::global().histogram("serve.worker_batch_micros");
+
   std::string payload;
   while (read_frame(fd, payload)) {
     const Json message = Json::parse(payload);
     if (is_exit(message)) return true;
     const BatchRequest request = parse_batch_request(message);
-    const BatchResult result = request.ensemble
-                                   ? run_ensemble_batch(request)
-                                   : run_certify_batch(request);
+
+    // A traced query lazily installs this process's capture tracer; it
+    // stays installed for the worker's lifetime (cheap when idle — the
+    // rings are only drained for traced batches).
+    if (request.trace_id != 0 && obs::Tracer::active() == nullptr)
+      obs::Tracer::start_capture();
+
+    const std::uint64_t start_ns = obs::now_ns();
+    BatchResult result;
+    {
+      obs::ObsSpan span("worker_batch", "serve");
+      span.set_value(static_cast<double>(request.trace_id));
+      result = request.ensemble ? run_ensemble_batch(request)
+                                : run_certify_batch(request);
+    }
+    trials_executed.add(request.count);
+    batch_micros.record((obs::now_ns() - start_ns) / 1000);
+
+    result.worker_pid = static_cast<std::uint64_t>(::getpid());
+    if (request.trace_id != 0 && obs::Tracer::capturing())
+      result.trace = obs::Tracer::drain_capture();
+    result.metric_deltas = tracker.collect();
     write_frame(fd, encode_batch_result(result, request.ensemble));
   }
   return false;

@@ -14,17 +14,23 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "bignum/nat.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "compile/lower.hpp"
 #include "compile/to_protocol.hpp"
 #include "czerner/construction.hpp"
@@ -683,6 +689,262 @@ TEST(Server, ConcurrentQueriesShareTheWorkerPool) {
     ASSERT_FALSE(response.empty());
     EXPECT_TRUE(Json::parse(response).boolean("ok", false)) << response;
     EXPECT_EQ(digest_of(response), digest_of(reference)) << response;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed observability (S29): the worker's wire sidecar, the daemon's
+// roll-up + flight recorder + Prometheus surfaces, and the standing
+// invariant that none of it moves a certificate digest.
+
+TEST(Worker, ShipsMetricDeltasAndTraceSidecar) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pair[0]);
+    int status = 0;
+    try {
+      worker_main(pair[1]);
+    } catch (...) {
+      status = 1;
+    }
+    ::_exit(status);
+  }
+  ::close(pair[1]);
+
+  BatchRequest request;
+  request.ensemble = false;
+  request.n = 1;
+  request.extra = 2;
+  request.expected = true;
+  request.seed = 7;
+  request.first = 0;
+  request.count = 4;
+  request.window = 1'000'000;
+  request.budget = 100'000'000;
+
+  const auto round_trip = [&](std::uint64_t trace_id) {
+    request.trace_id = trace_id;
+    write_frame(pair[0], encode_batch_request(request));
+    std::string payload;
+    EXPECT_TRUE(read_frame(pair[0], payload));
+    return parse_batch_result(Json::parse(payload), false);
+  };
+
+  const auto delta_of = [](const BatchResult& result,
+                           std::string_view name) -> double {
+    for (const obs::MetricSnapshot& metric : result.metric_deltas)
+      if (metric.name == name) return metric.value;
+    return -1.0;
+  };
+
+  // Untraced batch: metrics still ship (they are free), spans do not.
+  const BatchResult untraced = round_trip(0);
+  EXPECT_EQ(untraced.worker_pid, static_cast<std::uint64_t>(pid));
+  EXPECT_TRUE(untraced.trace.empty());
+  EXPECT_EQ(delta_of(untraced, "serve.trials_executed"), 4.0);
+
+  // Traced batch: the sidecar carries this batch's spans with owned names
+  // and the query's trace_id as the worker_batch span argument...
+  request.first = 4;
+  const BatchResult traced = round_trip(99);
+  EXPECT_EQ(traced.worker_pid, static_cast<std::uint64_t>(pid));
+  ASSERT_FALSE(traced.trace.empty());
+  bool saw_batch_span = false;
+  for (const obs::CapturedEvent& event : traced.trace)
+    if (event.name == "worker_batch") {
+      saw_batch_span = true;
+      EXPECT_TRUE(event.has_value);
+      EXPECT_EQ(event.value, 99.0);
+    }
+  EXPECT_TRUE(saw_batch_span);
+  // ...and the metric delta covers only this batch, not the running total.
+  EXPECT_EQ(delta_of(traced, "serve.trials_executed"), 4.0);
+
+  write_frame(pair[0], encode_exit());
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(pair[0]);
+}
+
+TEST(Server, StatsRollUpFlightRecorderAndPrometheusSurfaces) {
+  QueryParams query;
+  query.req = "ensemble";
+  query.n = 1;
+  query.extra = 2;
+  query.trials = 12;
+  query.seed = 5;
+  query.window = 1'000'000;
+  query.budget = 100'000'000;
+
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 2;
+  options.shard = 3;
+  options.prom_port = 0;  // ephemeral /metrics listener
+  RunningServer running(options);
+  ASSERT_NE(running.server.prom_port(), 0);
+
+  // The test process hosts the daemon, and earlier Server tests already
+  // fed the process-global registry — so assert the *delta* this query
+  // contributes, not absolute totals.
+  const auto counter_value = [&](std::string_view name) {
+    QueryParams stats_query{"stats"};
+    std::string stats_response;
+    std::string stats_error;
+    EXPECT_TRUE(rpc(running.endpoint(), encode_query(stats_query),
+                    &stats_response, &stats_error))
+        << stats_error;
+    const Json parsed = Json::parse(stats_response);
+    const Json* metrics = parsed.find("metrics");
+    EXPECT_NE(metrics, nullptr);
+    return metrics == nullptr ? 0 : metrics->u64(name, 0);
+  };
+  const std::uint64_t shipped_before =
+      counter_value("worker.serve.trials_executed");
+  const std::uint64_t done_before = counter_value("worker.engine.trials_done");
+  const std::uint64_t delivered_before =
+      counter_value("serve.trials_delivered");
+
+  std::string response;
+  std::string error;
+  ASSERT_TRUE(
+      rpc(running.endpoint(), encode_query(query), &response, &error))
+      << error;
+  ASSERT_TRUE(Json::parse(response).boolean("ok", false)) << response;
+
+  // Worker metrics rolled up under `worker.` next to the daemon's own:
+  // every trial the workers ran is visible fleet-wide, and the admission
+  // instruments (queue-depth gauge, wait histogram) saw the query.
+  QueryParams stats_query{"stats"};
+  ASSERT_TRUE(rpc(running.endpoint(), encode_query(stats_query), &response,
+                  &error))
+      << error;
+  const Json stats = Json::parse(response);
+  ASSERT_TRUE(stats.boolean("ok", false)) << response;
+  const Json* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->u64("worker.serve.trials_executed", 0) - shipped_before,
+            12u);
+  EXPECT_EQ(metrics->u64("worker.engine.trials_done", 0) - done_before, 12u);
+  EXPECT_EQ(metrics->u64("serve.trials_delivered", 0) - delivered_before,
+            12u);
+  ASSERT_NE(metrics->find("serve.queue_depth"), nullptr);
+  const Json* wait = metrics->find("serve.admission_wait_micros");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GE(wait->u64("count", 0), 1u);
+
+  // Flight recorder: the ensemble query is the newest record, with its
+  // trial roll-up and per-worker latency lines.
+  stats_query.recent = 5;
+  ASSERT_TRUE(rpc(running.endpoint(), encode_query(stats_query), &response,
+                  &error))
+      << error;
+  const Json with_recent = Json::parse(response);
+  const Json* recent = with_recent.find("recent");
+  ASSERT_NE(recent, nullptr) << response;
+  ASSERT_GE(recent->items().size(), 1u);
+  const Json& record = recent->items()[0];
+  EXPECT_EQ(record.str("req", ""), "ensemble");
+  EXPECT_EQ(record.str("outcome", ""), "ok");
+  EXPECT_EQ(record.u64("trials_executed", 0), 12u);
+  ASSERT_NE(record.find("workers"), nullptr);
+  EXPECT_GE(record.find("workers")->items().size(), 1u);
+
+  // Prometheus, both ways: inline through the protocol...
+  stats_query.recent = 0;
+  stats_query.format = "prometheus";
+  ASSERT_TRUE(rpc(running.endpoint(), encode_query(stats_query), &response,
+                  &error))
+      << error;
+  const std::string exposition =
+      Json::parse(response).str("prometheus", "");
+  EXPECT_NE(exposition.find("# TYPE ppde_worker_serve_trials_executed"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("ppde_serve_admission_wait_micros_bucket"),
+            std::string::npos);
+
+  // ...and scraped over HTTP from the --prom-port listener.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(running.server.prom_port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const std::string get = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, get.data(), get.size(), 0),
+            static_cast<ssize_t>(get.size()));
+  std::string scraped;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof buffer, 0)) > 0)
+    scraped.append(buffer, static_cast<std::size_t>(got));
+  ::close(fd);
+  EXPECT_NE(scraped.find("200 OK"), std::string::npos);
+  EXPECT_NE(scraped.find("ppde_serve_trials_delivered"), std::string::npos);
+
+  // An unknown exposition format is an error, not silence.
+  stats_query.format = "xml";
+  ASSERT_TRUE(rpc(running.endpoint(), encode_query(stats_query), &response,
+                  &error));
+  EXPECT_FALSE(Json::parse(response).boolean("ok", true)) << response;
+}
+
+TEST(Server, TracedFleetStitchesWorkersWithUnchangedDigest) {
+  const QueryParams query = smoke_query();
+  const std::string reference = smc::to_jsonl(reference_certificate(query));
+  ASSERT_NE(digest_of(reference), "");
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ServerOptions options;
+    options.port = 0;
+    options.workers = workers;
+    options.shard = 4;
+    const std::string path = testing::TempDir() + "serve_stitch_" +
+                             std::to_string(workers) + ".json";
+    std::string traced;
+    {
+      // Fork-safety ordering under test: the Server constructor forks the
+      // pool, the tracer starts strictly after, run() then announces the
+      // worker pids it inherited.
+      Server server(options);
+      ASSERT_TRUE(obs::Tracer::start(path));
+      std::thread thread([&server] { server.run(); });
+      std::string error;
+      ASSERT_TRUE(rpc("127.0.0.1:" + std::to_string(server.port()),
+                      encode_query(query), &traced, &error))
+          << error;
+      server.request_stop();
+      thread.join();
+    }
+    obs::Tracer::stop();
+
+    // Tracing moved nothing: the certificate digest is byte-identical to
+    // the in-process reference at every worker count.
+    EXPECT_TRUE(Json::parse(traced).boolean("ok", false)) << traced;
+    EXPECT_EQ(digest_of(traced), digest_of(reference))
+        << "workers " << workers << ": " << traced;
+
+    // The trace is one stitched timeline: every worker announced as its
+    // own track group, worker spans present alongside daemon spans.
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    std::size_t groups = 0;
+    for (std::size_t at = text.find("\"ppde worker ");
+         at != std::string::npos; at = text.find("\"ppde worker ", at + 1))
+      ++groups;
+    EXPECT_EQ(groups, workers) << path;
+    EXPECT_NE(text.find("\"name\":\"worker_batch\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"query\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"merge_fold\""), std::string::npos);
+    std::remove(path.c_str());
   }
 }
 

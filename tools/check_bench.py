@@ -193,10 +193,41 @@ def check_sched(path, doc):
         require(path, fault in faults, f"missing fault plan {fault}")
 
 
+def check_obs(path, doc):
+    """bench_obs_v == 1: S29 distributed-tracing data-path timings."""
+    require(path, doc.get("bench_obs_v") == 1,
+            f"bench_obs_v != 1 (got {doc.get('bench_obs_v')})")
+    rows = doc.get("rows")
+    require(path, isinstance(rows, list) and rows, "rows missing or empty")
+    for i, row in enumerate(rows):
+        for key in ("name", "ns_per_op", "ops"):
+            require(path, key in row, f"rows[{i}] missing {key}")
+        require(path, row["ns_per_op"] > 0,
+                f"rows[{i}] nonpositive ns_per_op")
+        require(path, isinstance(row["ops"], int) and row["ops"] > 0,
+                f"rows[{i}] nonpositive ops")
+    names = {row["name"] for row in rows}
+    # The report must cover both ends of the wire (worker capture +
+    # serialisation, daemon stitch) and both metric surfaces (delta
+    # roll-up, Prometheus render), anchored by the disabled-path row.
+    for name in ("span_disabled", "span_capture", "capture_drain_per_event",
+                 "stitch_emit_foreign", "delta_collect",
+                 "prometheus_render"):
+        require(path, name in names, f"missing row {name}")
+    by_name = {row["name"]: row for row in rows}
+    # The disabled path must stay orders of magnitude below the capture
+    # path — the contract that lets hot loops carry spans unconditionally.
+    require(path,
+            by_name["span_disabled"]["ns_per_op"] <
+            by_name["span_capture"]["ns_per_op"],
+            "span_disabled not cheaper than span_capture")
+
+
 CHECKERS = {
     "bench_engine_v": check_engine,
     "bench_serve_v": check_serve,
     "bench_sched_v": check_sched,
+    "bench_obs_v": check_obs,
 }
 
 

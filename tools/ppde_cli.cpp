@@ -140,6 +140,16 @@ czerner::Construction build(int n, bool equality) {
 // ---------------------------------------------------------------------------
 // Observability plumbing (S24): tracer lifetime + the progress heartbeat.
 
+/// Tracer options from the global flags: --trace-max-mb=N caps the trace
+/// file (S29; events past the cap are counted in `obs.trace_truncated`
+/// instead of written, and the file stays one valid JSON array).
+obs::TracerOptions flag_tracer_options(int argc, char** argv) {
+  obs::TracerOptions options;
+  options.max_file_bytes =
+      flag_value(argc, argv, "--trace-max-mb", 0) * 1024 * 1024;
+  return options;
+}
+
 /// Starts the tracer if --trace=FILE was given; stops it on scope exit.
 /// Declared before the progress monitor in main() so the monitor (whose
 /// final tick may emit trace counters) is destroyed first, and so every
@@ -147,9 +157,10 @@ czerner::Construction build(int n, bool equality) {
 struct TracerGuard {
   bool active = false;
 
-  explicit TracerGuard(const char* path) {
+  explicit TracerGuard(const char* path,
+                       const obs::TracerOptions& options = {}) {
     if (path == nullptr || *path == '\0') return;
-    active = obs::Tracer::start(path);
+    active = obs::Tracer::start(path, options);
     if (!active)
       std::fprintf(stderr, "ppde: warning: cannot open trace file '%s'\n",
                    path);
@@ -520,6 +531,13 @@ int cmd_serve(int argc, char** argv) {
   options.shard = flag_value(argc, argv, "--shard", 8);
   options.kill_worker_after =
       flag_value(argc, argv, "--kill-worker-after", 0);
+  // --prom-port=0 means "ephemeral", distinct from the flag being absent
+  // (disabled) — so probe presence, not value.
+  if (flag_cstr(argc, argv, "--prom-port") != nullptr)
+    options.prom_port = static_cast<std::int32_t>(
+        flag_value(argc, argv, "--prom-port", 0));
+  options.flight_capacity = static_cast<std::size_t>(
+      flag_value(argc, argv, "--flight-capacity", 128));
   if (const char* remote = flag_cstr(argc, argv, "--remote")) {
     std::string list = remote;
     std::size_t start = 0;
@@ -537,11 +555,23 @@ int cmd_serve(int argc, char** argv) {
   // before any thread exists; the SignalWatch then claims SIGINT/SIGTERM
   // before run() spawns the runner threads.
   serve::Server server(options);
+  // The tracer starts strictly AFTER the constructor's fork()s: a child
+  // must not inherit an active tracer (shared FILE*, phantom collector).
+  // With it active, run() announces every worker as a track group and
+  // stitches their shipped spans, so --trace=FILE yields ONE fleet-wide
+  // Perfetto timeline (S29).
+  TracerGuard tracer(flag_cstr(argc, argv, "--trace"),
+                     flag_tracer_options(argc, argv));
   std::fprintf(stderr,
                "ppde serve: listening on %s:%u (%u local workers, "
                "%zu remote)\n",
                options.host.c_str(), static_cast<unsigned>(server.port()),
                options.workers, options.remote_workers.size());
+  if (server.prom_port() != 0)
+    std::fprintf(stderr,
+                 "ppde serve: prometheus metrics on "
+                 "http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(server.prom_port()));
   serve::SignalWatch watch([&server](int) { server.request_stop(); });
   server.run();
   std::fprintf(stderr, "ppde serve: stopped\n");
@@ -581,7 +611,14 @@ int cmd_client(int argc, char** argv, const std::vector<char*>& pos) {
     // (pre-S27 servers keep working).
     const sched::Scenario scenario = flag_scenario(argc, argv);
     if (!scenario.is_default()) query.scenario = scenario.to_string();
-  } else if (query.req != "stats" && query.req != "shutdown") {
+  } else if (query.req == "stats") {
+    // S29: --recent=N dumps the daemon's flight recorder as JSONL;
+    // --format=prometheus fetches the text exposition over the serve
+    // protocol (no second port needed).
+    query.recent = flag_value(argc, argv, "--recent", 0);
+    if (const char* format = flag_cstr(argc, argv, "--format"))
+      query.format = format;
+  } else if (query.req != "shutdown") {
     std::fprintf(stderr, "ppde client: unknown request '%s'\n",
                  query.req.c_str());
     return 1;
@@ -592,13 +629,30 @@ int cmd_client(int argc, char** argv, const std::vector<char*>& pos) {
     std::fprintf(stderr, "ppde client: %s\n", error.c_str());
     return 1;
   }
-  // The response is printed verbatim: for certify it embeds the raw
-  // certificate JSONL record, so `"digest":"..."` greps exactly like the
-  // output of in-process `ppde certify --json`.
-  std::printf("%s\n", response.c_str());
   try {
-    return serve::Json::parse(response).boolean("ok", false) ? 0 : 1;
+    const serve::Json reply = serve::Json::parse(response);
+    const bool ok = reply.boolean("ok", false);
+    if (ok && query.req == "stats" && query.format == "prometheus") {
+      // Unwrap to the raw scrape text, ready to diff against a /metrics
+      // fetch or pipe into promtool.
+      std::printf("%s", reply.str("prometheus", "").c_str());
+      return 0;
+    }
+    if (ok && query.req == "stats" && query.recent != 0) {
+      if (const serve::Json* recent = reply.find("recent")) {
+        // Flight records as JSONL, newest first — one object per line.
+        for (const serve::Json& record : recent->items())
+          std::printf("%s\n", record.dump().c_str());
+        return 0;
+      }
+    }
+    // Otherwise the response is printed verbatim: for certify it embeds
+    // the raw certificate JSONL record, so `"digest":"..."` greps exactly
+    // like the output of in-process `ppde certify --json`.
+    std::printf("%s\n", response.c_str());
+    return ok ? 0 : 1;
   } catch (const std::exception&) {
+    std::printf("%s\n", response.c_str());
     return 1;
   }
 }
@@ -731,7 +785,16 @@ constexpr VerbHelp kVerbs[] = {
      "    --max-seconds=S       per-query wall budget (default 600)\n"
      "    --shard=K             trials per worker batch (default 8)\n"
      "    --kill-worker-after=N test hook: SIGKILL one worker after the\n"
-     "                          Nth dispatched batch (default 0 = never)\n"},
+     "                          Nth dispatched batch (default 0 = never)\n"
+     "    --prom-port=P         serve Prometheus text exposition on\n"
+     "                          http://127.0.0.1:P/metrics (S29); 0 =\n"
+     "                          ephemeral port (logged on startup);\n"
+     "                          omit the flag to disable\n"
+     "    --flight-capacity=N   per-query flight-recorder ring size\n"
+     "                          (default 128; see `client stats --recent`)\n"
+     "  With --trace=FILE the daemon stitches its own spans and every\n"
+     "  worker's shipped spans into ONE Chrome trace: each worker process\n"
+     "  appears as its own track group (S29).\n"},
     {"worker", "[--port=P]",
      "  Standalone remote trial worker for `ppde serve --remote=...`:\n"
      "  serves batch requests on 0.0.0.0:P (default 7421) until told to\n"
@@ -748,6 +811,11 @@ constexpr VerbHelp kVerbs[] = {
      "                          fleet size\n"
      "    stats                 daemon uptime, worker pool state, and the\n"
      "                          full obs metrics registry snapshot\n"
+     "                          (fleet-wide `worker.*` roll-ups included)\n"
+     "      --recent=N          dump the newest N flight-recorder records\n"
+     "                          as JSONL (one query per line, S29)\n"
+     "      --format=prometheus print the daemon's Prometheus text\n"
+     "                          exposition instead of JSON\n"
      "    shutdown              graceful daemon stop\n"},
     {"window", "<lo> <hi> <m>",
      "  Decide lo <= m < hi with a Figure-1 style program (exhaustive).\n"},
@@ -761,6 +829,10 @@ void print_global_flags(std::FILE* out) {
       "global flags (every verb):\n"
       "  --trace=FILE       record a Chrome trace-event file (S24);\n"
       "                     open in Perfetto or about:tracing\n"
+      "  --trace-max-mb=N   cap the trace file at N MiB (S29); events past\n"
+      "                     the cap are dropped and counted in the\n"
+      "                     obs.trace_truncated metric, and the file stays\n"
+      "                     a valid JSON array\n"
       "  --progress[=SECS]  heartbeat to stderr every SECS seconds\n"
       "                     (bare flag: 5s; =0 disables; auto-on at 10s\n"
       "                     when stderr is a TTY)\n");
@@ -856,7 +928,8 @@ int main(int argc, char** argv) {
   // Observability (S24). The guard starts the tracer now and stops it on
   // every return path below — after the verb's worker pools have joined
   // and after the monitor (declared later, destroyed earlier) has stopped.
-  TracerGuard tracer(flag_cstr(argc, argv, "--trace"));
+  TracerGuard tracer(flag_cstr(argc, argv, "--trace"),
+                     flag_tracer_options(argc, argv));
   std::unique_ptr<obs::ProgressMonitor> monitor;
   const double period = progress_period(argc, argv);
   if (period > 0.0 && heartbeat)
